@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the cryptographic building blocks.
+
+Not a paper artefact, but useful for understanding where CARGO's running time
+(Figures 11-12) comes from: per-triple three-way multiplications versus the
+matrix-Beaver products used by the vectorised backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.beaver import BeaverTripleDealer
+from repro.crypto.multiplication_groups import MultiplicationGroupDealer
+from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_triple
+from repro.crypto.sharing import share_scalar, share_vector
+
+
+def test_bench_scalar_triple_multiplication(benchmark):
+    """One three-way product (what the faithful Count pays per candidate triple)."""
+    dealer = MultiplicationGroupDealer(seed=0)
+    a = share_scalar(1, rng=1)
+    b = share_scalar(1, rng=2)
+    c = share_scalar(0, rng=3)
+
+    def run():
+        group = dealer.scalar_group()
+        return secure_multiply_triple(
+            (a.share1, a.share2), (b.share1, b.share2), (c.share1, c.share2), group
+        )
+
+    s1, s2 = benchmark(run)
+    assert (int(s1) + int(s2)) % 2**64 == 0
+
+
+def test_bench_vectorised_triple_multiplication(benchmark):
+    """A 10k-wide batch of three-way products (the batched Count's unit of work)."""
+    dealer = MultiplicationGroupDealer(seed=4)
+    rng = np.random.default_rng(5)
+    size = 10_000
+    a = share_vector(rng.integers(0, 2, size), rng=6)
+    b = share_vector(rng.integers(0, 2, size), rng=7)
+    c = share_vector(rng.integers(0, 2, size), rng=8)
+
+    def run():
+        group = dealer.vector_group((size,))
+        return secure_multiply_triple(
+            (a.share1, a.share2), (b.share1, b.share2), (c.share1, c.share2), group
+        )
+
+    s1, s2 = benchmark(run)
+    assert s1.shape == (size,)
+
+
+def test_bench_secure_matrix_product(benchmark):
+    """One n x n secret-shared matrix product (the matrix backend's dominant cost)."""
+    n = 128
+    dealer = BeaverTripleDealer(seed=9)
+    rng = np.random.default_rng(10)
+    a = share_vector(rng.integers(0, 2, (n, n)), rng=11)
+    b = share_vector(rng.integers(0, 2, (n, n)), rng=12)
+
+    def run():
+        triple = dealer.matrix_triple((n, n), (n, n))
+        return secure_matrix_multiply((a.share1, a.share2), (b.share1, b.share2), triple)
+
+    s1, s2 = benchmark(run)
+    assert s1.shape == (n, n)

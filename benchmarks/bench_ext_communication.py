@@ -1,0 +1,21 @@
+"""Extension — communication overhead of CARGO as the user count grows."""
+
+from __future__ import annotations
+
+from repro.experiments.communication import communication_overhead
+
+
+def test_ext_communication_overhead(benchmark):
+    """Total bytes grow quadratically in n, driven by the adjacency-share upload."""
+    report = benchmark.pedantic(
+        lambda: communication_overhead(dataset="facebook", user_counts=(50, 100, 200)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.to_text())
+    by_n = {row["num_users"]: row for row in report.rows}
+    # Quadratic growth: quadrupling is expected when n doubles; allow slack.
+    assert by_n[200]["total_bytes"] > 3 * by_n[100]["total_bytes"]
+    for row in report.rows:
+        assert row["adjacency_share_bytes"] >= row["noise_share_bytes"]

@@ -1,0 +1,37 @@
+"""Figures 11 and 12 — running time of the three protocols as n grows."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure11_running_time, figure12_running_time_wiki
+
+
+def test_fig11_running_time_facebook(benchmark):
+    """Regenerate Figure 11 (Facebook): CARGO's cost is dominated by Count."""
+    report = benchmark.pedantic(
+        lambda: figure11_running_time(dataset="facebook", user_counts=(80, 160, 240), epsilon=2.0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.to_text())
+    for row in report.rows:
+        # Paper shape: CARGO is the slowest, the baselines are much faster,
+        # and the Count phase accounts for most of CARGO's time.
+        assert row["cargo_s"] > row["central_lap_s"]
+        assert row["cargo_count_s"] <= row["cargo_s"]
+    times = {row["num_users"]: row["cargo_s"] for row in report.rows}
+    assert times[240] > times[80]
+
+
+def test_fig12_running_time_wiki(benchmark):
+    """Regenerate Figure 12 (Wiki): same series on the second dataset."""
+    report = benchmark.pedantic(
+        lambda: figure12_running_time_wiki(user_counts=(80, 160), epsilon=2.0),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.to_text())
+    assert all(row["dataset"] == "wiki" for row in report.rows)
+    for row in report.rows:
+        assert row["cargo_s"] > row["central_lap_s"]

@@ -1,0 +1,42 @@
+"""Figures 5 and 6 — error of the three protocols as epsilon varies."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure5_l2_vs_epsilon
+
+
+def test_fig5_fig6_epsilon_sweep(benchmark, bench_num_nodes, bench_trials):
+    """Regenerate the epsilon sweep behind Figures 5 (l2) and 6 (relative error).
+
+    The benchmark uses two datasets and three epsilon values; the full
+    four-dataset, six-epsilon sweep is available through
+    ``python -m repro.cli fig5``.
+    """
+    report = benchmark.pedantic(
+        lambda: figure5_l2_vs_epsilon(
+            datasets=("facebook", "wiki"),
+            epsilons=(0.5, 1.5, 3.0),
+            num_nodes=bench_num_nodes,
+            num_trials=bench_trials,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.to_text())
+
+    # Shape checks mirroring the paper's Figures 5/6: for every dataset and
+    # epsilon, Local2Rounds is worst and CentralLap is best, with CARGO in
+    # between; and everyone's error shrinks as epsilon grows.
+    for dataset in ("facebook", "wiki"):
+        for epsilon in (0.5, 1.5, 3.0):
+            cell = {
+                row["protocol"]: row["l2_mean"]
+                for row in report.filter_rows(dataset=dataset, epsilon=epsilon)
+            }
+            assert cell["CentralLap"] <= cell["Cargo"] <= cell["Local2Rounds"]
+        cargo_by_epsilon = {
+            row["epsilon"]: row["l2_mean"]
+            for row in report.filter_rows(dataset=dataset, protocol="Cargo")
+        }
+        assert cargo_by_epsilon[3.0] < cargo_by_epsilon[0.5]

@@ -1,0 +1,37 @@
+"""Figures 7 and 8 — error of the three protocols as the number of users varies."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7_l2_vs_n
+
+
+def test_fig7_fig8_user_sweep(benchmark, bench_trials):
+    """Regenerate the n sweep behind Figures 7 (l2 loss) and 8 (relative error)."""
+    user_counts = (80, 160, 240)
+    report = benchmark.pedantic(
+        lambda: figure7_l2_vs_n(
+            datasets=("facebook", "wiki"),
+            user_counts=user_counts,
+            epsilon=2.0,
+            num_trials=bench_trials,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.to_text())
+
+    for dataset in ("facebook", "wiki"):
+        # Paper shape: CARGO stays orders of magnitude below Local2Rounds at
+        # every n, and the local model's error grows with n.
+        for n in user_counts:
+            cell = {
+                row["protocol"]: row["l2_mean"]
+                for row in report.filter_rows(dataset=dataset, num_users=n)
+            }
+            assert cell["Cargo"] < cell["Local2Rounds"]
+        local_by_n = {
+            row["num_users"]: row["l2_mean"]
+            for row in report.filter_rows(dataset=dataset, protocol="Local2Rounds")
+        }
+        assert local_by_n[user_counts[-1]] > local_by_n[user_counts[0]]

@@ -1,0 +1,38 @@
+"""Figures 9 and 10 — projection loss of Project vs GraphProjection."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure9_projection_l2
+
+
+def test_fig9_fig10_projection_loss(benchmark, bench_trials):
+    """Regenerate the theta sweep behind Figures 9 (l2) and 10 (relative error)."""
+    thetas = (10, 25, 50, 100)
+    report = benchmark.pedantic(
+        lambda: figure9_projection_l2(
+            datasets=("facebook", "wiki", "hepph", "enron"),
+            thetas=thetas,
+            num_nodes=250,
+            num_trials=bench_trials,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.to_text())
+
+    for dataset in ("facebook", "wiki", "hepph", "enron"):
+        for theta in thetas:
+            cell = {
+                row["method"]: row["l2_mean"]
+                for row in report.filter_rows(dataset=dataset, theta=theta)
+            }
+            # Similarity-based projection never loses more triangles (small
+            # slack for ties at tiny theta where both lose nearly everything).
+            assert cell["Project"] <= cell["GraphProjection"] * 1.05
+        project_by_theta = {
+            row["theta"]: row["l2_mean"]
+            for row in report.filter_rows(dataset=dataset, method="Project")
+        }
+        # Loss decreases as the degree bound loosens.
+        assert project_by_theta[thetas[-1]] <= project_by_theta[thetas[0]]

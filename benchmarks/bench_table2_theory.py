@@ -1,0 +1,13 @@
+"""Table II — theoretical comparison of the three models (analytic)."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table2_theoretical_summary
+
+
+def test_table2_theoretical_summary(benchmark):
+    """Regenerate Table II (instantaneous — the table is analytic)."""
+    report = benchmark(table2_theoretical_summary)
+    print()
+    print(report.to_text())
+    assert len(report.rows) == 4

@@ -1,0 +1,24 @@
+"""Table V — noisy maximum degree under varying epsilon."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table5_noisy_max_degree
+
+
+def test_table5_noisy_max_degree(benchmark, bench_num_nodes, bench_trials):
+    """Regenerate Table V: d'_max for epsilon in 0.5 .. 3 on the four main graphs."""
+    report = benchmark.pedantic(
+        lambda: table5_noisy_max_degree(
+            num_nodes=bench_num_nodes, num_trials=bench_trials
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(report.to_text())
+    assert len(report.rows) == 4
+    # Paper shape: the noisy estimate approaches d_max, and higher epsilon
+    # never makes it wildly worse.
+    for row in report.rows:
+        assert row["eps=3.0"] > 0
+        assert abs(row["eps=3.0"] - row["d_max"]) <= abs(row["eps=0.5"] - row["d_max"]) + row["d_max"]

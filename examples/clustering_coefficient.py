@@ -1,0 +1,58 @@
+"""Private clustering-coefficient estimation for a collaboration network.
+
+Triangle counting is rarely the end goal — the paper's introduction motivates
+it through downstream statistics such as the clustering coefficient and the
+transitivity ratio.  This example shows how an analyst would estimate the
+*global clustering coefficient* (transitivity) of a collaboration network
+when the triangle count must be released under differential privacy while
+the wedge count (a low-sensitivity degree statistic) is released with a
+standard Laplace mechanism.
+
+Run with::
+
+    python examples/clustering_coefficient.py
+"""
+
+from __future__ import annotations
+
+from repro import Cargo, CargoConfig, LaplaceMechanism, load_dataset
+from repro.graph.statistics import global_clustering_coefficient
+
+
+def private_transitivity(graph, epsilon: float, seed: int) -> float:
+    """Estimate 3*T / (#wedges) with a DP triangle count and DP wedge count."""
+    # Spend 80% of the budget on the (high-sensitivity) triangle count and the
+    # remaining 20% on the wedge count, whose Edge-DP sensitivity is at most
+    # 2 * d_max (one edge joins/leaves at most d_u - 1 + d_v - 1 wedges).
+    triangle_epsilon = 0.8 * epsilon
+    wedge_epsilon = 0.2 * epsilon
+
+    cargo = Cargo(CargoConfig(epsilon=triangle_epsilon, seed=seed))
+    triangle_result = cargo.run(graph)
+
+    wedges = sum(d * (d - 1) // 2 for d in graph.degrees())
+    wedge_sensitivity = 2.0 * max(graph.max_degree(), 1)
+    wedge_mechanism = LaplaceMechanism(epsilon=wedge_epsilon, sensitivity=wedge_sensitivity)
+    noisy_wedges = max(wedge_mechanism.randomize(float(wedges), rng=seed), 1.0)
+
+    return 3.0 * triangle_result.noisy_triangle_count / noisy_wedges
+
+
+def main() -> None:
+    graph = load_dataset("astroph", num_nodes=400)
+    exact = global_clustering_coefficient(graph)
+    print(f"collaboration graph: {graph.num_nodes} researchers, {graph.num_edges} co-authorships")
+    print(f"exact transitivity : {exact:.4f}\n")
+
+    for epsilon in (0.5, 1.0, 2.0, 4.0):
+        estimate = private_transitivity(graph, epsilon, seed=11)
+        error = abs(estimate - exact) / exact
+        print(f"epsilon = {epsilon:>3}: private transitivity = {estimate:.4f} "
+              f"(relative error {error:.2%})")
+
+    print("\nEven at moderate budgets the CARGO-based estimate tracks the exact")
+    print("clustering coefficient closely, with no trusted curator involved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Privacy-utility trade-off across the three trust models (Figures 5 and 6).
+
+Sweeps the privacy budget and reports the relative error of CARGO against the
+central (trusted-server) and local (two-round LDP) baselines on one dataset,
+averaged over repeated runs — a console version of the paper's Figures 5/6.
+
+Run with::
+
+    python examples/privacy_utility_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Cargo,
+    CargoConfig,
+    CentralLaplaceTriangleCounting,
+    LocalTwoRoundsTriangleCounting,
+    load_dataset,
+    relative_error,
+)
+from repro.metrics.aggregate import aggregate_trials
+
+
+def mean_relative_error(run_trial, num_trials: int = 3) -> float:
+    """Average the relative error of a protocol over independent trials."""
+    values = []
+    for seed in range(num_trials):
+        result = run_trial(seed)
+        values.append(relative_error(result.true_triangle_count, result.noisy_triangle_count))
+    return aggregate_trials(values).mean
+
+
+def main() -> None:
+    graph = load_dataset("wiki", num_nodes=300)
+    print(f"wiki stand-in: {graph.num_nodes} users, {graph.num_edges} edges\n")
+    print(f"{'epsilon':>8} | {'Local2Rounds':>13} | {'CARGO':>10} | {'CentralLap':>11}")
+    print("-" * 52)
+
+    for epsilon in (0.5, 1.0, 2.0, 3.0):
+        local = mean_relative_error(
+            lambda seed: LocalTwoRoundsTriangleCounting(epsilon=epsilon).run(graph, rng=seed)
+        )
+        cargo = mean_relative_error(
+            lambda seed: Cargo(CargoConfig(epsilon=epsilon, seed=seed)).run(graph)
+        )
+        central = mean_relative_error(
+            lambda seed: CentralLaplaceTriangleCounting(epsilon=epsilon).run(graph, rng=seed)
+        )
+        print(f"{epsilon:>8} | {local:>13.3f} | {cargo:>10.4f} | {central:>11.5f}")
+
+    print("\nCARGO's error sits orders of magnitude below the local model and")
+    print("within a small factor of the central model — without a trusted server.")
+
+
+if __name__ == "__main__":
+    main()

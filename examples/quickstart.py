@@ -1,0 +1,61 @@
+"""Quickstart: privately count triangles in a social graph with CARGO.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script loads the synthetic stand-in for the SNAP Facebook graph, runs the
+full CARGO protocol (Max -> Project -> Count -> Perturb) at a total privacy
+budget of epsilon = 2, and compares the differentially private estimate with
+the exact count and with the central/local baselines.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Cargo,
+    CargoConfig,
+    CentralLaplaceTriangleCounting,
+    LocalTwoRoundsTriangleCounting,
+    count_triangles,
+    load_dataset,
+)
+
+
+def main() -> None:
+    # A 400-node synthetic graph matching the Facebook ego-network's shape
+    # (heavy-tailed degrees, strong clustering).  Increase num_nodes (or use
+    # scale=1.0) for a paper-scale run.
+    graph = load_dataset("facebook", num_nodes=400)
+    true_count = count_triangles(graph)
+    print(f"graph: {graph.num_nodes} users, {graph.num_edges} edges, "
+          f"{true_count} triangles, max degree {graph.max_degree()}")
+
+    epsilon = 2.0
+
+    # --- CARGO: crypto-assisted DP, no trusted server -------------------- #
+    cargo_result = Cargo(CargoConfig(epsilon=epsilon, seed=7)).run(graph)
+    print("\nCARGO (two untrusted servers, epsilon-Edge DDP)")
+    print(f"  noisy count      : {cargo_result.noisy_triangle_count:,.1f}")
+    print(f"  relative error   : {cargo_result.relative_error:.4%}")
+    print(f"  noisy max degree : {cargo_result.noisy_max_degree:.1f}")
+    print(f"  count phase time : {cargo_result.timings['count']:.3f}s "
+          f"of {cargo_result.timings['total']:.3f}s total")
+
+    # --- Central baseline: needs a trusted server ------------------------ #
+    central = CentralLaplaceTriangleCounting(epsilon=epsilon).run(graph, rng=7)
+    print("\nCentralLap (trusted server, epsilon-Edge CDP)")
+    print(f"  noisy count      : {central.noisy_triangle_count:,.1f}")
+    print(f"  relative error   : {central.relative_error:.4%}")
+
+    # --- Local baseline: no trusted server, much more noise -------------- #
+    local = LocalTwoRoundsTriangleCounting(epsilon=epsilon).run(graph, rng=7)
+    print("\nLocal2Rounds (no server trust, epsilon-Edge LDP)")
+    print(f"  noisy count      : {local.noisy_triangle_count:,.1f}")
+    print(f"  relative error   : {local.relative_error:.4%}")
+
+    print("\nCARGO achieves near-central accuracy without trusting any server.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Downstream graph analytics built on the private triangle count.
+
+The paper motivates triangle counting through the statistics that consume it
+(Section I): the clustering coefficient, the transitivity ratio, and related
+subgraph counts.  This subpackage composes CARGO's private triangle count
+with low-sensitivity degree statistics to release those downstream quantities
+end to end under a single privacy budget:
+
+* :mod:`repro.analysis.subgraphs` — wedge (2-star) and k-star counts with
+  their Edge-DP sensitivities and Laplace releases,
+* :mod:`repro.analysis.clustering` — private global clustering coefficient
+  (transitivity) and average-degree reports that combine a CARGO triangle
+  estimate with a wedge estimate under a split budget.
+"""
+
+from repro.analysis.clustering import (
+    PrivateClusteringAnalyzer,
+    PrivateClusteringResult,
+)
+from repro.analysis.subgraphs import (
+    count_k_stars,
+    count_wedges,
+    k_star_sensitivity,
+    private_k_star_count,
+    private_wedge_count,
+    wedge_sensitivity,
+)
+
+__all__ = [
+    "PrivateClusteringAnalyzer",
+    "PrivateClusteringResult",
+    "count_wedges",
+    "count_k_stars",
+    "wedge_sensitivity",
+    "k_star_sensitivity",
+    "private_wedge_count",
+    "private_k_star_count",
+]

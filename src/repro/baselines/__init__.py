@@ -1,0 +1,29 @@
+"""Baseline protocols CARGO is compared against in the paper.
+
+* :mod:`repro.baselines.central_lap` — ``CentralLap△``: a trusted server
+  counts triangles exactly and adds Laplace noise calibrated to the
+  degree-bounded sensitivity (the central-DP upper bound on utility).
+* :mod:`repro.baselines.local_two_rounds` — ``Local2Rounds△``: the two-round
+  Edge-LDP protocol of Imola et al. (USENIX Security 2021), the
+  state-of-the-art untrusted baseline.
+* :mod:`repro.baselines.random_projection` — ``GraphProjection``: the random
+  edge-deletion projection used by the LDP baseline, compared against
+  CARGO's similarity-based projection in Figures 9-10.
+* :mod:`repro.baselines.one_round_ldp` — a one-round randomized-response
+  baseline included as an extra reference point.
+* :mod:`repro.baselines.nonprivate` — the exact count (sanity baseline).
+"""
+
+from repro.baselines.central_lap import CentralLaplaceTriangleCounting
+from repro.baselines.local_two_rounds import LocalTwoRoundsTriangleCounting
+from repro.baselines.nonprivate import NonPrivateTriangleCounting
+from repro.baselines.one_round_ldp import OneRoundLdpTriangleCounting
+from repro.baselines.random_projection import RandomProjection
+
+__all__ = [
+    "CentralLaplaceTriangleCounting",
+    "LocalTwoRoundsTriangleCounting",
+    "NonPrivateTriangleCounting",
+    "OneRoundLdpTriangleCounting",
+    "RandomProjection",
+]

@@ -1,0 +1,45 @@
+"""Non-private exact counting, wrapped in the common baseline interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles
+from repro.utils.rng import RandomState
+from repro.utils.timer import TimerRegistry
+
+
+@dataclass(frozen=True)
+class NonPrivateResult:
+    """Output of the exact (no-privacy) counter."""
+
+    noisy_triangle_count: float
+    true_triangle_count: int
+    timings: dict
+
+    @property
+    def l2_loss(self) -> float:
+        """Always zero — included so result objects are interchangeable."""
+        return 0.0
+
+    @property
+    def relative_error(self) -> float:
+        """Always zero — included so result objects are interchangeable."""
+        return 0.0
+
+
+class NonPrivateTriangleCounting:
+    """Exact triangle counting with no privacy protection (sanity baseline)."""
+
+    def run(self, graph: Graph, rng: RandomState = None) -> NonPrivateResult:
+        """Count triangles exactly."""
+        del rng  # the exact count is deterministic
+        timers = TimerRegistry()
+        with timers.measure("total"):
+            count = count_triangles(graph)
+        return NonPrivateResult(
+            noisy_triangle_count=float(count),
+            true_triangle_count=count,
+            timings=timers.as_dict(),
+        )

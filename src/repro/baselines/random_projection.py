@@ -1,0 +1,90 @@
+"""``GraphProjection`` — random edge-deletion projection (LDP baseline).
+
+Imola et al.'s local projection bounds a user's degree by *randomly* deleting
+edges from her adjacency list until at most ``θ`` remain.  The paper's
+Figures 9-10 compare this against CARGO's similarity-based `Project` and show
+that random deletion loses many more triangles because it is oblivious to
+which edges support triangles.
+
+The class mirrors :class:`~repro.core.projection.SimilarityProjection` so the
+two can be swapped in the projection-loss experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.projection import ProjectionResult
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.utils.rng import RandomState, derive_rng, spawn_rngs
+
+
+class RandomProjection:
+    """Random edge-deletion projection onto a degree bound.
+
+    Parameters
+    ----------
+    degree_bound:
+        Maximum number of neighbours each user keeps (θ).
+    """
+
+    def __init__(self, degree_bound: float) -> None:
+        if degree_bound < 0:
+            raise ConfigurationError(f"degree_bound must be non-negative, got {degree_bound}")
+        self._degree_bound = float(degree_bound)
+
+    @property
+    def degree_bound(self) -> float:
+        """The enforced degree bound θ."""
+        return self._degree_bound
+
+    def project_user(
+        self,
+        bit_vector: np.ndarray,
+        rng: RandomState = None,
+    ) -> np.ndarray:
+        """Randomly keep at most ``floor(θ)`` of the user's neighbours."""
+        bits = np.asarray(bit_vector, dtype=np.int64)
+        keep_budget = int(self._degree_bound)
+        neighbors = np.nonzero(bits)[0]
+        if len(neighbors) <= keep_budget:
+            return bits.copy()
+        generator = derive_rng(rng)
+        kept = generator.choice(neighbors, size=keep_budget, replace=False)
+        projected = np.zeros_like(bits)
+        projected[kept] = 1
+        return projected
+
+    def project_graph(
+        self,
+        graph: Graph,
+        noisy_degrees: Optional[Sequence[float]] = None,
+        rng: RandomState = None,
+    ) -> ProjectionResult:
+        """Project every user's bit vector by random deletion.
+
+        *noisy_degrees* is accepted (and ignored) so the call signature
+        matches :class:`~repro.core.projection.SimilarityProjection`.
+        """
+        del noisy_degrees  # random deletion does not look at degrees
+        user_rngs = spawn_rngs(rng if rng is not None else derive_rng(None), graph.num_nodes)
+        rows = np.zeros((graph.num_nodes, graph.num_nodes), dtype=np.int64)
+        edges_removed = 0
+        users_projected = 0
+        for user, user_rng in zip(graph.nodes(), user_rngs):
+            original = graph.adjacency_bit_vector(user)
+            projected = self.project_user(original, rng=user_rng)
+            removed = int(original.sum() - projected.sum())
+            if removed > 0:
+                users_projected += 1
+                edges_removed += removed
+            rows[user] = projected
+        return ProjectionResult(
+            projected_rows=rows,
+            degree_bound=self._degree_bound,
+            edges_removed=edges_removed,
+            users_projected=users_projected,
+        )

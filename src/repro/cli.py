@@ -1,0 +1,92 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    repro-cargo list
+    repro-cargo table4
+    repro-cargo fig5 --num-nodes 200 --trials 2
+    python -m repro.cli fig9 --num-nodes 300
+
+Every experiment accepts a few common overrides (number of nodes, number of
+trials, seed) so a quick run and a paper-scale run use the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+from repro.experiments.specs import get_experiment, list_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cargo",
+        description="Regenerate tables and figures from the CARGO paper (ICDE 2024).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (e.g. table4, fig5) or 'list' to enumerate them",
+    )
+    parser.add_argument("--num-nodes", type=int, default=None, help="override the graph size")
+    parser.add_argument("--trials", type=int, default=None, help="override the number of trials")
+    parser.add_argument("--epsilon", type=float, default=None, help="override the privacy budget")
+    parser.add_argument("--seed", type=int, default=None, help="override the base random seed")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the result rows as JSON instead of a table"
+    )
+    return parser
+
+
+def _collect_overrides(args: argparse.Namespace, runner) -> dict:
+    """Map CLI flags onto the experiment function's keyword parameters."""
+    import inspect
+
+    accepted = set(inspect.signature(runner).parameters)
+    overrides = {}
+    if args.num_nodes is not None and "num_nodes" in accepted:
+        overrides["num_nodes"] = args.num_nodes
+    if args.trials is not None and "num_trials" in accepted:
+        overrides["num_trials"] = args.trials
+    if args.epsilon is not None:
+        if "epsilon" in accepted:
+            overrides["epsilon"] = args.epsilon
+        elif "epsilons" in accepted:
+            overrides["epsilons"] = (args.epsilon,)
+    if args.seed is not None and "seed" in accepted:
+        overrides["seed"] = args.seed
+    return overrides
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment.lower() == "list":
+        for name in list_experiments():
+            spec = get_experiment(name)
+            print(f"{name:<8} {spec.paper_artifact:<11} {spec.description}")
+        return 0
+
+    try:
+        spec = get_experiment(args.experiment)
+        overrides = _collect_overrides(args, spec.runner)
+        report = spec.run(**overrides)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps({"name": report.name, "description": report.description, "rows": report.rows}, indent=2))
+    else:
+        print(report.to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""CARGO core: the paper's Algorithms 1-5.
+
+* :mod:`repro.core.max_degree` — Algorithm 2 (`Max`): private estimation of
+  the maximum degree under ε1-Edge LDP.
+* :mod:`repro.core.projection` — Algorithm 3 (`Project`): similarity-based
+  local graph projection that bounds every user's degree by ``d'_max``.
+* :mod:`repro.core.counting` — Algorithm 4 (`Count`): ASS-based secure
+  triangle counting (faithful per-triple protocol plus a batched variant).
+* :mod:`repro.core.fast_counting` — vectorised secure counting backend based
+  on secret-shared matrix products (same output, much faster).
+* :mod:`repro.core.perturbation` — Algorithm 5 (`Perturb`): distributed
+  Gamma-difference noise added inside the secret-shared domain.
+* :mod:`repro.core.cargo` — Algorithm 1: the end-to-end protocol
+  orchestration, producing a :class:`~repro.core.result.CargoResult`.
+"""
+
+from repro.core.config import CargoConfig, CountingBackend
+from repro.core.max_degree import MaxDegreeEstimator, MaxDegreeResult
+from repro.core.projection import (
+    ProjectionResult,
+    SimilarityProjection,
+    degree_similarity,
+    projected_triangle_count,
+)
+from repro.core.counting import FaithfulTriangleCounter
+from repro.core.fast_counting import MatrixTriangleCounter
+from repro.core.perturbation import DistributedPerturbation, PerturbationResult
+from repro.core.cargo import Cargo
+from repro.core.node_dp import NodeDpCargo, NodeDpMaxDegreeEstimator, edge_vs_node_dp_gap
+from repro.core.result import CargoResult
+
+__all__ = [
+    "CargoConfig",
+    "CountingBackend",
+    "MaxDegreeEstimator",
+    "MaxDegreeResult",
+    "SimilarityProjection",
+    "ProjectionResult",
+    "degree_similarity",
+    "projected_triangle_count",
+    "FaithfulTriangleCounter",
+    "MatrixTriangleCounter",
+    "DistributedPerturbation",
+    "PerturbationResult",
+    "Cargo",
+    "NodeDpCargo",
+    "NodeDpMaxDegreeEstimator",
+    "edge_vs_node_dp_gap",
+    "CargoResult",
+]

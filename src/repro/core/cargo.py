@@ -1,0 +1,183 @@
+"""Algorithm 1 — the end-to-end CARGO protocol.
+
+:class:`Cargo` wires the three phases together:
+
+1. `Max` (Algorithm 2) privately estimates the maximum degree ``d'_max``
+   spending ε1;
+2. `Project` (Algorithm 3) bounds each user's degree by ``d'_max`` using the
+   similarity-based rule;
+3. `Count` (Algorithm 4, or one of its accelerated equivalents) computes
+   secret shares of the projected triangle count;
+4. `Perturb` (Algorithm 5) adds distributed Laplace noise inside the shared
+   domain and reconstructs the noisy count ``T'``.
+
+The returned :class:`~repro.core.result.CargoResult` bundles the estimate
+with the evaluation-only ground truth, phase timings, and (optionally) the
+communication ledger, which is everything the paper's figures need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import CargoConfig, CountingBackend
+from repro.core.counting import FaithfulTriangleCounter, share_adjacency_rows
+from repro.core.fast_counting import MatrixTriangleCounter
+from repro.core.max_degree import MaxDegreeEstimator
+from repro.core.perturbation import DistributedPerturbation
+from repro.core.projection import SimilarityProjection, projected_triangle_count
+from repro.core.result import CargoResult
+from repro.crypto.beaver import BeaverTripleDealer
+from repro.crypto.multiplication_groups import MultiplicationGroupDealer
+from repro.crypto.protocol import TwoServerRuntime
+from repro.crypto.views import ViewRecorder
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles
+from repro.utils.rng import derive_rng, spawn_rngs
+from repro.utils.timer import TimerRegistry
+
+
+class Cargo:
+    """The CARGO system: crypto-assisted DP triangle counting.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.CargoConfig`; a default configuration
+        (ε = 2, matrix backend) is used when omitted.
+
+    Examples
+    --------
+    >>> from repro.graph import load_dataset
+    >>> from repro.core import Cargo, CargoConfig
+    >>> graph = load_dataset("facebook", num_nodes=300)
+    >>> result = Cargo(CargoConfig(epsilon=2.0, seed=7)).run(graph)
+    >>> result.relative_error < 1.0
+    True
+    """
+
+    def __init__(self, config: Optional[CargoConfig] = None) -> None:
+        self._config = config if config is not None else CargoConfig()
+        self.views: Optional[ViewRecorder] = (
+            ViewRecorder() if self._config.record_views else None
+        )
+
+    @property
+    def config(self) -> CargoConfig:
+        """The configuration this instance runs with."""
+        return self._config
+
+    def run(self, graph: Graph) -> CargoResult:
+        """Execute the full protocol on *graph* and return the result."""
+        config = self._config
+        budget = config.resolved_budget()
+        timers = TimerRegistry()
+        master_rng = derive_rng(config.seed)
+        # Independent sub-streams: users' degree noise, users' share masks,
+        # users' distributed noise, and the offline dealer.
+        max_rng, share_rng, noise_rng, dealer_rng = spawn_rngs(master_rng, 4)
+
+        runtime: Optional[TwoServerRuntime] = (
+            TwoServerRuntime(graph.num_nodes) if config.track_communication else None
+        )
+
+        with timers.measure("total"):
+            # ---------------------------------------------------------- #
+            # Step 1a — Max: private estimate of the maximum degree.
+            # ---------------------------------------------------------- #
+            with timers.measure("max"):
+                estimator = MaxDegreeEstimator(budget.epsilon1)
+                max_result = estimator.run(graph.degrees(), rng=max_rng, runtime=runtime)
+
+            # ---------------------------------------------------------- #
+            # Step 1b — Project: similarity-based degree bounding.
+            # ---------------------------------------------------------- #
+            with timers.measure("project"):
+                projection = SimilarityProjection(max_result.noisy_max_degree)
+                projection_result = projection.project_graph(
+                    graph, noisy_degrees=max_result.noisy_degrees
+                )
+                projected_count = projected_triangle_count(projection_result.projected_rows)
+
+            # ---------------------------------------------------------- #
+            # Step 2 — Count: secure triangle counting on secret shares.
+            # ---------------------------------------------------------- #
+            with timers.measure("count"):
+                counter = self._build_counter(dealer_rng)
+                if runtime is not None:
+                    # Each user uploads one share of her projected bit vector
+                    # to each server; routing the upload through the runtime
+                    # makes the dominant communication cost visible in the
+                    # ledger (the openings between servers are internal to
+                    # the counter backends).
+                    share1, share2 = share_adjacency_rows(
+                        projection_result.projected_rows, ring=config.ring, rng=share_rng
+                    )
+                    for user_index in range(graph.num_nodes):
+                        runtime.user_to_server(user_index, 1).send(
+                            "adjacency_share", share1[user_index]
+                        )
+                        runtime.user_to_server(user_index, 2).send(
+                            "adjacency_share", share2[user_index]
+                        )
+                    count_result = counter.count_from_shares(share1, share2)
+                else:
+                    count_result = counter.count(
+                        projection_result.projected_rows, rng=share_rng
+                    )
+
+            # ---------------------------------------------------------- #
+            # Step 3 — Perturb: distributed noise inside the shared domain.
+            # ---------------------------------------------------------- #
+            with timers.measure("perturb"):
+                perturbation = DistributedPerturbation(
+                    epsilon2=budget.epsilon2,
+                    sensitivity=max_result.noisy_max_degree,
+                    num_users=max(graph.num_nodes, 1),
+                    ring=config.ring,
+                    fixed_point_bits=config.fixed_point_bits,
+                )
+                perturb_result = perturbation.run(
+                    count_result, rng=noise_rng, runtime=runtime
+                )
+
+        true_count = count_triangles(graph)
+        return CargoResult(
+            noisy_triangle_count=perturb_result.noisy_count,
+            true_triangle_count=true_count,
+            projected_triangle_count=projected_count,
+            noisy_max_degree=max_result.noisy_max_degree,
+            epsilon1=budget.epsilon1,
+            epsilon2=budget.epsilon2,
+            edges_removed=projection_result.edges_removed,
+            timings=timers.as_dict(),
+            communication=runtime.ledger.summary() if runtime is not None else {},
+            backend=config.counting_backend.value,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _build_counter(self, dealer_rng):
+        config = self._config
+        backend = config.counting_backend
+        if backend is CountingBackend.MATRIX:
+            dealer = BeaverTripleDealer(ring=config.ring, seed=dealer_rng)
+            return MatrixTriangleCounter(ring=config.ring, dealer=dealer, views=self.views)
+        if backend is CountingBackend.FAITHFUL:
+            dealer = MultiplicationGroupDealer(ring=config.ring, seed=dealer_rng)
+            return FaithfulTriangleCounter(
+                ring=config.ring, dealer=dealer, batch_size=1, views=self.views
+            )
+        if backend is CountingBackend.BATCHED:
+            dealer = MultiplicationGroupDealer(ring=config.ring, seed=dealer_rng)
+            return FaithfulTriangleCounter(
+                ring=config.ring,
+                dealer=dealer,
+                batch_size=config.batch_size,
+                views=self.views,
+            )
+        raise ConfigurationError(f"unknown counting backend: {backend!r}")

@@ -1,0 +1,102 @@
+"""Configuration for a CARGO protocol execution."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.ring import DEFAULT_RING, Ring
+from repro.dp.budget import DEFAULT_MAX_DEGREE_FRACTION, PrivacyBudget
+from repro.exceptions import ConfigurationError
+
+
+class CountingBackend(str, enum.Enum):
+    """Which secure counting implementation `Count` uses.
+
+    * ``FAITHFUL`` — the per-triple three-way multiplication exactly as in
+      Algorithm 4.  O(n^3) scalar protocol rounds; only practical for small
+      graphs but is the reference implementation.
+    * ``BATCHED`` — the same per-triple protocol, but candidate triples are
+      processed in vectorised blocks so each block needs a single opening
+      round.  Identical messages content-wise, far fewer Python-level rounds.
+    * ``MATRIX`` — secret-shared matrix formulation (``C^T C`` then an
+      element-wise product), producing the same count with two opening
+      rounds total.  This is the default backend for the experiments.
+    """
+
+    FAITHFUL = "faithful"
+    BATCHED = "batched"
+    MATRIX = "matrix"
+
+
+@dataclass(frozen=True)
+class CargoConfig:
+    """All knobs of one CARGO run.
+
+    Parameters
+    ----------
+    epsilon:
+        Total privacy budget ε; split into (ε1, ε2) with
+        *max_degree_fraction* unless an explicit :class:`PrivacyBudget` is
+        supplied via *budget*.
+    budget:
+        Explicit (ε1, ε2) pair; overrides *epsilon* when given.
+    max_degree_fraction:
+        Fraction of ε spent on the `Max` step (paper default 0.1).
+    counting_backend:
+        Secure counting implementation to use (default: matrix backend).
+    ring:
+        Secret-sharing ring.
+    fixed_point_bits:
+        Fractional bits used to embed the real-valued distributed noise into
+        the ring during `Perturb`.
+    batch_size:
+        Number of candidate triples per opening round for the batched
+        backend.
+    seed:
+        Master seed for the run; all users, servers, and the dealer derive
+        independent substreams from it.
+    record_views:
+        When ``True`` the secure operations record each server's view, which
+        the security tests inspect.  Off by default (it costs memory).
+    track_communication:
+        When ``True`` the protocol routes user/server messages through the
+        :class:`~repro.crypto.protocol.TwoServerRuntime` so byte counts are
+        available in the result.
+    """
+
+    epsilon: float = 2.0
+    budget: Optional[PrivacyBudget] = None
+    max_degree_fraction: float = DEFAULT_MAX_DEGREE_FRACTION
+    counting_backend: CountingBackend = CountingBackend.MATRIX
+    ring: Ring = DEFAULT_RING
+    fixed_point_bits: int = 16
+    batch_size: int = 4096
+    seed: Optional[int] = None
+    record_views: bool = False
+    track_communication: bool = False
+
+    def __post_init__(self) -> None:
+        if self.budget is None and self.epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if not (0 < self.max_degree_fraction < 1):
+            raise ConfigurationError(
+                f"max_degree_fraction must be in (0, 1), got {self.max_degree_fraction}"
+            )
+        if self.batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+        if self.fixed_point_bits < 0 or self.fixed_point_bits > 30:
+            raise ConfigurationError(
+                f"fixed_point_bits must be in [0, 30], got {self.fixed_point_bits}"
+            )
+        if not isinstance(self.counting_backend, CountingBackend):
+            object.__setattr__(
+                self, "counting_backend", CountingBackend(self.counting_backend)
+            )
+
+    def resolved_budget(self) -> PrivacyBudget:
+        """The (ε1, ε2) pair this configuration resolves to."""
+        if self.budget is not None:
+            return self.budget
+        return PrivacyBudget.from_total(self.epsilon, self.max_degree_fraction)

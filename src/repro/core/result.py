@@ -1,0 +1,72 @@
+"""Result object returned by a full CARGO execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class CargoResult:
+    """Everything an experiment needs from one CARGO run.
+
+    Attributes
+    ----------
+    noisy_triangle_count:
+        The protocol output ``T'`` — the differentially private estimate of
+        the triangle count.
+    true_triangle_count:
+        Ground-truth count of the *original* graph (computed in the clear for
+        evaluation only; a deployment would not have it).
+    projected_triangle_count:
+        The count the secure protocol actually protects — after projection.
+        The difference to ``true_triangle_count`` is the projection loss.
+    noisy_max_degree:
+        The ``d'_max`` estimate from `Max` that parameterised projection and
+        perturbation.
+    epsilon1 / epsilon2:
+        The budgets actually spent on `Max` and `Perturb`.
+    edges_removed:
+        Number of adjacency bits cleared by projection.
+    timings:
+        Per-phase wall-clock seconds (``max``, ``project``, ``share``,
+        ``count``, ``perturb``, ``total``).
+    communication:
+        Per-channel message/byte counts when communication tracking was
+        enabled (empty otherwise).
+    backend:
+        Name of the secure counting backend that produced the count.
+    """
+
+    noisy_triangle_count: float
+    true_triangle_count: int
+    projected_triangle_count: int
+    noisy_max_degree: float
+    epsilon1: float
+    epsilon2: float
+    edges_removed: int
+    timings: Dict[str, float] = field(default_factory=dict)
+    communication: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    backend: str = "matrix"
+
+    @property
+    def epsilon(self) -> float:
+        """Total privacy budget ``ε = ε1 + ε2`` consumed by the run."""
+        return self.epsilon1 + self.epsilon2
+
+    @property
+    def l2_loss(self) -> float:
+        """Squared error of the estimate against the true count."""
+        return (self.true_triangle_count - self.noisy_triangle_count) ** 2
+
+    @property
+    def relative_error(self) -> float:
+        """Relative error ``|T - T'| / T`` (infinite when ``T == 0``)."""
+        if self.true_triangle_count == 0:
+            return float("inf")
+        return abs(self.true_triangle_count - self.noisy_triangle_count) / self.true_triangle_count
+
+    @property
+    def projection_loss(self) -> int:
+        """Triangles lost to projection (before any noise)."""
+        return self.true_triangle_count - self.projected_triangle_count

@@ -1,0 +1,153 @@
+"""Beaver triples for secure two-party multiplication.
+
+A Beaver triple is a correlated-randomness tuple ``(x, y, z)`` with
+``z = x * y`` where each of ``x``, ``y``, ``z`` is additively shared between
+the two servers.  Given shares of secrets ``a`` and ``b``, the servers open
+the masked differences ``e = a - x`` and ``f = b - y`` (which reveal nothing,
+because ``x`` and ``y`` are uniform masks) and then locally compute shares of
+``a * b`` as ``<z> + e <y> + f <x> + (i - 1) e f``.
+
+CARGO's triangle protocol needs the three-way generalisation (multiplication
+groups, see :mod:`repro.crypto.multiplication_groups`); two-way triples are
+still used by the vectorised matrix backend and exercised directly by tests.
+
+The offline phase (producing the triples) is performed here by a
+:class:`BeaverTripleDealer`.  In a deployment the dealer is replaced by an
+OT-based two-party protocol; :mod:`repro.crypto.ot` contains a simulated OT
+primitive that demonstrates the equivalence.  The substitution is recorded in
+``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+from repro.crypto.ring import DEFAULT_RING, Ring
+from repro.crypto.sharing import SharePair, share_scalar, share_vector
+from repro.exceptions import DealerError
+from repro.utils.rng import RandomState, derive_rng
+
+IntOrArray = Union[int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class BeaverTriple:
+    """One party's shares of a multiplication triple ``(x, y, z = x*y)``."""
+
+    x: IntOrArray
+    y: IntOrArray
+    z: IntOrArray
+
+
+@dataclass(frozen=True)
+class BeaverTriplePair:
+    """Both parties' shares of one triple, as produced by the dealer."""
+
+    server1: BeaverTriple
+    server2: BeaverTriple
+    ring: Ring = DEFAULT_RING
+
+    def plaintext(self) -> Tuple[IntOrArray, IntOrArray, IntOrArray]:
+        """Reconstruct ``(x, y, z)`` — only used by tests and the dealer itself."""
+        x = self.ring.add(self.server1.x, self.server2.x)
+        y = self.ring.add(self.server1.y, self.server2.y)
+        z = self.ring.add(self.server1.z, self.server2.z)
+        return x, y, z
+
+
+class BeaverTripleDealer:
+    """Trusted-dealer simulation of the offline triple-generation phase.
+
+    Parameters
+    ----------
+    ring:
+        Ring the triples live in.
+    seed:
+        Seed for the dealer's own randomness.  The dealer's randomness is
+        independent of every user's and server's randomness, mirroring the
+        non-collusion assumption.
+    """
+
+    def __init__(self, ring: Ring = DEFAULT_RING, seed: RandomState = None) -> None:
+        self._ring = ring
+        self._rng = derive_rng(seed)
+        self._issued = 0
+
+    @property
+    def ring(self) -> Ring:
+        """Ring in which the dealer issues correlated randomness."""
+        return self._ring
+
+    @property
+    def triples_issued(self) -> int:
+        """Number of scalar triples (or triple batches) issued so far."""
+        return self._issued
+
+    def scalar_triple(self) -> BeaverTriplePair:
+        """Sample one scalar triple and share it between the two servers."""
+        ring = self._ring
+        x = ring.random_element(self._rng)
+        y = ring.random_element(self._rng)
+        z = ring.mul(x, y)
+        x_pair = share_scalar(x, ring=ring, rng=self._rng)
+        y_pair = share_scalar(y, ring=ring, rng=self._rng)
+        z_pair = share_scalar(z, ring=ring, rng=self._rng)
+        self._issued += 1
+        return BeaverTriplePair(
+            server1=BeaverTriple(x=x_pair.share1, y=y_pair.share1, z=z_pair.share1),
+            server2=BeaverTriple(x=x_pair.share2, y=y_pair.share2, z=z_pair.share2),
+            ring=ring,
+        )
+
+    def vector_triple(self, shape: Tuple[int, ...]) -> BeaverTriplePair:
+        """Sample an element-wise triple batch of the given *shape*."""
+        if any(dim <= 0 for dim in shape):
+            raise DealerError(f"triple batch shape must be positive, got {shape}")
+        ring = self._ring
+        x = ring.random_array(shape, self._rng)
+        y = ring.random_array(shape, self._rng)
+        z = ring.mul(x, y)
+        x_pair = share_vector(x, ring=ring, rng=self._rng)
+        y_pair = share_vector(y, ring=ring, rng=self._rng)
+        z_pair = share_vector(z, ring=ring, rng=self._rng)
+        self._issued += 1
+        return BeaverTriplePair(
+            server1=BeaverTriple(x=x_pair.share1, y=y_pair.share1, z=z_pair.share1),
+            server2=BeaverTriple(x=x_pair.share2, y=y_pair.share2, z=z_pair.share2),
+            ring=ring,
+        )
+
+    def matrix_triple(self, left_shape: Tuple[int, int], right_shape: Tuple[int, int]) -> BeaverTriplePair:
+        """Sample a *matrix* triple ``Z = X @ Y`` for secure matrix products.
+
+        Matrix triples let the servers multiply two secret-shared matrices
+        with a single pair of openings, which is what makes the vectorised
+        secure triangle count (``trace(A^3)``) practical.
+        """
+        if left_shape[1] != right_shape[0]:
+            raise DealerError(
+                f"inner dimensions must agree, got {left_shape} @ {right_shape}"
+            )
+        ring = self._ring
+        x = ring.random_array(left_shape, self._rng)
+        y = ring.random_array(right_shape, self._rng)
+        z = ring.matmul(x, y)
+        x_pair = share_vector(x, ring=ring, rng=self._rng)
+        y_pair = share_vector(y, ring=ring, rng=self._rng)
+        z_pair = share_vector(z, ring=ring, rng=self._rng)
+        self._issued += 1
+        return BeaverTriplePair(
+            server1=BeaverTriple(x=x_pair.share1, y=y_pair.share1, z=z_pair.share1),
+            server2=BeaverTriple(x=x_pair.share2, y=y_pair.share2, z=z_pair.share2),
+            ring=ring,
+        )
+
+    def scalar_triples(self, count: int) -> Iterator[BeaverTriplePair]:
+        """Yield *count* scalar triples (used to pre-provision a protocol run)."""
+        if count < 0:
+            raise DealerError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            yield self.scalar_triple()

@@ -1,0 +1,91 @@
+"""Simulated 1-out-of-2 oblivious transfer.
+
+The paper's offline phase assumes multiplication groups are precomputed "via
+oblivious transfer" (Section III-D, citing Rabin / Kilian).  A real OT needs
+public-key operations and a network; here the primitive is *simulated* — the
+sender and receiver objects exchange messages through an in-process mailbox,
+and the security property we care about for the reproduction (the receiver
+learns exactly one of the two sender messages, the sender learns nothing
+about the choice bit) is enforced structurally: the receiver object is only
+ever handed the chosen message, and the sender never observes the choice.
+
+This is *not* a cryptographically secure OT; it exists so that
+
+* the dealer abstraction used by :class:`~repro.crypto.beaver.BeaverTripleDealer`
+  can be exercised end-to-end through an OT-style interface (the
+  Gilboa-style share-of-product construction in
+  :func:`gilboa_product_shares`), and
+* tests can verify the correctness of the OT-based product sharing that a
+  deployment would use in place of the trusted dealer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.crypto.ring import DEFAULT_RING, Ring
+from repro.exceptions import ProtocolError
+from repro.utils.rng import RandomState, derive_rng
+
+
+@dataclass
+class ObliviousTransferChannel:
+    """In-process 1-out-of-2 OT between a sender and a receiver.
+
+    The channel records how many transfers were executed so experiments can
+    report offline-phase costs.
+    """
+
+    ring: Ring = DEFAULT_RING
+    transfers: int = 0
+    _audit_log: List[Tuple[int, int]] = field(default_factory=list, repr=False)
+
+    def transfer(self, message0: int, message1: int, choice_bit: int) -> int:
+        """Deliver ``message_choice`` to the receiver.
+
+        The return value is what the *receiver* learns.  The sender's inputs
+        and the receiver's choice are recorded only in an audit log used by
+        security tests (never read by protocol code).
+        """
+        if choice_bit not in (0, 1):
+            raise ProtocolError(f"choice bit must be 0 or 1, got {choice_bit}")
+        self.transfers += 1
+        self._audit_log.append((self.transfers, choice_bit))
+        return int(message1) if choice_bit else int(message0)
+
+
+def gilboa_product_shares(
+    value_a: int,
+    value_b: int,
+    channel: ObliviousTransferChannel,
+    rng: RandomState = None,
+    ring: Ring = DEFAULT_RING,
+) -> Tuple[int, int]:
+    """Compute additive shares of ``value_a * value_b`` using bitwise OT.
+
+    This is the classical Gilboa construction: for each bit ``b_j`` of
+    ``value_b`` the sender (holding ``value_a``) offers the pair
+    ``(r_j, r_j + value_a * 2^j)``; the receiver selects with ``b_j`` and the
+    sum telescopes so that ``sender_share + receiver_share = a * b`` in the
+    ring.  It demonstrates that the trusted dealer used elsewhere can be
+    replaced by ``l`` OTs per product without changing any online message.
+
+    Returns
+    -------
+    (sender_share, receiver_share):
+        Additive shares of the product, one per party.
+    """
+    generator = derive_rng(rng)
+    sender_share = 0
+    receiver_share = 0
+    b_encoded = ring.encode(value_b)
+    for bit_index in range(ring.bits):
+        mask = ring.random_element(generator)
+        offered0 = mask
+        offered1 = ring.add(mask, ring.mul(ring.encode(value_a), 1 << bit_index))
+        choice = (b_encoded >> bit_index) & 1
+        received = channel.transfer(offered0, offered1, choice)
+        sender_share = ring.sub(sender_share, mask)
+        receiver_share = ring.add(receiver_share, received)
+    return sender_share, receiver_share

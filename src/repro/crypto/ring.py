@@ -1,0 +1,148 @@
+"""Arithmetic in the ring ``Z_{2^l}``.
+
+Additive secret sharing in CARGO represents every value as an ``l``-bit
+integer and performs all arithmetic modulo ``2^l`` (Section II-C).  The
+:class:`Ring` class centralises that arithmetic for Python integers and for
+numpy arrays, and provides the signed decoding used to map ring elements back
+to (possibly negative) integers such as noise values or centred shares.
+
+Implementation note: vectorised operations use ``numpy.uint64`` with ``l = 64``
+by default, where modular wrap-around is native; other widths mask explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, derive_rng
+
+IntOrArray = Union[int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class Ring:
+    """The ring ``Z_{2^bits}`` with helpers for encode/decode and sampling.
+
+    Parameters
+    ----------
+    bits:
+        Bit width ``l`` of ring elements.  Must be between 2 and 64.  CARGO's
+        default of 64 bits leaves ample headroom: the largest value that the
+        protocol aggregates is the triangle count plus noise, far below
+        ``2^63``.
+    """
+
+    bits: int = 64
+
+    def __post_init__(self) -> None:
+        if not (2 <= self.bits <= 64):
+            raise ConfigurationError(f"ring bit width must be in [2, 64], got {self.bits}")
+
+    # ------------------------------------------------------------------ #
+    # Basic constants
+    # ------------------------------------------------------------------ #
+    @property
+    def modulus(self) -> int:
+        """The ring modulus ``2^bits``."""
+        return 1 << self.bits
+
+    @property
+    def mask(self) -> int:
+        """Bit mask ``2^bits - 1`` used to reduce Python integers."""
+        return self.modulus - 1
+
+    @property
+    def half(self) -> int:
+        """The signed/unsigned boundary ``2^(bits-1)``."""
+        return 1 << (self.bits - 1)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Numpy dtype used for vectorised ring arrays."""
+        return np.dtype(np.uint64)
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, value: IntOrArray) -> IntOrArray:
+        """Map a (signed) integer or integer array into the ring.
+
+        Negative integers wrap around, so ``encode(-1) == modulus - 1``.
+        """
+        if isinstance(value, np.ndarray):
+            return np.asarray(value).astype(np.int64).astype(self.dtype) & self.dtype.type(self.mask)
+        return int(value) & self.mask
+
+    def decode_signed(self, value: IntOrArray) -> IntOrArray:
+        """Map ring elements back to signed integers in ``[-2^(l-1), 2^(l-1))``."""
+        if isinstance(value, np.ndarray):
+            unsigned = np.asarray(value, dtype=self.dtype).astype(object)
+            return np.where(unsigned >= self.half, unsigned - self.modulus, unsigned).astype(object)
+        unsigned = int(value) & self.mask
+        return unsigned - self.modulus if unsigned >= self.half else unsigned
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def add(self, a: IntOrArray, b: IntOrArray) -> IntOrArray:
+        """``(a + b) mod 2^l``."""
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return (np.asarray(a, dtype=self.dtype) + np.asarray(b, dtype=self.dtype)) & self.dtype.type(self.mask)
+        return (int(a) + int(b)) & self.mask
+
+    def sub(self, a: IntOrArray, b: IntOrArray) -> IntOrArray:
+        """``(a - b) mod 2^l``."""
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return (np.asarray(a, dtype=self.dtype) - np.asarray(b, dtype=self.dtype)) & self.dtype.type(self.mask)
+        return (int(a) - int(b)) & self.mask
+
+    def mul(self, a: IntOrArray, b: IntOrArray) -> IntOrArray:
+        """``(a * b) mod 2^l``."""
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return (np.asarray(a, dtype=self.dtype) * np.asarray(b, dtype=self.dtype)) & self.dtype.type(self.mask)
+        return (int(a) * int(b)) & self.mask
+
+    def neg(self, a: IntOrArray) -> IntOrArray:
+        """``(-a) mod 2^l``."""
+        return self.sub(0, a) if not isinstance(a, np.ndarray) else self.sub(np.zeros_like(np.asarray(a, dtype=self.dtype)), a)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product in the ring (element-wise reduction mod ``2^l``).
+
+        Matrix products of uint64 arrays are computed with Python-object
+        precision only when the bit width is below 64; at the default 64-bit
+        width native uint64 wrap-around is exactly reduction modulo ``2^64``.
+        """
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        # Two's-complement int64 multiplication and addition wrap modulo 2^64,
+        # so reinterpreting the uint64 operands as int64, multiplying, and
+        # reinterpreting back computes the product in Z_{2^64} exactly.  For
+        # narrower rings the result is masked down afterwards.
+        product = (a.view(np.int64) @ b.view(np.int64)).view(np.uint64)
+        if self.bits < 64:
+            product = product & self.dtype.type(self.mask)
+        return product.astype(self.dtype)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+    def random_element(self, rng: RandomState = None) -> int:
+        """Uniformly random ring element (a single mask value)."""
+        generator = derive_rng(rng)
+        return int(generator.integers(0, self.modulus, dtype=np.uint64)) & self.mask
+
+    def random_array(self, shape, rng: RandomState = None) -> np.ndarray:
+        """Array of uniformly random ring elements with the given *shape*."""
+        generator = derive_rng(rng)
+        raw = generator.integers(0, self.modulus if self.bits < 64 else np.iinfo(np.uint64).max,
+                                 size=shape, dtype=np.uint64, endpoint=self.bits == 64)
+        return np.asarray(raw, dtype=self.dtype) & self.dtype.type(self.mask)
+
+
+#: The ring used throughout CARGO unless a caller overrides it.
+DEFAULT_RING = Ring(bits=64)

@@ -1,0 +1,176 @@
+"""Two-server secure operations on additively shared values.
+
+These functions implement the *online* phase of the secure computations CARGO
+needs.  Each function takes the two servers' shares (never the plaintext),
+consumes correlated randomness from a dealer where required, and returns the
+two output shares.  An optional :class:`~repro.crypto.views.ViewRecorder`
+captures exactly what each server observes, which is what the
+simulation-security tests check.
+
+* :func:`secure_add` — local addition of shares (no interaction),
+* :func:`secure_multiply_pair` — Beaver-triple multiplication of two secrets,
+* :func:`secure_multiply_triple` — the paper's three-way multiplication
+  (Theorem 1), consuming one multiplication group,
+* :func:`secure_matrix_multiply` — matrix-Beaver multiplication of two
+  secret-shared matrices, the building block of the vectorised triangle
+  counting backend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.crypto.beaver import BeaverTriplePair
+from repro.crypto.multiplication_groups import MultiplicationGroupPair
+from repro.crypto.ring import DEFAULT_RING, Ring
+from repro.crypto.views import ViewRecorder
+from repro.exceptions import ProtocolError
+
+IntOrArray = Union[int, np.ndarray]
+SharePairTuple = Tuple[IntOrArray, IntOrArray]
+
+
+def secure_add(
+    a_shares: SharePairTuple,
+    b_shares: SharePairTuple,
+    ring: Ring = DEFAULT_RING,
+) -> SharePairTuple:
+    """Add two shared secrets without any interaction.
+
+    Each server adds its local shares; the sum of the results equals the sum
+    of the secrets by linearity of additive sharing.
+    """
+    return (
+        ring.add(a_shares[0], b_shares[0]),
+        ring.add(a_shares[1], b_shares[1]),
+    )
+
+
+def secure_multiply_pair(
+    a_shares: SharePairTuple,
+    b_shares: SharePairTuple,
+    triple: BeaverTriplePair,
+    ring: Ring = DEFAULT_RING,
+    views: Optional[ViewRecorder] = None,
+) -> SharePairTuple:
+    """Multiply two shared secrets with one Beaver triple.
+
+    The servers open ``e = a - x`` and ``f = b - y`` (uniformly distributed
+    because ``x, y`` are fresh masks) and locally combine them with their
+    triple shares.
+    """
+    t1, t2 = triple.server1, triple.server2
+    e1 = ring.sub(a_shares[0], t1.x)
+    f1 = ring.sub(b_shares[0], t1.y)
+    e2 = ring.sub(a_shares[1], t2.x)
+    f2 = ring.sub(b_shares[1], t2.y)
+    # Opening round: both servers learn e and f.
+    e = ring.add(e1, e2)
+    f = ring.add(f1, f2)
+    if views is not None:
+        views.observe(1, "beaver_opening", (e, f))
+        views.observe(2, "beaver_opening", (e, f))
+    share1 = ring.add(
+        ring.add(t1.z, ring.mul(e, t1.y)),
+        ring.mul(f, t1.x),
+    )
+    share2 = ring.add(
+        ring.add(
+            ring.add(t2.z, ring.mul(e, t2.y)),
+            ring.mul(f, t2.x),
+        ),
+        ring.mul(e, f),
+    )
+    return share1, share2
+
+
+def secure_multiply_triple(
+    a_shares: SharePairTuple,
+    b_shares: SharePairTuple,
+    c_shares: SharePairTuple,
+    group: MultiplicationGroupPair,
+    ring: Ring = DEFAULT_RING,
+    views: Optional[ViewRecorder] = None,
+) -> SharePairTuple:
+    """Multiply three shared secrets using one multiplication group.
+
+    Implements the three-way product of Section III-D / Theorem 1 of the
+    paper: open ``e = a - x``, ``f = b - y``, ``g = c - z``; then
+
+    ``<d>_i = <w>_i + <o>_i g + <p>_i f + <q>_i e
+              + <x>_i f g + <y>_i e g + <z>_i e f + (i - 1) e f g``.
+
+    Works element-wise when the shares and the group are arrays of the same
+    shape, which is how the batched faithful ``Count`` processes many
+    candidate triples per opening round.
+    """
+    g1, g2 = group.server1, group.server2
+    e1 = ring.sub(a_shares[0], g1.x)
+    f1 = ring.sub(b_shares[0], g1.y)
+    gg1 = ring.sub(c_shares[0], g1.z)
+    e2 = ring.sub(a_shares[1], g2.x)
+    f2 = ring.sub(b_shares[1], g2.y)
+    gg2 = ring.sub(c_shares[1], g2.z)
+    # Opening round: both servers reconstruct the masked differences.
+    e = ring.add(e1, e2)
+    f = ring.add(f1, f2)
+    g = ring.add(gg1, gg2)
+    if views is not None:
+        views.observe(1, "mg_opening", (e, f, g))
+        views.observe(2, "mg_opening", (e, f, g))
+
+    def local_combine(mg, include_efg: bool) -> IntOrArray:
+        result = mg.w
+        result = ring.add(result, ring.mul(mg.o, g))
+        result = ring.add(result, ring.mul(mg.p, f))
+        result = ring.add(result, ring.mul(mg.q, e))
+        result = ring.add(result, ring.mul(mg.x, ring.mul(f, g)))
+        result = ring.add(result, ring.mul(mg.y, ring.mul(e, g)))
+        result = ring.add(result, ring.mul(mg.z, ring.mul(e, f)))
+        if include_efg:
+            result = ring.add(result, ring.mul(e, ring.mul(f, g)))
+        return result
+
+    return local_combine(g1, include_efg=False), local_combine(g2, include_efg=True)
+
+
+def secure_matrix_multiply(
+    a_shares: Tuple[np.ndarray, np.ndarray],
+    b_shares: Tuple[np.ndarray, np.ndarray],
+    triple: BeaverTriplePair,
+    ring: Ring = DEFAULT_RING,
+    views: Optional[ViewRecorder] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Multiply two secret-shared matrices with a matrix Beaver triple.
+
+    With a triple ``Z = X @ Y`` the servers open ``E = A - X`` and
+    ``F = B - Y`` and compute shares of ``A @ B`` as
+    ``<Z> + E @ <Y> + <X> @ F + (i - 1) E @ F``.
+    """
+    a1, a2 = (np.asarray(s, dtype=ring.dtype) for s in a_shares)
+    b1, b2 = (np.asarray(s, dtype=ring.dtype) for s in b_shares)
+    t1, t2 = triple.server1, triple.server2
+    if np.shape(t1.x) != a1.shape or np.shape(t1.y) != b1.shape:
+        raise ProtocolError(
+            "matrix triple shape does not match the operands: "
+            f"triple {np.shape(t1.x)}@{np.shape(t1.y)}, operands {a1.shape}@{b1.shape}"
+        )
+    e = ring.add(ring.sub(a1, t1.x), ring.sub(a2, t2.x))
+    f = ring.add(ring.sub(b1, t1.y), ring.sub(b2, t2.y))
+    if views is not None:
+        views.observe(1, "matrix_beaver_opening", (e, f))
+        views.observe(2, "matrix_beaver_opening", (e, f))
+    share1 = ring.add(
+        ring.add(t1.z, ring.matmul(e, np.asarray(t1.y, dtype=ring.dtype))),
+        ring.matmul(np.asarray(t1.x, dtype=ring.dtype), f),
+    )
+    share2 = ring.add(
+        ring.add(
+            ring.add(t2.z, ring.matmul(e, np.asarray(t2.y, dtype=ring.dtype))),
+            ring.matmul(np.asarray(t2.x, dtype=ring.dtype), f),
+        ),
+        ring.matmul(e, f),
+    )
+    return share1, share2

@@ -1,0 +1,79 @@
+"""Protocol view recording for simulation-based security checks.
+
+The paper's security argument (Theorem 2) follows the simulation paradigm: a
+protocol is secure if each server's *view* — everything it receives during
+the execution — can be simulated without knowledge of the private inputs.
+
+For additive secret sharing the simulation is trivial because every message a
+server sees is either a fresh uniform ring element (a share) or a
+mask-difference that is itself uniform.  The test suite checks the empirical
+counterpart of this statement: recorded view values are (a) identical across
+re-runs with the same masks, (b) statistically indistinguishable from uniform
+when masks are resampled, and (c) independent of the underlying secret.
+
+:class:`ViewRecorder` is the hook the secure operations use to expose what
+each server observed; it is inert (and free) when not supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.exceptions import ProtocolError
+
+
+@dataclass(frozen=True)
+class ViewEntry:
+    """A single observation made by one server during a protocol run."""
+
+    server_index: int
+    label: str
+    value: Any
+
+
+@dataclass
+class ProtocolView:
+    """Everything one server observed during a protocol execution."""
+
+    server_index: int
+    entries: List[ViewEntry] = field(default_factory=list)
+
+    def values(self, label: str | None = None) -> List[Any]:
+        """All observed values, optionally restricted to a message *label*."""
+        return [
+            entry.value
+            for entry in self.entries
+            if label is None or entry.label == label
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class ViewRecorder:
+    """Collects the views of both servers for one protocol execution."""
+
+    def __init__(self) -> None:
+        self._views: Dict[int, ProtocolView] = {
+            1: ProtocolView(server_index=1),
+            2: ProtocolView(server_index=2),
+        }
+
+    def observe(self, server_index: int, label: str, value: Any) -> None:
+        """Record that server *server_index* observed *value* under *label*."""
+        if server_index not in self._views:
+            raise ProtocolError(f"server index must be 1 or 2, got {server_index}")
+        self._views[server_index].entries.append(
+            ViewEntry(server_index=server_index, label=label, value=value)
+        )
+
+    def view(self, server_index: int) -> ProtocolView:
+        """The full view of server *server_index*."""
+        if server_index not in self._views:
+            raise ProtocolError(f"server index must be 1 or 2, got {server_index}")
+        return self._views[server_index]
+
+    def views(self) -> Tuple[ProtocolView, ProtocolView]:
+        """Both servers' views as a ``(view_S1, view_S2)`` tuple."""
+        return self._views[1], self._views[2]

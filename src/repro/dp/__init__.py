@@ -1,0 +1,64 @@
+"""Differential privacy substrate.
+
+Provides the noise mechanisms, budget accounting, and sensitivity analysis
+the CARGO protocol and its baselines rely on:
+
+* :mod:`repro.dp.mechanisms` — Laplace, geometric, and randomized-response
+  mechanisms,
+* :mod:`repro.dp.gamma_noise` — the difference-of-Gamma partial noise whose
+  sum over ``n`` users is a Laplace random variable (infinite divisibility,
+  Lemma 1),
+* :mod:`repro.dp.budget` — privacy budget objects and the ε1/ε2 split,
+* :mod:`repro.dp.accountant` — simple sequential-composition accounting,
+* :mod:`repro.dp.sensitivity` — global/local sensitivity of degree and
+  triangle queries under Edge DP and Node DP,
+* :mod:`repro.dp.smooth_sensitivity` — smooth sensitivity and residual
+  sensitivity of triangle counting (the Table III comparison).
+"""
+
+from repro.dp.auditing import AuditResult, audit_mechanism, audit_randomized_response
+from repro.dp.budget import PrivacyBudget, split_budget
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.gamma_noise import (
+    DistributedLaplaceNoise,
+    sample_partial_noise,
+    sample_partial_noises,
+)
+from repro.dp.mechanisms import (
+    GeometricMechanism,
+    LaplaceMechanism,
+    RandomizedResponse,
+)
+from repro.dp.sensitivity import (
+    degree_sensitivity_edge_dp,
+    degree_sensitivity_node_dp,
+    triangle_sensitivity_edge_dp,
+    triangle_sensitivity_node_dp,
+)
+from repro.dp.smooth_sensitivity import (
+    local_sensitivity_triangles,
+    residual_sensitivity_triangles,
+    smooth_sensitivity_triangles,
+)
+
+__all__ = [
+    "AuditResult",
+    "audit_mechanism",
+    "audit_randomized_response",
+    "PrivacyBudget",
+    "split_budget",
+    "PrivacyAccountant",
+    "DistributedLaplaceNoise",
+    "sample_partial_noise",
+    "sample_partial_noises",
+    "LaplaceMechanism",
+    "GeometricMechanism",
+    "RandomizedResponse",
+    "degree_sensitivity_edge_dp",
+    "degree_sensitivity_node_dp",
+    "triangle_sensitivity_edge_dp",
+    "triangle_sensitivity_node_dp",
+    "local_sensitivity_triangles",
+    "residual_sensitivity_triangles",
+    "smooth_sensitivity_triangles",
+]

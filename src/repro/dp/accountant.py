@@ -1,0 +1,73 @@
+"""Sequential-composition privacy accounting.
+
+CARGO and its baselines only use pure ε-DP with sequential composition, so
+the accountant is a simple additive ledger: each mechanism invocation records
+the ε it spends and the accountant refuses to exceed the configured budget.
+Experiments use it to assert that a protocol's declared guarantee matches the
+sum of the budgets its mechanisms actually consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import BudgetExhaustedError, PrivacyError
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks ε spending under sequential composition.
+
+    Parameters
+    ----------
+    total_budget:
+        Maximum ε the accountant will allow.  ``float("inf")`` creates a
+        purely descriptive accountant that never refuses a spend.
+    """
+
+    total_budget: float = float("inf")
+    _spent: float = field(default=0.0, init=False)
+    _ledger: List[Tuple[str, float]] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.total_budget <= 0:
+            raise PrivacyError(f"total_budget must be positive, got {self.total_budget}")
+
+    @property
+    def spent(self) -> float:
+        """Total ε spent so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available (may be infinite)."""
+        return self.total_budget - self._spent
+
+    def spend(self, epsilon: float, label: str = "mechanism") -> None:
+        """Record a spend of *epsilon* attributed to *label*.
+
+        Raises :class:`~repro.exceptions.BudgetExhaustedError` if the spend
+        would exceed the configured total (with a small tolerance to avoid
+        rejecting splits that only differ by floating-point error).
+        """
+        if epsilon <= 0:
+            raise PrivacyError(f"epsilon spent must be positive, got {epsilon}")
+        if self._spent + epsilon > self.total_budget * (1 + 1e-12) + 1e-12:
+            raise BudgetExhaustedError(
+                f"spending {epsilon} would exceed the remaining budget "
+                f"({self.remaining} of {self.total_budget})"
+            )
+        self._spent += epsilon
+        self._ledger.append((label, epsilon))
+
+    def ledger(self) -> List[Tuple[str, float]]:
+        """Chronological list of ``(label, epsilon)`` spends."""
+        return list(self._ledger)
+
+    def by_label(self) -> Dict[str, float]:
+        """Total ε spent per label."""
+        totals: Dict[str, float] = {}
+        for label, epsilon in self._ledger:
+            totals[label] = totals.get(label, 0.0) + epsilon
+        return totals

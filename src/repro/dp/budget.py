@@ -1,0 +1,68 @@
+"""Privacy budget objects and the CARGO ε1/ε2 split.
+
+The overall CARGO protocol spends ``ε = ε1 + ε2``: ``ε1`` on the private
+maximum-degree estimate (Algorithm 2, `Max`) and ``ε2`` on perturbing the
+triangle count (Algorithm 5, `Perturb`).  The paper's default split is
+``ε1 = 0.1 ε`` and ``ε2 = 0.9 ε`` because the triangle count needs much more
+budget than the auxiliary degree estimate (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import PrivacyError
+
+#: Default fraction of the total budget spent on the maximum-degree estimate.
+DEFAULT_MAX_DEGREE_FRACTION = 0.1
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """An (ε1, ε2) budget pair for one CARGO execution.
+
+    ``epsilon1`` protects the degree publication in `Max`; ``epsilon2``
+    protects the triangle count in `Perturb`.  ``total`` is their sum, the
+    ε reported on the x-axis of Figures 5 and 6.
+    """
+
+    epsilon1: float
+    epsilon2: float
+
+    def __post_init__(self) -> None:
+        if self.epsilon1 <= 0:
+            raise PrivacyError(f"epsilon1 must be positive, got {self.epsilon1}")
+        if self.epsilon2 <= 0:
+            raise PrivacyError(f"epsilon2 must be positive, got {self.epsilon2}")
+
+    @property
+    def total(self) -> float:
+        """Total budget ``ε = ε1 + ε2`` consumed by the whole protocol."""
+        return self.epsilon1 + self.epsilon2
+
+    @classmethod
+    def from_total(
+        cls, epsilon: float, max_degree_fraction: float = DEFAULT_MAX_DEGREE_FRACTION
+    ) -> "PrivacyBudget":
+        """Split a total ε into (ε1, ε2) using *max_degree_fraction* for ε1."""
+        if not epsilon > 0:
+            raise PrivacyError(f"epsilon must be positive, got {epsilon}")
+        if not (0 < max_degree_fraction < 1):
+            raise PrivacyError(
+                f"max_degree_fraction must be in (0, 1), got {max_degree_fraction}"
+            )
+        epsilon1 = epsilon * max_degree_fraction
+        return cls(epsilon1=epsilon1, epsilon2=epsilon - epsilon1)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """The ``(ε1, ε2)`` pair."""
+        return (self.epsilon1, self.epsilon2)
+
+
+def split_budget(
+    epsilon: float, max_degree_fraction: float = DEFAULT_MAX_DEGREE_FRACTION
+) -> Tuple[float, float]:
+    """Functional shorthand for :meth:`PrivacyBudget.from_total`."""
+    budget = PrivacyBudget.from_total(epsilon, max_degree_fraction)
+    return budget.as_tuple()

@@ -1,0 +1,131 @@
+"""Distributed Laplace noise via Gamma differences (Lemma 1 of the paper).
+
+A ``Lap(λ)`` random variable is infinitely divisible: it equals the sum over
+``i = 1..n`` of independent ``Gamma(1/n, λ) - Gamma(1/n, λ)`` differences.
+CARGO exploits this so that each of the ``n`` users contributes one small
+partial noise ``γ_i``; no individual γ_i provides meaningful protection, but
+their sum is exactly the Laplace noise a central server would have added.
+
+The module provides both the per-user sampling primitive
+(:func:`sample_partial_noise`) and :class:`DistributedLaplaceNoise`, which
+encapsulates the scale computation (``λ = sensitivity / ε2``) used in
+Algorithm 5, plus fixed-point encoding so the noise can be carried inside the
+integer ring used by the secret-sharing layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+from repro.utils.rng import RandomState, derive_rng
+
+#: Number of fractional bits used to embed real-valued noise in the ring.
+DEFAULT_FIXED_POINT_BITS = 16
+
+
+def sample_partial_noise(
+    num_users: int, scale: float, rng: RandomState = None
+) -> float:
+    """One user's partial noise ``Gamma(1/n, λ) - Gamma(1/n, λ)``.
+
+    Parameters
+    ----------
+    num_users:
+        Total number of contributing users ``n`` (the shape parameter of each
+        Gamma is ``1/n``).
+    scale:
+        The Laplace scale ``λ`` the aggregated noise must achieve.
+    """
+    if num_users <= 0:
+        raise PrivacyError(f"num_users must be positive, got {num_users}")
+    if scale <= 0:
+        raise PrivacyError(f"scale must be positive, got {scale}")
+    generator = derive_rng(rng)
+    gamma1 = generator.gamma(shape=1.0 / num_users, scale=scale)
+    gamma2 = generator.gamma(shape=1.0 / num_users, scale=scale)
+    return float(gamma1 - gamma2)
+
+
+def sample_partial_noises(
+    num_users: int, scale: float, rng: RandomState = None
+) -> np.ndarray:
+    """All ``n`` users' partial noises at once (vectorised convenience)."""
+    if num_users <= 0:
+        raise PrivacyError(f"num_users must be positive, got {num_users}")
+    if scale <= 0:
+        raise PrivacyError(f"scale must be positive, got {scale}")
+    generator = derive_rng(rng)
+    gamma1 = generator.gamma(shape=1.0 / num_users, scale=scale, size=num_users)
+    gamma2 = generator.gamma(shape=1.0 / num_users, scale=scale, size=num_users)
+    return gamma1 - gamma2
+
+
+@dataclass(frozen=True)
+class DistributedLaplaceNoise:
+    """Distributed-noise configuration for CARGO's `Perturb` step.
+
+    Parameters
+    ----------
+    epsilon:
+        The perturbation budget ε2.
+    sensitivity:
+        The (noisy-max-degree) sensitivity of the projected triangle count.
+    num_users:
+        Number of users contributing partial noise.
+    fixed_point_bits:
+        Number of fractional bits used when embedding the real-valued partial
+        noise into the secret-sharing ring.  The reconstructed aggregate is
+        decoded with the same factor, so the only error introduced is a
+        rounding error of at most ``n * 2^{-fixed_point_bits - 1}``.
+    """
+
+    epsilon: float
+    sensitivity: float
+    num_users: int
+    fixed_point_bits: int = DEFAULT_FIXED_POINT_BITS
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise PrivacyError(f"epsilon must be positive, got {self.epsilon}")
+        if self.sensitivity <= 0:
+            raise PrivacyError(f"sensitivity must be positive, got {self.sensitivity}")
+        if self.num_users <= 0:
+            raise PrivacyError(f"num_users must be positive, got {self.num_users}")
+        if self.fixed_point_bits < 0:
+            raise PrivacyError(
+                f"fixed_point_bits must be non-negative, got {self.fixed_point_bits}"
+            )
+
+    @property
+    def scale(self) -> float:
+        """The aggregated Laplace scale ``λ = sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    @property
+    def aggregate_variance(self) -> float:
+        """Variance ``2 λ^2`` of the aggregated (Laplace) noise."""
+        return 2.0 * self.scale**2
+
+    @property
+    def fixed_point_factor(self) -> int:
+        """Multiplier ``2^fixed_point_bits`` used for ring encoding."""
+        return 1 << self.fixed_point_bits
+
+    def sample_user_noise(self, rng: RandomState = None) -> float:
+        """One user's real-valued partial noise γ_i."""
+        return sample_partial_noise(self.num_users, self.scale, rng)
+
+    def sample_all_noises(self, rng: RandomState = None) -> np.ndarray:
+        """All users' partial noises (used by the vectorised protocol path)."""
+        return sample_partial_noises(self.num_users, self.scale, rng)
+
+    def encode(self, noise: float) -> int:
+        """Fixed-point encode a real-valued noise for the sharing ring."""
+        return int(round(noise * self.fixed_point_factor))
+
+    def decode(self, encoded: int) -> float:
+        """Decode an aggregated fixed-point value back to a real number."""
+        return encoded / self.fixed_point_factor

@@ -1,0 +1,168 @@
+"""Standard ε-DP noise mechanisms.
+
+* :class:`LaplaceMechanism` — the workhorse of the central baseline and of
+  the `Max` degree estimate,
+* :class:`GeometricMechanism` — integer-valued analogue (used by tests and
+  available as an alternative perturbation),
+* :class:`RandomizedResponse` — the bit-flipping primitive the
+  Local2Rounds△ baseline applies to adjacency bits in its first round.
+
+Each mechanism is an object holding its ε and sensitivity so that privacy
+accounting (and property tests over the privacy loss) can introspect the
+configuration rather than trusting call sites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+from repro.utils.rng import RandomState, derive_rng
+
+FloatOrArray = Union[float, np.ndarray]
+
+
+def _check_epsilon(epsilon: float) -> float:
+    if not (epsilon > 0) or math.isinf(epsilon) or math.isnan(epsilon):
+        raise PrivacyError(f"epsilon must be a positive finite number, got {epsilon}")
+    return float(epsilon)
+
+
+def _check_sensitivity(sensitivity: float) -> float:
+    if not (sensitivity > 0) or math.isinf(sensitivity) or math.isnan(sensitivity):
+        raise PrivacyError(f"sensitivity must be a positive finite number, got {sensitivity}")
+    return float(sensitivity)
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """The Laplace mechanism: add ``Lap(sensitivity / epsilon)`` noise."""
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_epsilon(self.epsilon)
+        _check_sensitivity(self.sensitivity)
+
+    @property
+    def scale(self) -> float:
+        """The Laplace scale parameter ``b = sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    @property
+    def variance(self) -> float:
+        """Variance ``2 b^2`` of the injected noise."""
+        return 2.0 * self.scale**2
+
+    def sample_noise(self, rng: RandomState = None, size=None) -> FloatOrArray:
+        """Draw Laplace noise (scalar or array of the given *size*)."""
+        generator = derive_rng(rng)
+        noise = generator.laplace(loc=0.0, scale=self.scale, size=size)
+        return float(noise) if size is None else noise
+
+    def randomize(self, value: FloatOrArray, rng: RandomState = None) -> FloatOrArray:
+        """Return ``value + Lap(sensitivity / epsilon)``."""
+        if isinstance(value, np.ndarray):
+            return value + self.sample_noise(rng, size=value.shape)
+        return float(value) + self.sample_noise(rng)
+
+
+@dataclass(frozen=True)
+class GeometricMechanism:
+    """Two-sided geometric (discrete Laplace) mechanism for integer queries.
+
+    Adds ``X - Y`` where ``X, Y`` are i.i.d. geometric variables with success
+    probability ``1 - exp(-epsilon / sensitivity)``; satisfies ε-DP for
+    integer-valued queries with the given sensitivity.
+    """
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_epsilon(self.epsilon)
+        _check_sensitivity(self.sensitivity)
+
+    @property
+    def alpha(self) -> float:
+        """The geometric decay parameter ``exp(-epsilon / sensitivity)``."""
+        return math.exp(-self.epsilon / self.sensitivity)
+
+    @property
+    def variance(self) -> float:
+        """Variance ``2 a / (1 - a)^2`` of the two-sided geometric noise."""
+        alpha = self.alpha
+        return 2.0 * alpha / (1.0 - alpha) ** 2
+
+    def sample_noise(self, rng: RandomState = None, size=None) -> Union[int, np.ndarray]:
+        """Draw two-sided geometric noise (scalar or array)."""
+        generator = derive_rng(rng)
+        probability = 1.0 - self.alpha
+        positive = generator.geometric(probability, size=size) - 1
+        negative = generator.geometric(probability, size=size) - 1
+        noise = positive - negative
+        return int(noise) if size is None else noise.astype(np.int64)
+
+    def randomize(self, value: Union[int, np.ndarray], rng: RandomState = None):
+        """Return ``value + noise`` with integer-valued noise."""
+        if isinstance(value, np.ndarray):
+            return value + self.sample_noise(rng, size=value.shape)
+        return int(value) + self.sample_noise(rng)
+
+
+@dataclass(frozen=True)
+class RandomizedResponse:
+    """Warner's randomized response on bits, parameterised by ε.
+
+    Each input bit is kept with probability ``e^ε / (e^ε + 1)`` and flipped
+    otherwise, which satisfies ε-LDP per bit.  The unbiased frequency
+    estimator needed by Local2Rounds△'s empirical correction is exposed via
+    :attr:`keep_probability` and :meth:`unbias_count`.
+    """
+
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        _check_epsilon(self.epsilon)
+
+    @property
+    def keep_probability(self) -> float:
+        """Probability of reporting a bit truthfully."""
+        expe = math.exp(self.epsilon)
+        return expe / (expe + 1.0)
+
+    @property
+    def flip_probability(self) -> float:
+        """Probability of flipping a bit."""
+        return 1.0 - self.keep_probability
+
+    def randomize_bit(self, bit: int, rng: RandomState = None) -> int:
+        """Apply randomized response to a single 0/1 bit."""
+        if bit not in (0, 1):
+            raise PrivacyError(f"randomized response expects a 0/1 bit, got {bit}")
+        generator = derive_rng(rng)
+        if generator.random() < self.keep_probability:
+            return bit
+        return 1 - bit
+
+    def randomize_bits(self, bits: np.ndarray, rng: RandomState = None) -> np.ndarray:
+        """Apply randomized response element-wise to a 0/1 array."""
+        bits = np.asarray(bits)
+        if not np.isin(bits, (0, 1)).all():
+            raise PrivacyError("randomized response expects a 0/1 array")
+        generator = derive_rng(rng)
+        flips = generator.random(bits.shape) >= self.keep_probability
+        return np.where(flips, 1 - bits, bits).astype(np.int64)
+
+    def unbias_count(self, noisy_count: float, total: int) -> float:
+        """Unbiased estimate of the number of 1s among *total* reported bits."""
+        p = self.keep_probability
+        q = self.flip_probability
+        if total < 0:
+            raise PrivacyError(f"total must be non-negative, got {total}")
+        return (noisy_count - q * total) / (p - q)

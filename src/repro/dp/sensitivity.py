@@ -1,0 +1,70 @@
+"""Sensitivity analysis for graph queries under Edge DP and Node DP.
+
+CARGO's privacy argument rests on two sensitivities:
+
+* the **degree query** used by `Max` has Edge-LDP sensitivity 1, because the
+  paper treats the two directions of an edge as different secrets, so a
+  change in one edge changes exactly one reported degree by one
+  (Theorem 3);
+* the **triangle count** on a degree-``θ``-bounded graph has Edge-DP global
+  sensitivity ``θ`` (flipping one edge ``{u, v}`` changes only triangles that
+  contain both ``u`` and ``v``, of which there are at most
+  ``min(d_u, d_v) - 1 <= θ`` in a θ-bounded graph); without projection the
+  sensitivity is ``n - 2``.
+
+The Node-DP variants (Section III-B "Extension to Node DP") are included for
+the extension API: a node change can affect ``n - 1`` degrees and up to
+``C(θ, 2)`` triangles.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PrivacyError
+
+
+def degree_sensitivity_edge_dp() -> int:
+    """Edge-LDP sensitivity of a single user's degree query (always 1)."""
+    return 1
+
+
+def degree_sensitivity_node_dp(num_nodes: int) -> int:
+    """Node-DP sensitivity of the degree-set query: one node can shift n-1 degrees."""
+    if num_nodes < 1:
+        raise PrivacyError(f"num_nodes must be at least 1, got {num_nodes}")
+    return num_nodes - 1
+
+
+def triangle_sensitivity_edge_dp(max_degree: float) -> float:
+    """Edge-DP global sensitivity of triangle counting on a degree-bounded graph.
+
+    Parameters
+    ----------
+    max_degree:
+        The degree bound θ (CARGO uses the noisy maximum degree ``d'_max``).
+        Adding or removing one edge ``{u, v}`` changes the count by at most
+        the number of common neighbours of ``u`` and ``v``, which is at most
+        the degree bound.
+    """
+    if max_degree < 0:
+        raise PrivacyError(f"max_degree must be non-negative, got {max_degree}")
+    return max(float(max_degree), 1.0)
+
+
+def triangle_sensitivity_unbounded(num_nodes: int) -> int:
+    """Edge-DP sensitivity of triangle counting without projection: ``n - 2``."""
+    if num_nodes < 2:
+        return 0
+    return num_nodes - 2
+
+
+def triangle_sensitivity_node_dp(max_degree: float) -> float:
+    """Node-DP sensitivity of triangle counting on a degree-bounded graph.
+
+    Removing a node of degree at most θ destroys at most ``C(θ, 2)``
+    triangles (every pair of its neighbours), which is the bound the paper's
+    Node-DP extension uses.
+    """
+    if max_degree < 0:
+        raise PrivacyError(f"max_degree must be non-negative, got {max_degree}")
+    bounded = float(max_degree)
+    return max(bounded * (bounded - 1.0) / 2.0, 1.0)

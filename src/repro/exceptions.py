@@ -1,0 +1,58 @@
+"""Exception hierarchy for the CARGO reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate between configuration problems, protocol
+violations, and privacy-accounting mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed (e.g. asymmetric adjacency, self-loop, bad id)."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class ProtocolError(ReproError):
+    """A secure-computation protocol was driven outside its contract.
+
+    Examples include reconstructing a share pair that belongs to different
+    secrets, reusing a one-time Beaver triple, or a server receiving a
+    message it should never see under the semi-honest model.
+    """
+
+
+class ShareError(ProtocolError):
+    """Secret shares are inconsistent (wrong ring, wrong party, reuse)."""
+
+
+class DealerError(ProtocolError):
+    """The offline correlated-randomness dealer was misused or exhausted."""
+
+
+class PrivacyError(ReproError):
+    """A differential-privacy precondition is violated.
+
+    Raised for non-positive privacy budgets, negative sensitivities, or
+    attempts to spend more budget than an accountant has left.
+    """
+
+
+class BudgetExhaustedError(PrivacyError):
+    """A privacy accountant has no remaining budget for the requested spend."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification is unknown or produced no results."""

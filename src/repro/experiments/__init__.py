@@ -1,0 +1,26 @@
+"""Experiment harness: regenerate every table and figure in the paper.
+
+Each experiment function returns an :class:`~repro.experiments.runner.ExperimentReport`
+whose rows mirror the series shown in the corresponding paper artefact, and
+also renders as a plain-text table.  The registry in
+:mod:`repro.experiments.specs` maps paper artefact names (``table3``,
+``fig5`` …) to the functions, and :mod:`repro.cli` exposes them on the
+command line.
+"""
+
+from repro.experiments.runner import ExperimentReport, ProtocolSweep, run_protocol_trials
+from repro.experiments.reporting import format_table
+from repro.experiments.specs import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments import figures, tables
+
+__all__ = [
+    "ExperimentReport",
+    "ProtocolSweep",
+    "run_protocol_trials",
+    "format_table",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "figures",
+    "tables",
+]

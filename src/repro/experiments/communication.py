@@ -1,0 +1,74 @@
+"""Communication-overhead experiment (extension beyond the paper's figures).
+
+The paper reports running time (Figures 11-12) but discusses communication
+only qualitatively.  This experiment quantifies it: for each protocol phase
+it reports the number of messages and bytes exchanged between users and the
+two servers, per graph size, using the byte-accounting runtime.  It is the
+basis of the `bench_ext_communication.py` benchmark and of the DESIGN.md
+ablation discussion on where CARGO's overhead lives.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cargo import Cargo
+from repro.core.config import CargoConfig
+from repro.experiments.runner import ExperimentReport
+from repro.graph.datasets import load_dataset
+
+
+def communication_overhead(
+    dataset: str = "facebook",
+    user_counts: Sequence[int] = (50, 100, 200),
+    epsilon: float = 2.0,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Measure CARGO's communication footprint as the number of users grows.
+
+    Per graph size the report contains the total message count, the total
+    bytes, and the bytes attributable to the adjacency-share upload (the
+    dominant term, quadratic in n because each user uploads an n-element
+    share vector to each server).
+    """
+    report = ExperimentReport(
+        name="ext-communication",
+        description=f"communication overhead vs number of users on {dataset} (epsilon={epsilon})",
+        columns=[
+            "dataset",
+            "num_users",
+            "total_messages",
+            "total_bytes",
+            "adjacency_share_bytes",
+            "noise_share_bytes",
+            "bytes_per_user",
+        ],
+    )
+    for num_users in user_counts:
+        graph = load_dataset(dataset, num_nodes=num_users)
+        config = CargoConfig(epsilon=epsilon, seed=seed, track_communication=True)
+        result = Cargo(config).run(graph)
+        total_messages = sum(entry["messages"] for entry in result.communication.values())
+        total_bytes = sum(entry["bytes"] for entry in result.communication.values())
+        # Channel labels are "user-i->S1" / "user-i->S2"; separate the upload
+        # of adjacency shares (n x 8 bytes per message) from the scalar noise
+        # shares by size: adjacency messages dominate once n > a few dozen.
+        adjacency_bytes = 0
+        noise_bytes = 0
+        for label, entry in result.communication.items():
+            if "->S" in label and label.startswith("user-"):
+                # Each user sends one adjacency-share vector (n * 8 bytes) and
+                # one noise share (8 bytes) per server, plus one noisy degree
+                # to S1; reconstruct the split from the totals.
+                adjacency_bytes += max(entry["bytes"] - 8 * entry["messages"], 0)
+                noise_bytes += min(entry["bytes"], 8 * entry["messages"])
+        report.add_row(
+            dataset=dataset,
+            num_users=num_users,
+            total_messages=total_messages,
+            total_bytes=total_bytes,
+            adjacency_share_bytes=adjacency_bytes,
+            noise_share_bytes=noise_bytes,
+            bytes_per_user=total_bytes / max(num_users, 1),
+        )
+    return report

@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks and the CLI print the same rows the paper reports; this module
+keeps the formatting in one place so every artefact renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    """Human-readable cell: scientific notation for large/small floats."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dictionaries as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        One dictionary per row.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    keys: List[str] = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_format_cell(row.get(key, "")) for key in keys] for row in rows]
+    widths = [
+        max(len(key), max(len(line[index]) for line in rendered))
+        for index, key in enumerate(keys)
+    ]
+    header = "  ".join(key.ljust(width) for key, width in zip(keys, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, separator, body])
+    return "\n".join(parts)

@@ -1,0 +1,193 @@
+"""Shared experiment infrastructure.
+
+The paper's figures are all of the form *"for each graph, for each value of a
+swept parameter, run each protocol a few times and plot a summary of an error
+metric"*.  :class:`ProtocolSweep` captures that shape once so each figure
+module only declares what varies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.central_lap import CentralLaplaceTriangleCounting
+from repro.baselines.local_two_rounds import LocalTwoRoundsTriangleCounting
+from repro.core.cargo import Cargo
+from repro.core.config import CargoConfig
+from repro.exceptions import ExperimentError
+from repro.experiments.reporting import format_table
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+from repro.metrics.aggregate import aggregate_trials
+from repro.metrics.error import l2_loss, relative_error
+
+
+@dataclass
+class ExperimentReport:
+    """The output of one experiment: named rows plus rendering helpers."""
+
+    name: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    columns: Optional[List[str]] = None
+
+    def add_row(self, **values: Any) -> None:
+        """Append one result row."""
+        self.rows.append(values)
+
+    def to_text(self) -> str:
+        """Render the report as an aligned plain-text table."""
+        return format_table(self.rows, columns=self.columns, title=f"{self.name}: {self.description}")
+
+    def column(self, key: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row.get(key) for row in self.rows]
+
+    def filter_rows(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows whose values match every ``column=value`` criterion."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(column) == value for column, value in criteria.items())
+        ]
+
+
+#: Callable that builds a fresh protocol runner for a given (epsilon, seed).
+ProtocolFactory = Callable[[float, int], Any]
+
+
+def default_protocols(epsilon: float) -> Dict[str, ProtocolFactory]:
+    """The three protocols compared throughout the evaluation section."""
+    return {
+        "Local2Rounds": lambda eps, seed: LocalTwoRoundsTriangleCounting(epsilon=eps),
+        "Cargo": lambda eps, seed: Cargo(CargoConfig(epsilon=eps, seed=seed)),
+        "CentralLap": lambda eps, seed: CentralLaplaceTriangleCounting(epsilon=eps),
+    }
+
+
+def run_protocol_trials(
+    protocol_factory: ProtocolFactory,
+    graph: Graph,
+    epsilon: float,
+    num_trials: int,
+    base_seed: int = 0,
+) -> Dict[str, float]:
+    """Run one protocol *num_trials* times and aggregate both error metrics.
+
+    Returns a dictionary with the mean/median of the l2 loss and relative
+    error across trials, which is what every figure reports.
+    """
+    if num_trials <= 0:
+        raise ExperimentError(f"num_trials must be positive, got {num_trials}")
+    l2_values: List[float] = []
+    re_values: List[float] = []
+    for trial in range(num_trials):
+        seed = base_seed + trial
+        protocol = protocol_factory(epsilon, seed)
+        # Baseline runners take the rng seed at run() time; Cargo takes it in
+        # its config.  Both expose the same result interface.
+        result = protocol.run(graph, rng=seed) if _accepts_rng(protocol) else protocol.run(graph)
+        true_count = result.true_triangle_count
+        estimate = result.noisy_triangle_count
+        l2_values.append(l2_loss(true_count, estimate))
+        if true_count > 0:
+            re_values.append(relative_error(true_count, estimate))
+    l2_aggregate = aggregate_trials(l2_values)
+    re_aggregate = aggregate_trials(re_values) if re_values else None
+    return {
+        "l2_mean": l2_aggregate.mean,
+        "l2_median": l2_aggregate.median,
+        "re_mean": re_aggregate.mean if re_aggregate else float("inf"),
+        "re_median": re_aggregate.median if re_aggregate else float("inf"),
+    }
+
+
+@dataclass
+class ProtocolSweep:
+    """A generic utility-versus-parameter sweep over several protocols.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset names to evaluate on.
+    num_nodes:
+        Induced-subgraph size used for every dataset (the paper's default is
+        2000 users; the repository default is smaller so benches stay quick).
+    num_trials:
+        Independent repetitions per (dataset, parameter, protocol) cell.
+    seed:
+        Base seed from which every trial seed is derived.
+    """
+
+    datasets: Sequence[str]
+    num_nodes: int = 300
+    num_trials: int = 3
+    seed: int = 0
+
+    def run_epsilon_sweep(self, epsilons: Sequence[float]) -> ExperimentReport:
+        """Error of each protocol as ε varies (Figures 5 and 6)."""
+        report = ExperimentReport(
+            name="epsilon-sweep",
+            description="l2 loss and relative error vs privacy budget",
+            columns=["dataset", "epsilon", "protocol", "l2_mean", "re_mean"],
+        )
+        for dataset in self.datasets:
+            graph = load_dataset(dataset, num_nodes=self.num_nodes)
+            for epsilon in epsilons:
+                for label, factory in default_protocols(epsilon).items():
+                    metrics = self._run_cell(factory, graph, epsilon)
+                    report.add_row(
+                        dataset=dataset,
+                        epsilon=epsilon,
+                        protocol=label,
+                        l2_mean=metrics["l2_mean"],
+                        re_mean=metrics["re_mean"],
+                    )
+        return report
+
+    def run_user_sweep(self, user_counts: Sequence[int], epsilon: float) -> ExperimentReport:
+        """Error of each protocol as the number of users varies (Figures 7 and 8)."""
+        report = ExperimentReport(
+            name="user-sweep",
+            description=f"l2 loss and relative error vs number of users (epsilon={epsilon})",
+            columns=["dataset", "num_users", "protocol", "l2_mean", "re_mean"],
+        )
+        for dataset in self.datasets:
+            for num_users in user_counts:
+                graph = load_dataset(dataset, num_nodes=num_users)
+                for label, factory in default_protocols(epsilon).items():
+                    metrics = self._run_cell(factory, graph, epsilon)
+                    report.add_row(
+                        dataset=dataset,
+                        num_users=num_users,
+                        protocol=label,
+                        l2_mean=metrics["l2_mean"],
+                        re_mean=metrics["re_mean"],
+                    )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _run_cell(self, factory: ProtocolFactory, graph: Graph, epsilon: float) -> Dict[str, float]:
+        l2_values: List[float] = []
+        re_values: List[float] = []
+        for trial in range(self.num_trials):
+            seed = self.seed * 10_000 + trial
+            protocol = factory(epsilon, seed)
+            result = protocol.run(graph, rng=seed) if _accepts_rng(protocol) else protocol.run(graph)
+            l2_values.append(l2_loss(result.true_triangle_count, result.noisy_triangle_count))
+            if result.true_triangle_count > 0:
+                re_values.append(
+                    relative_error(result.true_triangle_count, result.noisy_triangle_count)
+                )
+        return {
+            "l2_mean": aggregate_trials(l2_values).mean,
+            "re_mean": aggregate_trials(re_values).mean if re_values else float("inf"),
+        }
+
+
+def _accepts_rng(protocol: Any) -> bool:
+    """Whether the runner's ``run`` accepts an ``rng`` argument (baselines do)."""
+    return not isinstance(protocol, Cargo)

@@ -1,0 +1,75 @@
+"""Graph substrate: data structures, generators, datasets, and exact counts.
+
+The CARGO protocol operates on an undirected, unattributed graph in which
+each user holds one row of the adjacency matrix (her *adjacent bit vector*).
+This subpackage provides everything the protocol and the baselines need from
+the graph world:
+
+* :class:`~repro.graph.graph.Graph` — the core adjacency-set structure with
+  bit-vector and matrix views,
+* exact triangle counting (:mod:`repro.graph.triangles`) used as ground truth,
+* random graph generators (:mod:`repro.graph.generators`),
+* deterministic synthetic stand-ins for the SNAP datasets used in the paper
+  (:mod:`repro.graph.datasets`),
+* degree / clustering statistics (:mod:`repro.graph.statistics`),
+* edge-list IO (:mod:`repro.graph.io`).
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    random_regular_graph,
+    stochastic_block_model_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.datasets import (
+    DATASET_REGISTRY,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+)
+from repro.graph.triangles import (
+    count_triangles,
+    count_triangles_edge_iterator,
+    count_triangles_matrix,
+    count_triangles_node_iterator,
+    local_triangle_counts,
+)
+from repro.graph.statistics import (
+    average_clustering_coefficient,
+    degree_histogram,
+    degree_sequence,
+    global_clustering_coefficient,
+    graph_summary,
+    maximum_degree,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+
+__all__ = [
+    "Graph",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "powerlaw_cluster_graph",
+    "random_regular_graph",
+    "stochastic_block_model_graph",
+    "watts_strogatz_graph",
+    "DATASET_REGISTRY",
+    "DatasetSpec",
+    "available_datasets",
+    "load_dataset",
+    "count_triangles",
+    "count_triangles_edge_iterator",
+    "count_triangles_matrix",
+    "count_triangles_node_iterator",
+    "local_triangle_counts",
+    "average_clustering_coefficient",
+    "degree_histogram",
+    "degree_sequence",
+    "global_clustering_coefficient",
+    "graph_summary",
+    "maximum_degree",
+    "read_edge_list",
+    "write_edge_list",
+]

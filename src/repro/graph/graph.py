@@ -1,0 +1,245 @@
+"""Core undirected graph data structure.
+
+:class:`Graph` stores an undirected, simple (no self-loops, no multi-edges),
+unattributed graph over nodes ``0 .. n-1`` as a list of adjacency sets.  It
+offers the three views the rest of the library needs:
+
+* **adjacency sets** — fast neighbour iteration for exact triangle counting,
+* **adjacent bit vectors** — the per-user local view that CARGO's users hold
+  (``A_i`` in the paper), and
+* **dense adjacency matrix** — the numpy view used by the vectorised secure
+  counting backend and by matrix-trace ground truth.
+
+The class is deliberately mutable (edges can be added/removed) because the
+projection algorithms build truncated copies of a graph, but all mutating
+methods keep the symmetric-invariant: an edge is always stored in both
+endpoints' adjacency sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """Undirected simple graph on nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.  Node identifiers are the integers
+        ``0 .. num_nodes - 1``.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to insert at construction time.
+        Duplicate edges and both orientations of the same edge are accepted
+        and collapsed; self-loops raise :class:`~repro.exceptions.GraphError`.
+    """
+
+    def __init__(self, num_nodes: int, edges: Optional[Iterable[Edge]] = None) -> None:
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._adjacency: List[Set[int]] = [set() for _ in range(self._num_nodes)]
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._num_edges
+
+    def nodes(self) -> range:
+        """Iterable of node identifiers ``0 .. n-1``."""
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield each undirected edge exactly once as ``(u, v)`` with ``u < v``."""
+        for u in range(self._num_nodes):
+            for v in self._adjacency[u]:
+                if u < v:
+                    yield (u, v)
+
+    def degree(self, node: int) -> int:
+        """Degree of *node*."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def degrees(self) -> List[int]:
+        """Degree of every node, indexed by node id (the set ``D`` in the paper)."""
+        return [len(neighbours) for neighbours in self._adjacency]
+
+    def max_degree(self) -> int:
+        """True maximum degree ``d_max`` (0 for an empty graph)."""
+        if self._num_nodes == 0:
+            return 0
+        return max(len(neighbours) for neighbours in self._adjacency)
+
+    def neighbors(self, node: int) -> Set[int]:
+        """Return a copy of the neighbour set of *node*."""
+        self._check_node(node)
+        return set(self._adjacency[node])
+
+    def neighbor_view(self, node: int) -> frozenset:
+        """Read-only view of *node*'s neighbours (no copy of large sets)."""
+        self._check_node(node)
+        return frozenset(self._adjacency[node])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adjacency[u]
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert the undirected edge ``{u, v}``.
+
+        Returns ``True`` if the edge was newly inserted, ``False`` if it was
+        already present.  Self-loops are rejected because the paper's graphs
+        (and triangle semantics) are simple graphs.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (node {u})")
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove the undirected edge ``{u, v}``; return whether it existed."""
+        self._check_node(u)
+        self._check_node(v)
+        if v not in self._adjacency[u]:
+            return False
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._num_edges -= 1
+        return True
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph."""
+        clone = Graph(self._num_nodes)
+        clone._adjacency = [set(neighbours) for neighbours in self._adjacency]
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Views used by the protocol
+    # ------------------------------------------------------------------ #
+    def adjacency_bit_vector(self, node: int) -> np.ndarray:
+        """The adjacent bit vector ``A_i`` of *node* as a length-``n`` 0/1 array."""
+        self._check_node(node)
+        row = np.zeros(self._num_nodes, dtype=np.int64)
+        neighbours = list(self._adjacency[node])
+        if neighbours:
+            row[np.asarray(neighbours, dtype=np.int64)] = 1
+        return row
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense symmetric 0/1 adjacency matrix ``A`` (``n x n`` int64)."""
+        matrix = np.zeros((self._num_nodes, self._num_nodes), dtype=np.int64)
+        for u in range(self._num_nodes):
+            neighbours = list(self._adjacency[u])
+            if neighbours:
+                matrix[u, np.asarray(neighbours, dtype=np.int64)] = 1
+        return matrix
+
+    def adjacency_lists(self) -> List[List[int]]:
+        """Sorted adjacency lists (useful for deterministic serialisation)."""
+        return [sorted(neighbours) for neighbours in self._adjacency]
+
+    def edge_list(self) -> List[Edge]:
+        """All edges as a sorted list of ``(u, v)`` with ``u < v``."""
+        return sorted(self.edges())
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, nodes: Sequence[int]) -> "Graph":
+        """Induced subgraph on *nodes*, relabelled to ``0 .. len(nodes)-1``.
+
+        The relabelling preserves the order of *nodes*; experiments that vary
+        the number of users ``n`` use this to take the first-``n`` induced
+        subgraph of a dataset, matching the paper's evaluation setup.
+        """
+        index_of: Dict[int, int] = {}
+        for new_id, old_id in enumerate(nodes):
+            self._check_node(old_id)
+            if old_id in index_of:
+                raise GraphError(f"duplicate node {old_id} in subgraph selection")
+            index_of[old_id] = new_id
+        sub = Graph(len(nodes))
+        for old_u, new_u in index_of.items():
+            for old_v in self._adjacency[old_u]:
+                new_v = index_of.get(old_v)
+                if new_v is not None and new_u < new_v:
+                    sub.add_edge(new_u, new_v)
+        return sub
+
+    @classmethod
+    def from_adjacency_matrix(cls, matrix: np.ndarray) -> "Graph":
+        """Build a graph from a symmetric 0/1 matrix.
+
+        The matrix must be square and symmetric with a zero diagonal; any
+        non-zero entry is treated as an edge.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise GraphError(f"adjacency matrix must be square, got {matrix.shape}")
+        if np.any(np.diag(matrix) != 0):
+            raise GraphError("adjacency matrix must have a zero diagonal")
+        if not np.array_equal(matrix, matrix.T):
+            raise GraphError("adjacency matrix must be symmetric")
+        n = matrix.shape[0]
+        graph = cls(n)
+        rows, cols = np.nonzero(np.triu(matrix, k=1))
+        for u, v in zip(rows.tolist(), cols.tolist()):
+            graph.add_edge(int(u), int(v))
+        return graph
+
+    @classmethod
+    def from_edge_list(cls, num_nodes: int, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph from an explicit node count and an edge iterable."""
+        return cls(num_nodes, edges)
+
+    # ------------------------------------------------------------------ #
+    # Dunder methods
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and self._adjacency == other._adjacency
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(num_nodes={self._num_nodes}, num_edges={self._num_edges})"
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self._num_nodes):
+            raise GraphError(
+                f"node {node} is out of range for a graph with {self._num_nodes} nodes"
+            )

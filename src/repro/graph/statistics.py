@@ -1,0 +1,98 @@
+"""Descriptive graph statistics.
+
+These are the quantities reported in the paper's Table IV (dataset overview)
+and the downstream analytics that motivate triangle counting in the first
+place (clustering coefficient, transitivity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles, local_triangle_counts
+
+
+def degree_sequence(graph: Graph) -> List[int]:
+    """Degrees of all nodes sorted in non-increasing order."""
+    return sorted(graph.degrees(), reverse=True)
+
+
+def maximum_degree(graph: Graph) -> int:
+    """True maximum degree ``d_max``."""
+    return graph.max_degree()
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Mapping ``degree -> number of nodes with that degree``."""
+    histogram: Dict[int, int] = {}
+    for degree in graph.degrees():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean node degree (0.0 for the empty graph)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_nodes
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Transitivity: ``3 * triangles / number of connected triples``.
+
+    Returns 0.0 when the graph has no path of length two (no wedges).
+    """
+    wedges = sum(degree * (degree - 1) // 2 for degree in graph.degrees())
+    if wedges == 0:
+        return 0.0
+    return 3.0 * count_triangles(graph) / wedges
+
+
+def average_clustering_coefficient(graph: Graph) -> float:
+    """Mean of the per-node clustering coefficients (nodes of degree < 2 count 0)."""
+    if graph.num_nodes == 0:
+        return 0.0
+    local = local_triangle_counts(graph)
+    total = 0.0
+    for node in graph.nodes():
+        degree = graph.degree(node)
+        if degree >= 2:
+            total += 2.0 * local[node] / (degree * (degree - 1))
+    return total / graph.num_nodes
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Compact bundle of the statistics reported per dataset (Table IV)."""
+
+    num_nodes: int
+    num_edges: int
+    max_degree: int
+    average_degree: float
+    triangle_count: int
+    global_clustering: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form for table rendering and JSON export."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "max_degree": self.max_degree,
+            "average_degree": self.average_degree,
+            "triangle_count": self.triangle_count,
+            "global_clustering": self.global_clustering,
+        }
+
+
+def graph_summary(graph: Graph) -> GraphSummary:
+    """Compute the :class:`GraphSummary` of *graph*."""
+    return GraphSummary(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree(),
+        average_degree=average_degree(graph),
+        triangle_count=count_triangles(graph),
+        global_clustering=global_clustering_coefficient(graph),
+    )

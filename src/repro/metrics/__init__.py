@@ -1,0 +1,12 @@
+"""Utility metrics and trial aggregation."""
+
+from repro.metrics.error import l2_loss, relative_error
+from repro.metrics.aggregate import TrialAggregate, aggregate_trials, repeat_trials
+
+__all__ = [
+    "l2_loss",
+    "relative_error",
+    "TrialAggregate",
+    "aggregate_trials",
+    "repeat_trials",
+]

@@ -1,0 +1,80 @@
+"""Aggregation of repeated randomized trials.
+
+Every point in the paper's figures is an average over repeated runs of a
+randomized protocol.  :func:`repeat_trials` runs a factory-supplied protocol
+several times with independent seeds and :func:`aggregate_trials` condenses
+the per-trial metric values into mean / median / quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import derive_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class TrialAggregate:
+    """Summary statistics of one metric across repeated trials."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    std: float
+    count: int
+
+    def as_dict(self) -> dict:
+        """Dictionary form for table rendering."""
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std,
+            "count": self.count,
+        }
+
+
+def aggregate_trials(values: Sequence[float]) -> TrialAggregate:
+    """Summarise a sequence of per-trial metric values."""
+    if not values:
+        raise ConfigurationError("cannot aggregate an empty sequence of trials")
+    ordered = sorted(float(v) for v in values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    if count % 2:
+        median = ordered[count // 2]
+    else:
+        median = 0.5 * (ordered[count // 2 - 1] + ordered[count // 2])
+    variance = sum((v - mean) ** 2 for v in ordered) / count
+    return TrialAggregate(
+        mean=mean,
+        median=median,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        std=math.sqrt(variance),
+        count=count,
+    )
+
+
+def repeat_trials(
+    run_once: Callable[[int], float], num_trials: int, seed: int | None = None
+) -> List[float]:
+    """Run *run_once* with *num_trials* independent derived seeds.
+
+    ``run_once`` receives an integer seed and returns the metric value of one
+    trial; the seeds are derived deterministically from *seed* so whole
+    sweeps are reproducible.
+    """
+    if num_trials <= 0:
+        raise ConfigurationError(f"num_trials must be positive, got {num_trials}")
+    rngs = spawn_rngs(seed if seed is not None else derive_rng(None), num_trials)
+    values = []
+    for rng in rngs:
+        trial_seed = int(rng.integers(0, 2**31 - 1))
+        values.append(float(run_once(trial_seed)))
+    return values

@@ -1,0 +1,21 @@
+"""The two utility metrics used throughout the paper's evaluation.
+
+* ``l2 loss``: ``(T - T')^2`` (Section II-A3),
+* ``relative error``: ``|T - T'| / T`` for ``T != 0``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+def l2_loss(true_value: float, estimate: float) -> float:
+    """Squared error ``(T - T')^2`` between the truth and a private estimate."""
+    return (float(true_value) - float(estimate)) ** 2
+
+
+def relative_error(true_value: float, estimate: float) -> float:
+    """Relative error ``|T - T'| / T``; the truth must be non-zero."""
+    if true_value == 0:
+        raise ConfigurationError("relative error is undefined for a zero true value")
+    return abs(float(true_value) - float(estimate)) / abs(float(true_value))

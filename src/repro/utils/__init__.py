@@ -1,0 +1,24 @@
+"""Small shared utilities: seeded randomness, validation, and timing."""
+
+from repro.utils.rng import RandomState, derive_rng, spawn_rngs
+from repro.utils.timer import Timer, TimerRegistry
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RandomState",
+    "derive_rng",
+    "spawn_rngs",
+    "Timer",
+    "TimerRegistry",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

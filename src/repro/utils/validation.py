@@ -1,0 +1,88 @@
+"""Argument validation helpers used across the library.
+
+The helpers raise :class:`repro.exceptions.ConfigurationError` with a message
+naming the offending parameter, so public entry points can validate inputs in
+one line each and users get actionable errors instead of downstream numpy
+failures.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any, Optional, Tuple, Type
+
+from repro.exceptions import ConfigurationError
+
+
+def check_type(name: str, value: Any, expected: Type | Tuple[Type, ...]) -> Any:
+    """Raise unless *value* is an instance of *expected*; return the value."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise ConfigurationError(
+            f"{name} must be of type {expected_names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_positive(name: str, value: Real) -> Real:
+    """Raise unless *value* is a finite number strictly greater than zero."""
+    _check_real(name, value)
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Real) -> Real:
+    """Raise unless *value* is a finite number greater than or equal to zero."""
+    _check_real(name, value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: Real) -> Real:
+    """Raise unless *value* lies in the closed interval [0, 1]."""
+    _check_real(name, value)
+    if not (0 <= value <= 1):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: Real,
+    low: Optional[Real] = None,
+    high: Optional[Real] = None,
+    inclusive: bool = True,
+) -> Real:
+    """Raise unless *value* lies in the requested interval."""
+    _check_real(name, value)
+    if inclusive:
+        if low is not None and value < low:
+            raise ConfigurationError(f"{name} must be >= {low}, got {value!r}")
+        if high is not None and value > high:
+            raise ConfigurationError(f"{name} must be <= {high}, got {value!r}")
+    else:
+        if low is not None and value <= low:
+            raise ConfigurationError(f"{name} must be > {low}, got {value!r}")
+        if high is not None and value >= high:
+            raise ConfigurationError(f"{name} must be < {high}, got {value!r}")
+    return value
+
+
+def check_integer(name: str, value: Any) -> int:
+    """Raise unless *value* is an integral number; return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+def _check_real(name: str, value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")

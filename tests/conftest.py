@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi_graph, powerlaw_cluster_graph
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """The smallest graph with one triangle plus a pendant node.
+
+    Edges: 0-1, 0-2, 1-2 (the triangle) and 2-3 (a pendant edge).
+    """
+    return Graph(4, edges=[(0, 1), (0, 2), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def two_triangle_graph() -> Graph:
+    """The example graph of the paper's Figure 3: two triangles sharing edge 3-4.
+
+    Nodes 0..4 correspond to the paper's v1..v5 (node 2 is isolated); the
+    shared edge (3, 4) supports both triangles, which is exactly the edge
+    whose random deletion destroys every triangle in the paper's example.
+    """
+    return Graph(5, edges=[(0, 3), (0, 4), (1, 3), (1, 4), (3, 4)])
+
+
+@pytest.fixture
+def complete_graph() -> Graph:
+    """K6 — every pair connected; C(6,3) = 20 triangles."""
+    edges = [(u, v) for u in range(6) for v in range(u + 1, 6)]
+    return Graph(6, edges=edges)
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """A star on 8 nodes (hub 0) — zero triangles, hub degree 7."""
+    return Graph(8, edges=[(0, leaf) for leaf in range(1, 8)])
+
+
+@pytest.fixture
+def empty_graph() -> Graph:
+    """Ten nodes, no edges."""
+    return Graph(10)
+
+
+@pytest.fixture
+def small_random_graph() -> Graph:
+    """A dense-ish 30-node Erdős–Rényi graph used by protocol tests."""
+    return erdos_renyi_graph(30, 0.3, seed=42)
+
+
+@pytest.fixture
+def medium_cluster_graph() -> Graph:
+    """A 120-node power-law-cluster graph with plenty of triangles."""
+    return powerlaw_cluster_graph(120, 6, 0.7, seed=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need explicit randomness."""
+    return np.random.default_rng(12345)

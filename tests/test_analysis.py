@@ -1,0 +1,139 @@
+"""Tests for repro.analysis (wedges, k-stars, private clustering coefficient)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import PrivateClusteringAnalyzer
+from repro.analysis.subgraphs import (
+    count_k_stars,
+    count_wedges,
+    k_star_sensitivity,
+    private_k_star_count,
+    private_wedge_count,
+    wedge_sensitivity,
+)
+from repro.exceptions import ConfigurationError, PrivacyError
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+from repro.graph.statistics import global_clustering_coefficient
+from repro.graph.triangles import count_triangles
+
+
+class TestExactCounts:
+    def test_wedges_complete_graph(self, complete_graph):
+        # Each of the 6 nodes has degree 5 -> C(5,2)=10 wedges each.
+        assert count_wedges(complete_graph) == 60
+
+    def test_wedges_star(self, star_graph):
+        assert count_wedges(star_graph) == math.comb(7, 2)
+
+    def test_wedges_empty(self, empty_graph):
+        assert count_wedges(empty_graph) == 0
+
+    def test_k_stars_reduce_to_wedges(self, complete_graph):
+        assert count_k_stars(complete_graph, 2) == count_wedges(complete_graph)
+
+    def test_k_stars_k1_is_twice_edges(self, triangle_graph):
+        assert count_k_stars(triangle_graph, 1) == 2 * triangle_graph.num_edges
+
+    def test_k_stars_invalid_k(self, triangle_graph):
+        with pytest.raises(ConfigurationError):
+            count_k_stars(triangle_graph, 0)
+
+    def test_transitivity_identity(self, medium_cluster_graph):
+        """3T / W equals the library's clustering coefficient."""
+        wedges = count_wedges(medium_cluster_graph)
+        triangles = count_triangles(medium_cluster_graph)
+        assert 3 * triangles / wedges == pytest.approx(
+            global_clustering_coefficient(medium_cluster_graph)
+        )
+
+
+class TestSensitivities:
+    def test_wedge_sensitivity(self):
+        assert wedge_sensitivity(10) == 18.0
+        assert wedge_sensitivity(0) == 1.0
+        with pytest.raises(PrivacyError):
+            wedge_sensitivity(-1)
+
+    def test_k_star_sensitivity_matches_wedges_at_k2(self):
+        assert k_star_sensitivity(10, 2) == wedge_sensitivity(10)
+
+    def test_k_star_sensitivity_grows_with_k(self):
+        assert k_star_sensitivity(20, 3) > k_star_sensitivity(20, 2)
+
+    def test_k_star_sensitivity_invalid(self):
+        with pytest.raises(ConfigurationError):
+            k_star_sensitivity(10, 0)
+        with pytest.raises(PrivacyError):
+            k_star_sensitivity(-1, 2)
+
+
+class TestPrivateReleases:
+    def test_private_wedge_count_close_at_high_epsilon(self, medium_cluster_graph):
+        estimate = private_wedge_count(medium_cluster_graph, epsilon=50.0, rng=0)
+        assert estimate == pytest.approx(count_wedges(medium_cluster_graph), rel=0.01)
+
+    def test_private_wedge_count_uses_given_degree_bound(self, medium_cluster_graph):
+        wide = [
+            private_wedge_count(medium_cluster_graph, epsilon=1.0, degree_bound=500, rng=seed)
+            for seed in range(30)
+        ]
+        narrow = [
+            private_wedge_count(medium_cluster_graph, epsilon=1.0, degree_bound=5, rng=seed)
+            for seed in range(30)
+        ]
+        truth = count_wedges(medium_cluster_graph)
+        assert np.std([w - truth for w in wide]) > np.std([n - truth for n in narrow])
+
+    def test_private_k_star_count_runs(self, medium_cluster_graph):
+        estimate = private_k_star_count(medium_cluster_graph, k=3, epsilon=10.0, rng=1)
+        assert estimate == pytest.approx(count_k_stars(medium_cluster_graph, 3), rel=0.2)
+
+
+class TestPrivateClustering:
+    def test_estimate_tracks_truth(self):
+        graph = load_dataset("facebook", num_nodes=200)
+        analyzer = PrivateClusteringAnalyzer(epsilon=2.0, seed=3)
+        result = analyzer.run(graph)
+        assert 0.0 <= result.clustering_coefficient <= 1.0
+        assert result.absolute_error < 0.1
+        assert result.exact_clustering_coefficient == pytest.approx(
+            global_clustering_coefficient(graph)
+        )
+
+    def test_result_components_consistent(self):
+        graph = load_dataset("wiki", num_nodes=150)
+        result = PrivateClusteringAnalyzer(epsilon=2.0, seed=4).run(graph)
+        plug_in = min(max(3 * result.noisy_triangle_count / result.noisy_wedge_count, 0.0), 1.0)
+        assert result.clustering_coefficient == pytest.approx(plug_in)
+        assert result.epsilon == 2.0
+
+    def test_error_shrinks_with_budget(self):
+        graph = load_dataset("hepph", num_nodes=150)
+        errors = {}
+        for epsilon in (0.3, 5.0):
+            trials = [
+                PrivateClusteringAnalyzer(epsilon=epsilon, seed=seed).run(graph).absolute_error
+                for seed in range(3)
+            ]
+            errors[epsilon] = np.mean(trials)
+        assert errors[5.0] <= errors[0.3] + 1e-6
+
+    def test_wedge_noise_scale_helper(self):
+        analyzer = PrivateClusteringAnalyzer(epsilon=2.0, triangle_fraction=0.5)
+        assert analyzer.expected_wedge_noise_scale(11) == pytest.approx(20.0 / 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyError):
+            PrivateClusteringAnalyzer(epsilon=0)
+        with pytest.raises(PrivacyError):
+            PrivateClusteringAnalyzer(epsilon=1.0, triangle_fraction=1.5)
+
+    def test_zero_wedge_graph(self, empty_graph):
+        result = PrivateClusteringAnalyzer(epsilon=2.0, seed=5).run(empty_graph)
+        assert 0.0 <= result.clustering_coefficient <= 1.0

@@ -1,0 +1,73 @@
+"""Tests for repro.baselines.central_lap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.central_lap import CentralLaplaceTriangleCounting
+from repro.exceptions import PrivacyError
+from repro.graph.datasets import load_dataset
+from repro.graph.triangles import count_triangles
+
+
+class TestCentralLap:
+    def test_estimate_close_to_truth(self):
+        graph = load_dataset("facebook", num_nodes=150)
+        result = CentralLaplaceTriangleCounting(epsilon=2.0).run(graph, rng=0)
+        assert result.true_triangle_count == count_triangles(graph)
+        assert result.relative_error < 0.05
+
+    def test_sensitivity_is_max_degree(self, complete_graph):
+        result = CentralLaplaceTriangleCounting(epsilon=1.0).run(complete_graph, rng=1)
+        assert result.sensitivity == complete_graph.max_degree()
+
+    def test_noisy_max_degree_variant(self):
+        graph = load_dataset("wiki", num_nodes=120)
+        protocol = CentralLaplaceTriangleCounting(epsilon=2.0, use_exact_max_degree=False)
+        result = protocol.run(graph, rng=2)
+        assert result.sensitivity != graph.max_degree()
+        assert result.relative_error < 0.2
+
+    def test_noise_actually_added(self, complete_graph):
+        result = CentralLaplaceTriangleCounting(epsilon=0.5).run(complete_graph, rng=3)
+        assert result.noisy_triangle_count != result.true_triangle_count
+
+    def test_deterministic_given_seed(self, medium_cluster_graph):
+        protocol = CentralLaplaceTriangleCounting(epsilon=1.0)
+        assert (
+            protocol.run(medium_cluster_graph, rng=4).noisy_triangle_count
+            == protocol.run(medium_cluster_graph, rng=4).noisy_triangle_count
+        )
+
+    def test_error_decreases_with_epsilon(self, medium_cluster_graph):
+        errors = {}
+        for epsilon in (0.2, 5.0):
+            protocol = CentralLaplaceTriangleCounting(epsilon=epsilon)
+            trials = [protocol.run(medium_cluster_graph, rng=seed).l2_loss for seed in range(10)]
+            errors[epsilon] = np.mean(trials)
+        assert errors[5.0] < errors[0.2]
+
+    def test_expected_l2_loss_formula(self):
+        protocol = CentralLaplaceTriangleCounting(epsilon=2.0)
+        assert protocol.expected_l2_loss(max_degree=100) == pytest.approx(2 * (100 / 2.0) ** 2)
+
+    def test_empirical_error_matches_analytic_bound(self, medium_cluster_graph):
+        epsilon = 1.0
+        protocol = CentralLaplaceTriangleCounting(epsilon=epsilon)
+        losses = [protocol.run(medium_cluster_graph, rng=seed).l2_loss for seed in range(300)]
+        expected = protocol.expected_l2_loss(medium_cluster_graph.max_degree())
+        assert np.mean(losses) == pytest.approx(expected, rel=0.4)
+
+    def test_timings_recorded(self, triangle_graph):
+        result = CentralLaplaceTriangleCounting(epsilon=1.0).run(triangle_graph, rng=5)
+        assert "total" in result.timings
+
+    @pytest.mark.parametrize("epsilon", [0, -1])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(PrivacyError):
+            CentralLaplaceTriangleCounting(epsilon=epsilon)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PrivacyError):
+            CentralLaplaceTriangleCounting(epsilon=1.0, max_degree_fraction=1.5)

@@ -1,0 +1,64 @@
+"""Tests for repro.baselines.random_projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_projection import RandomProjection
+from repro.core.projection import projected_triangle_count
+from repro.exceptions import ConfigurationError
+from repro.graph.datasets import load_dataset
+
+
+class TestRandomProjection:
+    def test_bounded_degree_invariant(self, medium_cluster_graph):
+        result = RandomProjection(5).project_graph(medium_cluster_graph, rng=0)
+        assert int(result.projected_rows.sum(axis=1).max()) <= 5
+
+    def test_only_removes_edges(self, medium_cluster_graph):
+        result = RandomProjection(5).project_graph(medium_cluster_graph, rng=1)
+        assert np.all(result.projected_rows <= medium_cluster_graph.adjacency_matrix())
+
+    def test_under_bound_unchanged(self, triangle_graph):
+        result = RandomProjection(10).project_graph(triangle_graph, rng=2)
+        assert np.array_equal(result.projected_rows, triangle_graph.adjacency_matrix())
+        assert result.edges_removed == 0
+
+    def test_noisy_degrees_ignored(self, triangle_graph):
+        with_degrees = RandomProjection(10).project_graph(
+            triangle_graph, noisy_degrees=[1, 2, 3, 4], rng=3
+        )
+        without = RandomProjection(10).project_graph(triangle_graph, rng=3)
+        assert np.array_equal(with_degrees.projected_rows, without.projected_rows)
+
+    def test_deterministic_given_seed(self, medium_cluster_graph):
+        a = RandomProjection(6).project_graph(medium_cluster_graph, rng=4)
+        b = RandomProjection(6).project_graph(medium_cluster_graph, rng=4)
+        assert np.array_equal(a.projected_rows, b.projected_rows)
+
+    def test_different_seeds_differ(self, medium_cluster_graph):
+        a = RandomProjection(6).project_graph(medium_cluster_graph, rng=5)
+        b = RandomProjection(6).project_graph(medium_cluster_graph, rng=6)
+        assert not np.array_equal(a.projected_rows, b.projected_rows)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomProjection(-2)
+
+    def test_loses_more_triangles_than_similarity_on_average(self):
+        """Figure 9/10's qualitative claim at a fixed theta."""
+        from repro.core.projection import SimilarityProjection
+
+        graph = load_dataset("hepph", num_nodes=200)
+        theta = 15
+        similarity_count = projected_triangle_count(
+            SimilarityProjection(theta).project_graph(graph).projected_rows
+        )
+        random_counts = [
+            projected_triangle_count(
+                RandomProjection(theta).project_graph(graph, rng=seed).projected_rows
+            )
+            for seed in range(5)
+        ]
+        assert similarity_count > np.mean(random_counts)

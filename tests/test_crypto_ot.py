@@ -1,0 +1,51 @@
+"""Tests for repro.crypto.ot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.ot import ObliviousTransferChannel, gilboa_product_shares
+from repro.crypto.ring import DEFAULT_RING, Ring
+from repro.exceptions import ProtocolError
+
+
+class TestChannel:
+    def test_choice_selects_message(self):
+        channel = ObliviousTransferChannel()
+        assert channel.transfer(10, 20, 0) == 10
+        assert channel.transfer(10, 20, 1) == 20
+
+    def test_invalid_choice_bit(self):
+        with pytest.raises(ProtocolError):
+            ObliviousTransferChannel().transfer(1, 2, 2)
+
+    def test_transfer_counter(self):
+        channel = ObliviousTransferChannel()
+        channel.transfer(0, 1, 0)
+        channel.transfer(0, 1, 1)
+        assert channel.transfers == 2
+
+
+class TestGilboaProduct:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (7, 13), (12345, 678), (2**20, 3)])
+    def test_shares_sum_to_product(self, a, b):
+        channel = ObliviousTransferChannel()
+        sender, receiver = gilboa_product_shares(a, b, channel, rng=0)
+        assert DEFAULT_RING.add(sender, receiver) == DEFAULT_RING.mul(a, b)
+
+    def test_uses_one_ot_per_bit(self):
+        ring = Ring(bits=8)
+        channel = ObliviousTransferChannel(ring=ring)
+        gilboa_product_shares(3, 5, channel, rng=1, ring=ring)
+        assert channel.transfers == 8
+
+    def test_negative_operand(self):
+        channel = ObliviousTransferChannel()
+        sender, receiver = gilboa_product_shares(-4, 9, channel, rng=2)
+        assert DEFAULT_RING.decode_signed(DEFAULT_RING.add(sender, receiver)) == -36
+
+    def test_sender_share_alone_is_not_product(self):
+        channel = ObliviousTransferChannel()
+        sender, receiver = gilboa_product_shares(6, 7, channel, rng=3)
+        assert sender != DEFAULT_RING.mul(6, 7)
+        assert receiver != DEFAULT_RING.mul(6, 7)

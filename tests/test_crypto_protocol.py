@@ -1,0 +1,108 @@
+"""Tests for repro.crypto.protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.protocol import (
+    CommunicationLedger,
+    Message,
+    Party,
+    TwoServerRuntime,
+    estimate_message_bytes,
+)
+from repro.exceptions import ProtocolError
+
+
+class TestMessageBytes:
+    def test_scalar_sizes(self):
+        assert estimate_message_bytes(5) == 8
+        assert estimate_message_bytes(3.14) == 8
+        assert estimate_message_bytes(True) == 1
+        assert estimate_message_bytes(None) == 0
+
+    def test_array_size(self):
+        array = np.zeros(10, dtype=np.uint64)
+        assert estimate_message_bytes(array) == 80
+
+    def test_container_sizes(self):
+        assert estimate_message_bytes([1, 2, 3]) == 24
+        assert estimate_message_bytes({"a": 1}) == 1 + 8
+
+    def test_string_size(self):
+        assert estimate_message_bytes("abcd") == 4
+
+
+class TestParty:
+    def test_deliver_and_receive(self):
+        party = Party("S1")
+        party.deliver(Message(sender="u", receiver="S1", tag="t", payload=1))
+        message = party.receive()
+        assert message.payload == 1
+        assert party.pending() == 0
+
+    def test_receive_by_tag(self):
+        party = Party("S1")
+        party.deliver(Message(sender="u", receiver="S1", tag="a", payload=1))
+        party.deliver(Message(sender="u", receiver="S1", tag="b", payload=2))
+        assert party.receive(tag="b").payload == 2
+        assert party.pending() == 1
+
+    def test_wrong_receiver_rejected(self):
+        party = Party("S1")
+        with pytest.raises(ProtocolError):
+            party.deliver(Message(sender="u", receiver="S2", tag="t", payload=1))
+
+    def test_empty_mailbox(self):
+        with pytest.raises(ProtocolError):
+            Party("S1").receive()
+
+    def test_missing_tag(self):
+        party = Party("S1")
+        party.deliver(Message(sender="u", receiver="S1", tag="a", payload=1))
+        with pytest.raises(ProtocolError):
+            party.receive(tag="zzz")
+
+
+class TestLedger:
+    def test_records_messages_and_bytes(self):
+        ledger = CommunicationLedger()
+        ledger.record("u->S1", np.zeros(4, dtype=np.uint64))
+        ledger.record("u->S1", 7)
+        assert ledger.total_messages == 2
+        assert ledger.total_bytes == 32 + 8
+        assert ledger.summary()["u->S1"]["messages"] == 2
+
+
+class TestTwoServerRuntime:
+    def test_topology(self):
+        runtime = TwoServerRuntime(3)
+        assert len(runtime.users) == 3
+        runtime.user_to_server(0, 1).send("share", 42)
+        assert runtime.server(1).receive().payload == 42
+
+    def test_server_to_server(self):
+        runtime = TwoServerRuntime(1)
+        runtime.server_to_server(1, 2).send("open", 9)
+        assert runtime.server(2).receive(tag="open").payload == 9
+
+    def test_broadcast(self):
+        runtime = TwoServerRuntime(4)
+        runtime.broadcast_to_users(1, "dmax", 17)
+        assert all(runtime.user(i).receive().payload == 17 for i in range(4))
+
+    def test_ledger_accumulates(self):
+        runtime = TwoServerRuntime(2)
+        runtime.user_to_server(0, 1).send("x", 1)
+        runtime.user_to_server(1, 2).send("x", 2)
+        assert runtime.ledger.total_messages == 2
+
+    def test_invalid_indices(self):
+        runtime = TwoServerRuntime(2)
+        with pytest.raises(ProtocolError):
+            runtime.user_to_server(5, 1)
+        with pytest.raises(ProtocolError):
+            runtime.user_to_server(0, 3)
+        with pytest.raises(ProtocolError):
+            TwoServerRuntime(-1)

@@ -1,0 +1,118 @@
+"""Tests for repro.crypto.ring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.ring import DEFAULT_RING, Ring
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_default_ring_is_64_bits(self):
+        assert DEFAULT_RING.bits == 64
+        assert DEFAULT_RING.modulus == 2**64
+
+    @pytest.mark.parametrize("bits", [1, 0, 65, 128])
+    def test_invalid_bit_width(self, bits):
+        with pytest.raises(ConfigurationError):
+            Ring(bits=bits)
+
+    def test_constants(self):
+        ring = Ring(bits=8)
+        assert ring.modulus == 256
+        assert ring.mask == 255
+        assert ring.half == 128
+
+
+class TestScalarArithmetic:
+    def test_add_wraps(self):
+        ring = Ring(bits=8)
+        assert ring.add(200, 100) == (300) % 256
+
+    def test_sub_wraps(self):
+        ring = Ring(bits=8)
+        assert ring.sub(5, 10) == 251
+
+    def test_mul_wraps(self):
+        ring = Ring(bits=8)
+        assert ring.mul(16, 16) == 0
+
+    def test_neg(self):
+        ring = Ring(bits=8)
+        assert ring.add(ring.neg(37), 37) == 0
+
+    def test_encode_negative(self):
+        ring = Ring(bits=8)
+        assert ring.encode(-1) == 255
+
+    def test_decode_signed_roundtrip(self):
+        ring = Ring(bits=16)
+        for value in (-5000, -1, 0, 1, 5000):
+            assert ring.decode_signed(ring.encode(value)) == value
+
+    def test_decode_signed_boundary(self):
+        ring = Ring(bits=8)
+        assert ring.decode_signed(127) == 127
+        assert ring.decode_signed(128) == -128
+        assert ring.decode_signed(255) == -1
+
+    def test_default_ring_large_values(self):
+        value = 2**62 + 12345
+        assert DEFAULT_RING.decode_signed(DEFAULT_RING.encode(value)) == value
+
+
+class TestArrayArithmetic:
+    def test_elementwise_add(self):
+        ring = Ring(bits=16)
+        a = np.array([1, 2, 65535], dtype=np.uint64)
+        b = np.array([1, 1, 1], dtype=np.uint64)
+        assert ring.add(a, b).tolist() == [2, 3, 0]
+
+    def test_elementwise_mul(self):
+        ring = Ring(bits=8)
+        a = np.array([10, 20], dtype=np.uint64)
+        b = np.array([30, 40], dtype=np.uint64)
+        assert ring.mul(a, b).tolist() == [(300) % 256, (800) % 256]
+
+    def test_encode_negative_array(self):
+        ring = Ring(bits=8)
+        encoded = ring.encode(np.array([-1, -2]))
+        assert encoded.tolist() == [255, 254]
+
+    def test_matmul_matches_plain_modular_product(self):
+        ring = Ring(bits=32)
+        rng = np.random.default_rng(0)
+        a = ring.random_array((5, 4), rng)
+        b = ring.random_array((4, 3), rng)
+        expected = (a.astype(object) @ b.astype(object)) % ring.modulus
+        assert np.array_equal(ring.matmul(a, b).astype(object), expected)
+
+    def test_matmul_default_ring(self):
+        ring = DEFAULT_RING
+        rng = np.random.default_rng(1)
+        a = ring.random_array((3, 3), rng)
+        b = ring.random_array((3, 3), rng)
+        expected = (a.astype(object) @ b.astype(object)) % ring.modulus
+        assert np.array_equal(ring.matmul(a, b).astype(object), expected)
+
+
+class TestSampling:
+    def test_random_element_in_range(self):
+        ring = Ring(bits=8)
+        rng = np.random.default_rng(2)
+        values = [ring.random_element(rng) for _ in range(200)]
+        assert all(0 <= value < 256 for value in values)
+        assert len(set(values)) > 50  # not constant
+
+    def test_random_array_shape_and_range(self):
+        ring = Ring(bits=16)
+        array = ring.random_array((10, 10), np.random.default_rng(3))
+        assert array.shape == (10, 10)
+        assert int(array.max()) < ring.modulus
+
+    def test_random_array_default_ring_spans_high_bits(self):
+        array = DEFAULT_RING.random_array(1000, np.random.default_rng(4))
+        # With 1000 uniform draws over 2^64, some should exceed 2^63.
+        assert int(array.max()) > 2**63

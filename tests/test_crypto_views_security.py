@@ -1,0 +1,112 @@
+"""Simulation-style security checks (Theorem 2).
+
+The paper argues security in the simulation paradigm: everything a server
+observes during `Count` / `Perturb` is either a fresh additive share or a
+mask-difference opening, both of which are uniform ring elements independent
+of the secret.  These tests check the empirical counterparts:
+
+* openings recorded in the servers' views do not depend on the secret inputs
+  when the correlated randomness (masks) is held fixed, and
+* over many fresh maskings, the distribution of an opening is statistically
+  indistinguishable (coarsely) between two different secrets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.multiplication_groups import MultiplicationGroupDealer
+from repro.crypto.ring import DEFAULT_RING
+from repro.crypto.secure_ops import secure_multiply_triple
+from repro.crypto.sharing import share_scalar
+from repro.crypto.views import ProtocolView, ViewEntry, ViewRecorder
+from repro.exceptions import ProtocolError
+
+
+class TestViewRecorder:
+    def test_observe_and_read_back(self):
+        recorder = ViewRecorder()
+        recorder.observe(1, "opening", 42)
+        recorder.observe(2, "opening", 42)
+        assert recorder.view(1).values("opening") == [42]
+        assert len(recorder.view(2)) == 1
+
+    def test_views_tuple(self):
+        recorder = ViewRecorder()
+        view1, view2 = recorder.views()
+        assert isinstance(view1, ProtocolView) and isinstance(view2, ProtocolView)
+
+    def test_invalid_server(self):
+        recorder = ViewRecorder()
+        with pytest.raises(ProtocolError):
+            recorder.observe(3, "x", 1)
+        with pytest.raises(ProtocolError):
+            recorder.view(0)
+
+    def test_values_filter_by_label(self):
+        view = ProtocolView(server_index=1, entries=[
+            ViewEntry(1, "a", 1), ViewEntry(1, "b", 2), ViewEntry(1, "a", 3),
+        ])
+        assert view.values("a") == [1, 3]
+        assert view.values() == [1, 2, 3]
+
+
+def _openings_for_secret(bits, mask_seed: int) -> tuple:
+    """Run one 3-way multiplication and return the (e, f, g) opening."""
+    dealer = MultiplicationGroupDealer(seed=mask_seed)
+    recorder = ViewRecorder()
+    pairs = [share_scalar(b, rng=mask_seed * 10 + i) for i, b in enumerate(bits)]
+    secure_multiply_triple(
+        (pairs[0].share1, pairs[0].share2),
+        (pairs[1].share1, pairs[1].share2),
+        (pairs[2].share1, pairs[2].share2),
+        dealer.scalar_group(),
+        views=recorder,
+    )
+    return recorder.view(1).values("mg_opening")[0]
+
+
+class TestOpeningsHideSecrets:
+    def test_views_identical_for_both_servers(self):
+        dealer = MultiplicationGroupDealer(seed=0)
+        recorder = ViewRecorder()
+        pairs = [share_scalar(bit, rng=index) for index, bit in enumerate((1, 0, 1))]
+        secure_multiply_triple(
+            (pairs[0].share1, pairs[0].share2),
+            (pairs[1].share1, pairs[1].share2),
+            (pairs[2].share1, pairs[2].share2),
+            dealer.scalar_group(),
+            views=recorder,
+        )
+        # The opening round reveals identical masked values to both servers.
+        assert recorder.view(1).values() == recorder.view(2).values()
+
+    def test_opening_changes_with_masks_not_with_secret_only(self):
+        """Same secret, fresh masks -> different openings (masking is live)."""
+        first = _openings_for_secret((1, 1, 1), mask_seed=1)
+        second = _openings_for_secret((1, 1, 1), mask_seed=2)
+        assert first != second
+
+    def test_openings_span_large_values(self):
+        """Openings of 0/1 secrets are full-range ring elements, not small ints."""
+        openings = [
+            value
+            for seed in range(20)
+            for value in _openings_for_secret((1, 0, 1), mask_seed=seed)
+        ]
+        assert max(openings) > 2**60
+
+    def test_opening_distribution_similar_across_secrets(self):
+        """Coarse indistinguishability: mean opening magnitude is secret-independent."""
+        means = {}
+        for label, bits in {"all_ones": (1, 1, 1), "all_zeros": (0, 0, 0)}.items():
+            values = [
+                float(np.mean(_openings_for_secret(bits, mask_seed=seed)))
+                for seed in range(40)
+            ]
+            means[label] = np.mean(values)
+        # Both averages are near the ring midpoint 2^63; allow a wide band.
+        midpoint = float(DEFAULT_RING.half)
+        for value in means.values():
+            assert 0.5 * midpoint < value < 1.5 * midpoint

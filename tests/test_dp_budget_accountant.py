@@ -1,0 +1,87 @@
+"""Tests for repro.dp.budget and repro.dp.accountant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.budget import DEFAULT_MAX_DEGREE_FRACTION, PrivacyBudget, split_budget
+from repro.exceptions import BudgetExhaustedError, PrivacyError
+
+
+class TestPrivacyBudget:
+    def test_total(self):
+        budget = PrivacyBudget(epsilon1=0.2, epsilon2=1.8)
+        assert budget.total == pytest.approx(2.0)
+        assert budget.as_tuple() == (0.2, 1.8)
+
+    def test_from_total_uses_default_fraction(self):
+        budget = PrivacyBudget.from_total(2.0)
+        assert budget.epsilon1 == pytest.approx(2.0 * DEFAULT_MAX_DEGREE_FRACTION)
+        assert budget.total == pytest.approx(2.0)
+
+    def test_from_total_custom_fraction(self):
+        budget = PrivacyBudget.from_total(1.0, max_degree_fraction=0.25)
+        assert budget.epsilon1 == pytest.approx(0.25)
+        assert budget.epsilon2 == pytest.approx(0.75)
+
+    def test_split_budget_function(self):
+        eps1, eps2 = split_budget(3.0)
+        assert eps1 + eps2 == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("eps1,eps2", [(0, 1), (1, 0), (-1, 1)])
+    def test_invalid_components(self, eps1, eps2):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget(epsilon1=eps1, epsilon2=eps2)
+
+    def test_invalid_total(self):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget.from_total(-1.0)
+
+    @pytest.mark.parametrize("fraction", [0, 1, 1.5])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(PrivacyError):
+            PrivacyBudget.from_total(1.0, max_degree_fraction=fraction)
+
+
+class TestPrivacyAccountant:
+    def test_spend_and_remaining(self):
+        accountant = PrivacyAccountant(total_budget=2.0)
+        accountant.spend(0.5, "max")
+        accountant.spend(1.0, "perturb")
+        assert accountant.spent == pytest.approx(1.5)
+        assert accountant.remaining == pytest.approx(0.5)
+
+    def test_exhaustion_rejected(self):
+        accountant = PrivacyAccountant(total_budget=1.0)
+        accountant.spend(0.9)
+        with pytest.raises(BudgetExhaustedError):
+            accountant.spend(0.2)
+
+    def test_exact_budget_allowed(self):
+        accountant = PrivacyAccountant(total_budget=1.0)
+        accountant.spend(0.1)
+        accountant.spend(0.9)
+        assert accountant.remaining == pytest.approx(0.0)
+
+    def test_ledger_and_by_label(self):
+        accountant = PrivacyAccountant()
+        accountant.spend(0.1, "max")
+        accountant.spend(0.2, "max")
+        accountant.spend(0.3, "perturb")
+        assert accountant.ledger() == [("max", 0.1), ("max", 0.2), ("perturb", 0.3)]
+        assert accountant.by_label()["max"] == pytest.approx(0.3)
+
+    def test_infinite_budget_never_refuses(self):
+        accountant = PrivacyAccountant()
+        for _ in range(100):
+            accountant.spend(10.0)
+        assert accountant.spent == pytest.approx(1000.0)
+
+    def test_invalid_spend(self):
+        with pytest.raises(PrivacyError):
+            PrivacyAccountant().spend(0)
+
+    def test_invalid_total(self):
+        with pytest.raises(PrivacyError):
+            PrivacyAccountant(total_budget=0)

@@ -1,0 +1,92 @@
+"""Tests for repro.dp.gamma_noise — infinite divisibility of Laplace noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dp.gamma_noise import (
+    DistributedLaplaceNoise,
+    sample_partial_noise,
+    sample_partial_noises,
+)
+from repro.exceptions import PrivacyError
+
+
+class TestPartialNoise:
+    def test_scalar_and_vector_agree_in_distribution(self):
+        values = sample_partial_noises(50, 2.0, rng=0)
+        assert values.shape == (50,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyError):
+            sample_partial_noise(0, 1.0)
+        with pytest.raises(PrivacyError):
+            sample_partial_noise(5, 0.0)
+        with pytest.raises(PrivacyError):
+            sample_partial_noises(-1, 1.0)
+
+    def test_partial_noise_much_smaller_than_laplace(self):
+        """A single user's noise is tiny compared to the aggregated Laplace."""
+        scale = 10.0
+        num_users = 1000
+        partials = np.abs(sample_partial_noises(num_users, scale, rng=1))
+        # Each partial is Gamma(1/n) difference; its variance is 2*scale^2/n.
+        assert float(np.mean(partials)) < scale
+
+    def test_aggregate_is_laplace_distributed(self):
+        """Sum of n Gamma differences has the Laplace variance 2*scale^2 (Lemma 1)."""
+        scale = 3.0
+        num_users = 200
+        trials = 4000
+        rng = np.random.default_rng(2)
+        sums = np.array(
+            [sample_partial_noises(num_users, scale, rng=rng).sum() for _ in range(trials)]
+        )
+        assert abs(float(sums.mean())) < 0.3
+        assert float(sums.var()) == pytest.approx(2 * scale**2, rel=0.15)
+
+    def test_aggregate_heavier_tail_than_gaussian(self):
+        """Laplace kurtosis (~6) distinguishes the sum from a Gaussian."""
+        scale = 1.0
+        rng = np.random.default_rng(3)
+        sums = np.array(
+            [sample_partial_noises(100, scale, rng=rng).sum() for _ in range(4000)]
+        )
+        standardized = (sums - sums.mean()) / sums.std()
+        kurtosis = float(np.mean(standardized**4))
+        assert kurtosis > 4.0  # Gaussian would be ~3
+
+
+class TestDistributedLaplaceNoise:
+    def test_scale_and_variance(self):
+        noise = DistributedLaplaceNoise(epsilon=2.0, sensitivity=100.0, num_users=50)
+        assert noise.scale == pytest.approx(50.0)
+        assert noise.aggregate_variance == pytest.approx(5000.0)
+
+    def test_encode_decode_roundtrip(self):
+        noise = DistributedLaplaceNoise(epsilon=1.0, sensitivity=1.0, num_users=10, fixed_point_bits=16)
+        for value in (-123.456, 0.0, 7.25, 1e-4):
+            assert noise.decode(noise.encode(value)) == pytest.approx(value, abs=2**-15)
+
+    def test_fixed_point_factor(self):
+        noise = DistributedLaplaceNoise(epsilon=1.0, sensitivity=1.0, num_users=10, fixed_point_bits=8)
+        assert noise.fixed_point_factor == 256
+
+    def test_sample_all_matches_user_count(self):
+        noise = DistributedLaplaceNoise(epsilon=1.0, sensitivity=5.0, num_users=33)
+        assert noise.sample_all_noises(rng=0).shape == (33,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyError):
+            DistributedLaplaceNoise(epsilon=0, sensitivity=1, num_users=1)
+        with pytest.raises(PrivacyError):
+            DistributedLaplaceNoise(epsilon=1, sensitivity=0, num_users=1)
+        with pytest.raises(PrivacyError):
+            DistributedLaplaceNoise(epsilon=1, sensitivity=1, num_users=0)
+        with pytest.raises(PrivacyError):
+            DistributedLaplaceNoise(epsilon=1, sensitivity=1, num_users=1, fixed_point_bits=-1)
+
+    def test_user_noise_deterministic_with_seed(self):
+        noise = DistributedLaplaceNoise(epsilon=1.0, sensitivity=2.0, num_users=7)
+        assert noise.sample_user_noise(rng=5) == noise.sample_user_noise(rng=5)

@@ -1,0 +1,132 @@
+"""Tests for repro.dp.mechanisms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.mechanisms import GeometricMechanism, LaplaceMechanism, RandomizedResponse
+from repro.exceptions import PrivacyError
+
+
+class TestLaplaceMechanism:
+    def test_scale_and_variance(self):
+        mechanism = LaplaceMechanism(epsilon=2.0, sensitivity=10.0)
+        assert mechanism.scale == pytest.approx(5.0)
+        assert mechanism.variance == pytest.approx(50.0)
+
+    def test_randomize_scalar(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        value = mechanism.randomize(100.0, rng=0)
+        assert value != 100.0
+        assert abs(value - 100.0) < 50  # Laplace(1) tail at 50 is negligible
+
+    def test_randomize_array(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        values = mechanism.randomize(np.zeros(100), rng=1)
+        assert values.shape == (100,)
+        assert not np.allclose(values, 0.0)
+
+    def test_noise_is_approximately_unbiased(self):
+        mechanism = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        noise = mechanism.sample_noise(rng=2, size=200_000)
+        assert abs(float(np.mean(noise))) < 0.02
+
+    def test_empirical_variance_matches(self):
+        mechanism = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        noise = mechanism.sample_noise(rng=3, size=200_000)
+        assert float(np.var(noise)) == pytest.approx(mechanism.variance, rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        mechanism = LaplaceMechanism(epsilon=1.0)
+        assert mechanism.sample_noise(rng=4) == mechanism.sample_noise(rng=4)
+
+    @pytest.mark.parametrize("epsilon", [0, -1, float("inf"), float("nan")])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(epsilon=epsilon)
+
+    @pytest.mark.parametrize("sensitivity", [0, -2])
+    def test_invalid_sensitivity(self, sensitivity):
+        with pytest.raises(PrivacyError):
+            LaplaceMechanism(epsilon=1.0, sensitivity=sensitivity)
+
+
+class TestGeometricMechanism:
+    def test_noise_is_integer(self):
+        mechanism = GeometricMechanism(epsilon=1.0)
+        assert isinstance(mechanism.sample_noise(rng=0), int)
+
+    def test_randomize_keeps_integrality(self):
+        mechanism = GeometricMechanism(epsilon=0.5, sensitivity=3.0)
+        assert isinstance(mechanism.randomize(10, rng=1), int)
+
+    def test_alpha(self):
+        mechanism = GeometricMechanism(epsilon=2.0, sensitivity=4.0)
+        assert mechanism.alpha == pytest.approx(math.exp(-0.5))
+
+    def test_empirical_variance(self):
+        mechanism = GeometricMechanism(epsilon=1.0)
+        noise = mechanism.sample_noise(rng=2, size=200_000)
+        assert float(np.var(noise)) == pytest.approx(mechanism.variance, rel=0.05)
+
+    def test_array_output_dtype(self):
+        mechanism = GeometricMechanism(epsilon=1.0)
+        assert mechanism.sample_noise(rng=3, size=10).dtype == np.int64
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyError):
+            GeometricMechanism(epsilon=0)
+
+
+class TestRandomizedResponse:
+    def test_probabilities_sum_to_one(self):
+        response = RandomizedResponse(epsilon=1.0)
+        assert response.keep_probability + response.flip_probability == pytest.approx(1.0)
+        assert response.keep_probability == pytest.approx(math.e / (math.e + 1))
+
+    def test_higher_epsilon_keeps_more(self):
+        assert RandomizedResponse(4.0).keep_probability > RandomizedResponse(0.5).keep_probability
+
+    def test_randomize_bit_output_domain(self, rng):
+        response = RandomizedResponse(epsilon=1.0)
+        outputs = {response.randomize_bit(1, rng) for _ in range(100)}
+        assert outputs <= {0, 1}
+
+    def test_randomize_bit_rejects_non_bit(self):
+        with pytest.raises(PrivacyError):
+            RandomizedResponse(1.0).randomize_bit(2)
+
+    def test_randomize_bits_flip_rate(self):
+        response = RandomizedResponse(epsilon=1.0)
+        bits = np.ones(100_000, dtype=np.int64)
+        noisy = response.randomize_bits(bits, rng=0)
+        flip_rate = 1.0 - float(noisy.mean())
+        assert flip_rate == pytest.approx(response.flip_probability, abs=0.01)
+
+    def test_randomize_bits_rejects_non_binary(self):
+        with pytest.raises(PrivacyError):
+            RandomizedResponse(1.0).randomize_bits(np.array([0, 2]))
+
+    def test_unbias_count_recovers_truth(self):
+        response = RandomizedResponse(epsilon=2.0)
+        total = 50_000
+        true_ones = 12_000
+        bits = np.zeros(total, dtype=np.int64)
+        bits[:true_ones] = 1
+        noisy = response.randomize_bits(bits, rng=1)
+        estimate = response.unbias_count(float(noisy.sum()), total)
+        assert estimate == pytest.approx(true_ones, rel=0.03)
+
+    def test_unbias_count_negative_total(self):
+        with pytest.raises(PrivacyError):
+            RandomizedResponse(1.0).unbias_count(1.0, -1)
+
+    def test_epsilon_ldp_bound_on_single_bit(self):
+        """P[output=1 | 1] / P[output=1 | 0] <= e^eps (the LDP inequality)."""
+        epsilon = 0.8
+        response = RandomizedResponse(epsilon=epsilon)
+        ratio = response.keep_probability / response.flip_probability
+        assert ratio <= math.exp(epsilon) + 1e-9

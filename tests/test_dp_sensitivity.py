@@ -1,0 +1,110 @@
+"""Tests for repro.dp.sensitivity and repro.dp.smooth_sensitivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dp.sensitivity import (
+    degree_sensitivity_edge_dp,
+    degree_sensitivity_node_dp,
+    triangle_sensitivity_edge_dp,
+    triangle_sensitivity_node_dp,
+    triangle_sensitivity_unbounded,
+)
+from repro.dp.smooth_sensitivity import (
+    local_sensitivity_triangles,
+    residual_sensitivity_triangles,
+    sensitivity_profile,
+    smooth_sensitivity_triangles,
+)
+from repro.exceptions import PrivacyError
+from repro.graph.graph import Graph
+
+
+class TestGlobalSensitivities:
+    def test_degree_edge_dp_is_one(self):
+        assert degree_sensitivity_edge_dp() == 1
+
+    def test_degree_node_dp(self):
+        assert degree_sensitivity_node_dp(100) == 99
+        with pytest.raises(PrivacyError):
+            degree_sensitivity_node_dp(0)
+
+    def test_triangle_edge_dp_scales_with_degree_bound(self):
+        assert triangle_sensitivity_edge_dp(50) == 50.0
+        assert triangle_sensitivity_edge_dp(0) == 1.0  # clamped floor
+        with pytest.raises(PrivacyError):
+            triangle_sensitivity_edge_dp(-1)
+
+    def test_triangle_unbounded(self):
+        assert triangle_sensitivity_unbounded(100) == 98
+        assert triangle_sensitivity_unbounded(1) == 0
+
+    def test_triangle_node_dp_quadratic(self):
+        assert triangle_sensitivity_node_dp(10) == pytest.approx(45.0)
+        assert triangle_sensitivity_node_dp(1) == 1.0
+        with pytest.raises(PrivacyError):
+            triangle_sensitivity_node_dp(-3)
+
+
+class TestLocalSensitivity:
+    def test_complete_graph(self, complete_graph):
+        # In K6 every pair has 4 common neighbours.
+        assert local_triangle_counts_value(complete_graph) == 4
+
+    def test_star_graph(self, star_graph):
+        # Leaves share the hub as a common neighbour.
+        assert local_triangle_counts_value(star_graph) == 1
+
+    def test_empty_graph(self, empty_graph):
+        assert local_triangle_counts_value(empty_graph) == 0
+
+    def test_distance_increases_linearly_until_ceiling(self, complete_graph):
+        base = local_sensitivity_triangles(complete_graph, 0)
+        assert local_sensitivity_triangles(complete_graph, 1) == min(base + 1, 4)
+        assert local_sensitivity_triangles(complete_graph, 100) == 4  # n - 2 ceiling
+
+    def test_negative_distance_rejected(self, complete_graph):
+        with pytest.raises(PrivacyError):
+            local_sensitivity_triangles(complete_graph, -1)
+
+
+def local_triangle_counts_value(graph: Graph) -> int:
+    """Helper alias keeping test names readable."""
+    return local_sensitivity_triangles(graph, 0)
+
+
+class TestSmoothAndResidual:
+    def test_smooth_at_least_local(self, complete_graph):
+        local = local_sensitivity_triangles(complete_graph, 0)
+        assert smooth_sensitivity_triangles(complete_graph, epsilon=1.0) >= local
+
+    def test_residual_at_least_smooth(self, medium_cluster_graph):
+        smooth = smooth_sensitivity_triangles(medium_cluster_graph, epsilon=1.0)
+        residual = residual_sensitivity_triangles(medium_cluster_graph, epsilon=1.0)
+        assert residual >= smooth
+
+    def test_smooth_decreases_with_epsilon(self, medium_cluster_graph):
+        loose = smooth_sensitivity_triangles(medium_cluster_graph, epsilon=0.1)
+        tight = smooth_sensitivity_triangles(medium_cluster_graph, epsilon=2.0)
+        assert loose >= tight
+
+    def test_smooth_bounded_by_n_minus_2(self, medium_cluster_graph):
+        value = smooth_sensitivity_triangles(medium_cluster_graph, epsilon=0.05)
+        assert value <= medium_cluster_graph.num_nodes - 2
+
+    def test_profile_ordering(self, medium_cluster_graph):
+        local, smooth, residual = sensitivity_profile(medium_cluster_graph, epsilon=1.0)
+        assert local <= smooth <= residual
+
+    def test_invalid_epsilon(self, complete_graph):
+        with pytest.raises(PrivacyError):
+            smooth_sensitivity_triangles(complete_graph, epsilon=0)
+        with pytest.raises(PrivacyError):
+            residual_sensitivity_triangles(complete_graph, epsilon=-1)
+
+    def test_invalid_gamma(self, complete_graph):
+        with pytest.raises(PrivacyError):
+            smooth_sensitivity_triangles(complete_graph, epsilon=1.0, gamma=0)
+        with pytest.raises(PrivacyError):
+            residual_sensitivity_triangles(complete_graph, epsilon=1.0, gamma=0)

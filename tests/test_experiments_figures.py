@@ -1,0 +1,114 @@
+"""Tests for repro.experiments.figures (scaled-down smoke runs with shape checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    figure5_l2_vs_epsilon,
+    figure6_relative_error_vs_epsilon,
+    figure7_l2_vs_n,
+    figure8_relative_error_vs_n,
+    figure9_projection_l2,
+    figure10_projection_relative_error,
+    figure11_running_time,
+    figure12_running_time_wiki,
+)
+
+
+class TestEpsilonSweepFigures:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return figure5_l2_vs_epsilon(
+            datasets=("facebook",), epsilons=(1.0, 3.0), num_nodes=100, num_trials=2, seed=0
+        )
+
+    def test_row_count(self, report):
+        assert len(report.rows) == 2 * 3  # epsilons x protocols
+
+    def test_cargo_between_local_and_central(self, report):
+        for epsilon in (1.0, 3.0):
+            rows = {row["protocol"]: row["l2_mean"] for row in report.filter_rows(epsilon=epsilon)}
+            assert rows["Cargo"] < rows["Local2Rounds"]
+            assert rows["CentralLap"] <= rows["Cargo"] * 10  # same ballpark, central is best
+
+    def test_error_shrinks_with_epsilon(self, report):
+        cargo = {row["epsilon"]: row["l2_mean"] for row in report.filter_rows(protocol="Cargo")}
+        assert cargo[3.0] < cargo[1.0]
+
+    def test_fig6_reuses_sweep_with_relative_error_columns(self):
+        report = figure6_relative_error_vs_epsilon(
+            datasets=("facebook",), epsilons=(2.0,), num_nodes=80, num_trials=1, seed=1
+        )
+        assert report.name == "fig6"
+        assert report.columns[3] == "re_mean" or "re_mean" in report.columns
+
+
+class TestUserSweepFigures:
+    def test_fig7_rows(self):
+        report = figure7_l2_vs_n(
+            datasets=("wiki",), user_counts=(60, 90), epsilon=2.0, num_trials=1, seed=0
+        )
+        assert len(report.rows) == 2 * 3
+        assert report.name == "fig7"
+
+    def test_fig8_is_relabelled_fig7(self):
+        report = figure8_relative_error_vs_n(
+            datasets=("wiki",), user_counts=(60,), epsilon=2.0, num_trials=1, seed=0
+        )
+        assert report.name == "fig8"
+
+    def test_local_error_grows_with_n(self):
+        report = figure7_l2_vs_n(
+            datasets=("facebook",), user_counts=(60, 150), epsilon=2.0, num_trials=2, seed=2
+        )
+        local = {row["num_users"]: row["l2_mean"] for row in report.filter_rows(protocol="Local2Rounds")}
+        assert local[150] > local[60]
+
+
+class TestProjectionFigures:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return figure9_projection_l2(
+            datasets=("facebook",), thetas=(5, 40), num_nodes=150, num_trials=2, seed=0
+        )
+
+    def test_rows(self, report):
+        assert len(report.rows) == 2 * 2  # thetas x methods
+
+    def test_similarity_never_worse(self, report):
+        for theta in (5, 40):
+            rows = {row["method"]: row["l2_mean"] for row in report.filter_rows(theta=theta)}
+            assert rows["Project"] <= rows["GraphProjection"] * 1.05
+
+    def test_loss_shrinks_with_theta(self, report):
+        project = {row["theta"]: row["l2_mean"] for row in report.filter_rows(method="Project")}
+        assert project[40] < project[5]
+
+    def test_fig10_relabels(self):
+        report = figure10_projection_relative_error(
+            datasets=("wiki",), thetas=(10,), num_nodes=100, num_trials=1, seed=1
+        )
+        assert report.name == "fig10"
+
+
+class TestRuntimeFigures:
+    def test_fig11_series(self):
+        report = figure11_running_time(dataset="facebook", user_counts=(60, 90), epsilon=2.0, seed=0)
+        assert len(report.rows) == 2
+        for row in report.rows:
+            assert row["cargo_s"] > 0
+            assert row["cargo_count_s"] <= row["cargo_s"]
+            # CARGO (secure computation) costs more than the central baseline.
+            assert row["cargo_s"] > row["central_lap_s"]
+
+    def test_runtime_grows_with_n(self):
+        report = figure11_running_time(dataset="wiki", user_counts=(50, 150), epsilon=2.0, seed=1)
+        times = {row["num_users"]: row["cargo_s"] for row in report.rows}
+        assert times[150] > times[50]
+
+    def test_fig12_uses_wiki(self):
+        report = figure12_running_time_wiki(user_counts=(50,), epsilon=2.0, seed=2)
+        assert report.rows[0]["dataset"] == "wiki"
+        assert report.name == "fig12"

@@ -1,0 +1,53 @@
+"""Tests for the paper-scale presets (without running them at full size)."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.paper_scale import (
+    PAPER_SCALE_OVERRIDES,
+    paper_scale_overrides,
+    run_at_paper_scale,
+)
+from repro.experiments.specs import EXPERIMENTS, get_experiment
+
+
+class TestPresets:
+    def test_every_experiment_has_a_preset(self):
+        assert set(PAPER_SCALE_OVERRIDES) == set(EXPERIMENTS)
+
+    def test_overrides_are_copies(self):
+        first = paper_scale_overrides("fig5")
+        first["num_trials"] = 999
+        assert paper_scale_overrides("fig5")["num_trials"] == 10
+
+    def test_overrides_match_runner_signatures(self):
+        """Every preset key must be an actual keyword of the runner function."""
+        for name, overrides in PAPER_SCALE_OVERRIDES.items():
+            accepted = set(inspect.signature(get_experiment(name).runner).parameters)
+            unknown = set(overrides) - accepted
+            assert not unknown, f"{name}: unknown override keys {unknown}"
+
+    def test_paper_parameters_recorded(self):
+        assert paper_scale_overrides("fig7")["user_counts"][-1] == 4000
+        assert paper_scale_overrides("table5")["num_nodes"] == 2000
+        assert paper_scale_overrides("table4")["scale"] == 1.0
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            paper_scale_overrides("fig99")
+
+
+class TestRunAtPaperScale:
+    def test_extra_overrides_win_and_run(self):
+        """Run a 'paper-scale' call shrunk back down so the test stays fast."""
+        report = run_at_paper_scale(
+            "fig9", datasets=("facebook",), thetas=(10,), num_nodes=80, num_trials=1
+        )
+        assert report.rows
+
+    def test_table2_is_instant(self):
+        assert run_at_paper_scale("table2").rows

@@ -1,0 +1,103 @@
+"""Tests for repro.experiments.runner and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.central_lap import CentralLaplaceTriangleCounting
+from repro.exceptions import ExperimentError
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    ExperimentReport,
+    ProtocolSweep,
+    default_protocols,
+    run_protocol_trials,
+)
+from repro.graph.generators import powerlaw_cluster_graph
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}], title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+
+    def test_column_order_respected(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_scientific_notation_for_extremes(self):
+        text = format_table([{"x": 1.23e9, "y": 4.5e-7}])
+        assert "e+09" in text and "e-07" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="nothing")
+
+
+class TestExperimentReport:
+    def test_add_row_and_column(self):
+        report = ExperimentReport(name="r", description="d")
+        report.add_row(x=1, y="a")
+        report.add_row(x=2, y="b")
+        assert report.column("x") == [1, 2]
+
+    def test_filter_rows(self):
+        report = ExperimentReport(name="r", description="d")
+        report.add_row(protocol="Cargo", epsilon=1)
+        report.add_row(protocol="CentralLap", epsilon=1)
+        assert len(report.filter_rows(protocol="Cargo")) == 1
+
+    def test_to_text_contains_name(self):
+        report = ExperimentReport(name="fig5", description="demo")
+        report.add_row(value=1)
+        assert "fig5" in report.to_text()
+
+
+class TestProtocolHelpers:
+    def test_default_protocols_names(self):
+        assert set(default_protocols(1.0)) == {"Local2Rounds", "Cargo", "CentralLap"}
+
+    def test_run_protocol_trials_metrics(self):
+        graph = powerlaw_cluster_graph(50, 3, 0.7, seed=0)
+        metrics = run_protocol_trials(
+            lambda eps, seed: CentralLaplaceTriangleCounting(epsilon=eps),
+            graph,
+            epsilon=2.0,
+            num_trials=3,
+        )
+        assert set(metrics) == {"l2_mean", "l2_median", "re_mean", "re_median"}
+        assert metrics["l2_mean"] >= 0
+
+    def test_run_protocol_trials_invalid_count(self):
+        graph = powerlaw_cluster_graph(30, 3, 0.7, seed=1)
+        with pytest.raises(ExperimentError):
+            run_protocol_trials(
+                lambda eps, seed: CentralLaplaceTriangleCounting(epsilon=eps),
+                graph,
+                epsilon=1.0,
+                num_trials=0,
+            )
+
+
+class TestProtocolSweep:
+    def test_epsilon_sweep_rows(self):
+        sweep = ProtocolSweep(datasets=["facebook"], num_nodes=80, num_trials=1, seed=0)
+        report = sweep.run_epsilon_sweep([1.0, 2.0])
+        # 1 dataset x 2 epsilons x 3 protocols.
+        assert len(report.rows) == 6
+        assert set(report.column("protocol")) == {"Local2Rounds", "Cargo", "CentralLap"}
+
+    def test_user_sweep_rows(self):
+        sweep = ProtocolSweep(datasets=["wiki"], num_trials=1, seed=0)
+        report = sweep.run_user_sweep([60, 90], epsilon=2.0)
+        assert len(report.rows) == 6
+        assert set(report.column("num_users")) == {60, 90}
+
+    def test_cargo_beats_local_in_sweep(self):
+        sweep = ProtocolSweep(datasets=["facebook"], num_nodes=100, num_trials=2, seed=1)
+        report = sweep.run_epsilon_sweep([2.0])
+        cargo = report.filter_rows(protocol="Cargo")[0]["l2_mean"]
+        local = report.filter_rows(protocol="Local2Rounds")[0]["l2_mean"]
+        assert cargo < local

@@ -1,0 +1,67 @@
+"""Tests for the experiment registry and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.exceptions import ExperimentError
+from repro.experiments.specs import EXPERIMENTS, get_experiment, list_experiments
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table2", "table3", "table4", "table5",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("FIG5").name == "fig5"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_list_matches_registry(self):
+        assert list_experiments() == list(EXPERIMENTS)
+
+    def test_specs_name_modules(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.modules
+            assert spec.paper_artifact.startswith(("Table", "Figure"))
+
+    def test_spec_run_returns_report(self):
+        report = get_experiment("table2").run()
+        assert report.rows
+
+
+class TestCli:
+    def test_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5", "--num-nodes", "50", "--trials", "1"])
+        assert args.experiment == "fig5"
+        assert args.num_nodes == 50
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table4" in output and "fig11" in output
+
+    def test_table2_command(self, capsys):
+        assert main(["table2"]) == 0
+        assert "CARGO" in capsys.readouterr().out
+
+    def test_table4_with_overrides(self, capsys):
+        assert main(["table4", "--num-nodes", "80"]) == 0
+        output = capsys.readouterr().out
+        assert "facebook" in output
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_epsilon_override_on_sweep(self, capsys):
+        assert main(["fig9", "--num-nodes", "80"]) == 0
+        assert "Project" in capsys.readouterr().out

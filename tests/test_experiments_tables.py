@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tables import (
+    MAIN_DATASETS,
+    SENSITIVITY_DATASETS,
+    table2_theoretical_summary,
+    table3_sensitivity_comparison,
+    table4_dataset_statistics,
+    table5_noisy_max_degree,
+)
+
+
+class TestTable2:
+    def test_rows_and_columns(self):
+        report = table2_theoretical_summary()
+        assert len(report.rows) == 4
+        assert set(report.columns) == {"property", "CentralLap", "CARGO", "Local2Rounds"}
+        properties = report.column("property")
+        assert "privacy" in properties and "time complexity" in properties
+
+
+class TestTable3:
+    def test_reports_all_graphs(self):
+        report = table3_sensitivity_comparison(num_nodes=120, datasets=("hepth", "grqc"))
+        assert len(report.rows) == 2
+        for row in report.rows:
+            assert row["noisy_d_max"] > 0
+            assert row["smooth_sensitivity"] > 0
+            assert row["residual_sensitivity"] >= row["smooth_sensitivity"]
+
+    def test_default_dataset_list(self):
+        assert set(SENSITIVITY_DATASETS) == {"condmat", "astroph", "hepph", "hepth", "grqc"}
+
+    def test_noisy_dmax_in_same_ballpark_as_true(self):
+        report = table3_sensitivity_comparison(num_nodes=150, datasets=("condmat",), epsilon=2.0)
+        row = report.rows[0]
+        assert row["noisy_d_max"] == pytest.approx(row["d_max"], rel=0.5)
+
+
+class TestTable4:
+    def test_reports_original_and_generated(self):
+        report = table4_dataset_statistics(num_nodes=100, datasets=("facebook", "wiki"))
+        assert len(report.rows) == 2
+        facebook = report.filter_rows(graph="facebook")[0]
+        assert facebook["original_nodes"] == 4039
+        assert facebook["original_dmax"] == 1045
+        assert facebook["generated_nodes"] == 100
+        assert facebook["generated_triangles"] > 0
+
+    def test_default_covers_paper_datasets(self):
+        assert MAIN_DATASETS == ("facebook", "wiki", "hepph", "enron")
+
+
+class TestTable5:
+    def test_row_per_graph_column_per_epsilon(self):
+        report = table5_noisy_max_degree(
+            epsilons=(1.0, 2.0), num_nodes=100, num_trials=2, datasets=("facebook",)
+        )
+        assert len(report.rows) == 1
+        row = report.rows[0]
+        assert "eps=1.0" in row and "eps=2.0" in row
+        assert row["d_max"] > 0
+
+    def test_estimates_near_true_max(self):
+        report = table5_noisy_max_degree(
+            epsilons=(3.0,), num_nodes=150, num_trials=3, datasets=("wiki",)
+        )
+        row = report.rows[0]
+        assert row["eps=3.0"] == pytest.approx(row["d_max"], rel=0.6)

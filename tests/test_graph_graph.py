@@ -1,0 +1,141 @@
+"""Tests for repro.graph.graph.Graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 0
+
+    def test_edges_at_construction(self):
+        graph = Graph(3, edges=[(0, 1), (1, 2)])
+        assert graph.num_edges == 2
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph(3, edges=[(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, edges=[(1, 1)])
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, edges=[(0, 2)])
+
+
+class TestMutation:
+    def test_add_edge_is_symmetric(self):
+        graph = Graph(3)
+        graph.add_edge(0, 2)
+        assert graph.has_edge(0, 2)
+        assert graph.has_edge(2, 0)
+
+    def test_add_edge_returns_whether_new(self):
+        graph = Graph(3)
+        assert graph.add_edge(0, 1) is True
+        assert graph.add_edge(0, 1) is False
+
+    def test_remove_edge(self):
+        graph = Graph(3, edges=[(0, 1)])
+        assert graph.remove_edge(1, 0) is True
+        assert graph.num_edges == 0
+        assert graph.remove_edge(0, 1) is False
+
+    def test_copy_is_independent(self):
+        graph = Graph(3, edges=[(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+        assert graph == Graph(3, edges=[(0, 1)])
+
+
+class TestDegrees:
+    def test_degrees(self, triangle_graph):
+        assert triangle_graph.degrees() == [2, 2, 3, 1]
+
+    def test_max_degree(self, triangle_graph):
+        assert triangle_graph.max_degree() == 3
+
+    def test_max_degree_empty(self):
+        assert Graph(0).max_degree() == 0
+
+    def test_degree_out_of_range(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.degree(99)
+
+
+class TestViews:
+    def test_adjacency_bit_vector(self, triangle_graph):
+        row = triangle_graph.adjacency_bit_vector(2)
+        assert row.tolist() == [1, 1, 0, 1]
+
+    def test_adjacency_matrix_symmetric(self, triangle_graph):
+        matrix = triangle_graph.adjacency_matrix()
+        assert np.array_equal(matrix, matrix.T)
+        assert matrix.sum() == 2 * triangle_graph.num_edges
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_edges_yielded_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == triangle_graph.num_edges
+        assert all(u < v for u, v in edges)
+
+    def test_edge_list_sorted(self, triangle_graph):
+        assert triangle_graph.edge_list() == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_adjacency_lists_sorted(self, triangle_graph):
+        assert triangle_graph.adjacency_lists()[2] == [0, 1, 3]
+
+    def test_neighbors_returns_copy(self, triangle_graph):
+        neighbours = triangle_graph.neighbors(0)
+        neighbours.add(99)
+        assert 99 not in triangle_graph.neighbors(0)
+
+
+class TestDerivedGraphs:
+    def test_subgraph_relabels(self, triangle_graph):
+        sub = triangle_graph.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_duplicate_node_rejected(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.subgraph([0, 0])
+
+    def test_from_adjacency_matrix_roundtrip(self, triangle_graph):
+        rebuilt = Graph.from_adjacency_matrix(triangle_graph.adjacency_matrix())
+        assert rebuilt == triangle_graph
+
+    def test_from_adjacency_matrix_rejects_asymmetric(self):
+        matrix = np.zeros((3, 3), dtype=int)
+        matrix[0, 1] = 1
+        with pytest.raises(GraphError):
+            Graph.from_adjacency_matrix(matrix)
+
+    def test_from_adjacency_matrix_rejects_diagonal(self):
+        matrix = np.eye(3, dtype=int)
+        with pytest.raises(GraphError):
+            Graph.from_adjacency_matrix(matrix)
+
+    def test_from_adjacency_matrix_rejects_non_square(self):
+        with pytest.raises(GraphError):
+            Graph.from_adjacency_matrix(np.zeros((2, 3), dtype=int))
+
+    def test_equality(self):
+        assert Graph(2, edges=[(0, 1)]) == Graph(2, edges=[(1, 0)])
+        assert Graph(2) != Graph(3)
+        assert Graph(2) != "not a graph"

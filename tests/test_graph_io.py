@@ -1,0 +1,86 @@
+"""Tests for repro.graph.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, small_random_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_random_graph, path, header="round trip")
+        loaded = read_edge_list(
+            path, num_nodes=small_random_graph.num_nodes, relabel=False
+        )
+        assert loaded.num_edges == small_random_graph.num_edges
+        assert sorted(loaded.edges()) == sorted(small_random_graph.edges())
+
+    def test_header_written_as_comment(self, tmp_path, triangle_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(triangle_graph, path, header="first line\nsecond line")
+        content = path.read_text()
+        assert content.startswith("# first line")
+        assert "# second line" in content
+
+    def test_parent_directory_created(self, tmp_path, triangle_graph):
+        path = tmp_path / "nested" / "dir" / "graph.txt"
+        write_edge_list(triangle_graph, path)
+        assert path.exists()
+
+
+class TestReading:
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_directed_duplicates_collapse(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_relabelling_compacts_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes == 3
+
+    def test_no_relabel_uses_raw_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 5\n")
+        graph = read_edge_list(path, relabel=False)
+        assert graph.num_nodes == 6
+        assert graph.has_edge(0, 5)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_edge_list(tmp_path / "missing.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_num_nodes_too_small(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path, num_nodes=2)

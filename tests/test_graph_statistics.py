@@ -1,0 +1,73 @@
+"""Tests for repro.graph.statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.statistics import (
+    average_clustering_coefficient,
+    average_degree,
+    degree_histogram,
+    degree_sequence,
+    global_clustering_coefficient,
+    graph_summary,
+    maximum_degree,
+)
+
+
+class TestDegreeStatistics:
+    def test_degree_sequence_sorted(self, triangle_graph):
+        assert degree_sequence(triangle_graph) == [3, 2, 2, 1]
+
+    def test_maximum_degree(self, star_graph):
+        assert maximum_degree(star_graph) == 7
+
+    def test_degree_histogram(self, star_graph):
+        assert degree_histogram(star_graph) == {7: 1, 1: 7}
+
+    def test_average_degree(self, complete_graph):
+        assert average_degree(complete_graph) == pytest.approx(5.0)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph(0)) == 0.0
+
+
+class TestClustering:
+    def test_complete_graph_is_fully_clustered(self, complete_graph):
+        assert global_clustering_coefficient(complete_graph) == pytest.approx(1.0)
+        assert average_clustering_coefficient(complete_graph) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self, star_graph):
+        assert global_clustering_coefficient(star_graph) == 0.0
+        assert average_clustering_coefficient(star_graph) == 0.0
+
+    def test_empty_graph(self, empty_graph):
+        assert global_clustering_coefficient(empty_graph) == 0.0
+        assert average_clustering_coefficient(empty_graph) == 0.0
+
+    def test_triangle_with_pendant(self, triangle_graph):
+        # Wedges: node0: 1, node1: 1, node2: 3, node3: 0 -> 5; transitivity 3/5.
+        assert global_clustering_coefficient(triangle_graph) == pytest.approx(0.6)
+
+
+class TestSummary:
+    def test_summary_fields(self, complete_graph):
+        summary = graph_summary(complete_graph)
+        assert summary.num_nodes == 6
+        assert summary.num_edges == 15
+        assert summary.max_degree == 5
+        assert summary.triangle_count == 20
+        assert summary.global_clustering == pytest.approx(1.0)
+
+    def test_summary_as_dict(self, triangle_graph):
+        summary = graph_summary(triangle_graph).as_dict()
+        assert summary["triangle_count"] == 1
+        assert set(summary) == {
+            "num_nodes",
+            "num_edges",
+            "max_degree",
+            "average_degree",
+            "triangle_count",
+            "global_clustering",
+        }

@@ -1,0 +1,89 @@
+"""Tests for repro.graph.triangles: the three exact counters must agree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_graph, powerlaw_cluster_graph
+from repro.graph.graph import Graph
+from repro.graph.triangles import (
+    count_triangles,
+    count_triangles_edge_iterator,
+    count_triangles_matrix,
+    count_triangles_node_iterator,
+    local_triangle_counts,
+    triangles_per_edge,
+)
+
+
+class TestKnownCounts:
+    def test_single_triangle(self, triangle_graph):
+        assert count_triangles(triangle_graph) == 1
+
+    def test_two_triangles(self, two_triangle_graph):
+        assert count_triangles(two_triangle_graph) == 2
+
+    def test_complete_graph(self, complete_graph):
+        assert count_triangles(complete_graph) == 20  # C(6, 3)
+
+    def test_star_has_none(self, star_graph):
+        assert count_triangles(star_graph) == 0
+
+    def test_empty_graph(self, empty_graph):
+        assert count_triangles(empty_graph) == 0
+
+    def test_tiny_graphs(self):
+        assert count_triangles(Graph(0)) == 0
+        assert count_triangles(Graph(2, edges=[(0, 1)])) == 0
+
+
+class TestAlgorithmsAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_graphs(self, seed):
+        graph = erdos_renyi_graph(40, 0.2, seed=seed)
+        node_iter = count_triangles_node_iterator(graph)
+        edge_iter = count_triangles_edge_iterator(graph)
+        matrix = count_triangles_matrix(graph)
+        assert node_iter == edge_iter == matrix
+
+    def test_clustered_graph(self):
+        graph = powerlaw_cluster_graph(80, 4, 0.8, seed=5)
+        assert count_triangles_node_iterator(graph) == count_triangles_matrix(graph)
+
+    def test_fixture_graphs(self, complete_graph, star_graph, two_triangle_graph):
+        for graph in (complete_graph, star_graph, two_triangle_graph):
+            assert (
+                count_triangles_node_iterator(graph)
+                == count_triangles_edge_iterator(graph)
+                == count_triangles_matrix(graph)
+            )
+
+
+class TestLocalCounts:
+    def test_sum_is_three_times_total(self, complete_graph):
+        local = local_triangle_counts(complete_graph)
+        assert sum(local) == 3 * count_triangles(complete_graph)
+
+    def test_triangle_graph_membership(self, triangle_graph):
+        local = local_triangle_counts(triangle_graph)
+        assert local == [1, 1, 1, 0]
+
+    def test_star_all_zero(self, star_graph):
+        assert local_triangle_counts(star_graph) == [0] * 8
+
+
+class TestEdgeSupport:
+    def test_triangle_edges_support_one(self, triangle_graph):
+        support = triangles_per_edge(triangle_graph)
+        assert support[(0, 1)] == 1
+        assert support[(0, 2)] == 1
+        assert support[(1, 2)] == 1
+        assert support[(2, 3)] == 0
+
+    def test_support_sums_to_three_per_triangle(self, two_triangle_graph):
+        support = triangles_per_edge(two_triangle_graph)
+        assert sum(support.values()) == 3 * count_triangles(two_triangle_graph)
+
+    def test_shared_edge_supports_both(self, two_triangle_graph):
+        support = triangles_per_edge(two_triangle_graph)
+        assert support[(3, 4)] == 2

@@ -1,0 +1,125 @@
+"""Integration tests spanning the whole pipeline.
+
+These tests exercise the realistic end-to-end paths a user of the library
+would follow: load a dataset, run all three protocols, compare their errors,
+and regenerate (scaled-down) experiment artefacts — asserting the qualitative
+claims of the paper rather than point values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Cargo,
+    CargoConfig,
+    CentralLaplaceTriangleCounting,
+    LocalTwoRoundsTriangleCounting,
+    count_triangles,
+    load_dataset,
+)
+from repro.core.config import CountingBackend
+from repro.dp.accountant import PrivacyAccountant
+from repro.metrics.aggregate import aggregate_trials
+
+
+@pytest.fixture(scope="module")
+def facebook_graph():
+    return load_dataset("facebook", num_nodes=180)
+
+
+class TestUtilityOrdering:
+    """The paper's headline claim: Local ≫ CARGO ≳ Central in error."""
+
+    @pytest.fixture(scope="class")
+    def losses(self, request):
+        graph = load_dataset("facebook", num_nodes=180)
+        epsilon = 2.0
+        trials = 3
+        cargo = [
+            Cargo(CargoConfig(epsilon=epsilon, seed=seed)).run(graph).l2_loss
+            for seed in range(trials)
+        ]
+        central = [
+            CentralLaplaceTriangleCounting(epsilon=epsilon).run(graph, rng=seed).l2_loss
+            for seed in range(trials)
+        ]
+        local = [
+            LocalTwoRoundsTriangleCounting(epsilon=epsilon).run(graph, rng=seed).l2_loss
+            for seed in range(trials)
+        ]
+        return {
+            "cargo": aggregate_trials(cargo).mean,
+            "central": aggregate_trials(central).mean,
+            "local": aggregate_trials(local).mean,
+        }
+
+    def test_cargo_is_orders_of_magnitude_better_than_local(self, losses):
+        assert losses["cargo"] * 50 < losses["local"]
+
+    def test_cargo_is_within_two_orders_of_central(self, losses):
+        assert losses["cargo"] < losses["central"] * 100
+
+    def test_central_is_best(self, losses):
+        assert losses["central"] <= losses["cargo"]
+
+
+class TestProtocolInternalsConsistency:
+    def test_secure_count_equals_projected_plaintext_count(self, facebook_graph):
+        """Removing the noise, the secure pipeline computes the projected count exactly."""
+        result = Cargo(CargoConfig(epsilon=2.0, seed=3)).run(facebook_graph)
+        # noisy = projected + noise; the noise is Laplace with scale d'max/eps2,
+        # so the gap between the noisy output and the projected count must be
+        # small relative to the count and exactly equals the injected noise.
+        noise = result.noisy_triangle_count - result.projected_triangle_count
+        assert abs(noise) < 60 * result.noisy_max_degree / result.epsilon2
+
+    def test_budget_accounting_matches_protocol(self, facebook_graph):
+        config = CargoConfig(epsilon=1.5, seed=4)
+        result = Cargo(config).run(facebook_graph)
+        accountant = PrivacyAccountant(total_budget=1.5)
+        accountant.spend(result.epsilon1, "max")
+        accountant.spend(result.epsilon2, "perturb")
+        assert accountant.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_true_count_matches_library_count(self, facebook_graph):
+        result = Cargo(CargoConfig(epsilon=2.0, seed=5)).run(facebook_graph)
+        assert result.true_triangle_count == count_triangles(facebook_graph)
+
+
+class TestBackendsAtScale:
+    def test_matrix_and_batched_backends_agree_on_dataset(self):
+        graph = load_dataset("grqc", num_nodes=60)
+        matrix = Cargo(
+            CargoConfig(epsilon=2.0, seed=6, counting_backend=CountingBackend.MATRIX)
+        ).run(graph)
+        batched = Cargo(
+            CargoConfig(epsilon=2.0, seed=6, counting_backend=CountingBackend.BATCHED)
+        ).run(graph)
+        assert matrix.noisy_triangle_count == pytest.approx(batched.noisy_triangle_count)
+        assert matrix.projected_triangle_count == batched.projected_triangle_count
+
+
+class TestCommunicationAccounting:
+    def test_ledger_scales_with_users(self):
+        small = Cargo(CargoConfig(epsilon=2.0, seed=7, track_communication=True)).run(
+            load_dataset("grqc", num_nodes=40)
+        )
+        large = Cargo(CargoConfig(epsilon=2.0, seed=7, track_communication=True)).run(
+            load_dataset("grqc", num_nodes=80)
+        )
+        small_messages = sum(entry["messages"] for entry in small.communication.values())
+        large_messages = sum(entry["messages"] for entry in large.communication.values())
+        assert large_messages > small_messages
+
+
+class TestRepeatedRunsAreIndependent:
+    def test_noise_varies_across_seeds_but_count_does_not(self, facebook_graph):
+        results = [
+            Cargo(CargoConfig(epsilon=2.0, seed=seed)).run(facebook_graph) for seed in range(3)
+        ]
+        noisy = {round(result.noisy_triangle_count, 6) for result in results}
+        true_counts = {result.true_triangle_count for result in results}
+        assert len(noisy) == 3
+        assert len(true_counts) == 1

@@ -1,0 +1,73 @@
+"""Tests for repro.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.aggregate import TrialAggregate, aggregate_trials, repeat_trials
+from repro.metrics.error import l2_loss, relative_error
+
+
+class TestErrorMetrics:
+    def test_l2_loss(self):
+        assert l2_loss(100, 90) == 100.0
+        assert l2_loss(0, 0) == 0.0
+        assert l2_loss(10, 13.5) == pytest.approx(12.25)
+
+    def test_relative_error(self):
+        assert relative_error(100, 90) == pytest.approx(0.1)
+        assert relative_error(100, 110) == pytest.approx(0.1)
+        assert relative_error(-50, -25) == pytest.approx(0.5)
+
+    def test_relative_error_zero_truth(self):
+        with pytest.raises(ConfigurationError):
+            relative_error(0, 5)
+
+
+class TestAggregation:
+    def test_basic_statistics(self):
+        aggregate = aggregate_trials([1.0, 2.0, 3.0, 4.0])
+        assert aggregate.mean == pytest.approx(2.5)
+        assert aggregate.median == pytest.approx(2.5)
+        assert aggregate.minimum == 1.0
+        assert aggregate.maximum == 4.0
+        assert aggregate.count == 4
+
+    def test_odd_length_median(self):
+        assert aggregate_trials([5.0, 1.0, 3.0]).median == 3.0
+
+    def test_std(self):
+        aggregate = aggregate_trials([2.0, 2.0, 2.0])
+        assert aggregate.std == 0.0
+
+    def test_as_dict(self):
+        data = aggregate_trials([1.0]).as_dict()
+        assert data["count"] == 1
+        assert set(data) == {"mean", "median", "min", "max", "std", "count"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_trials([])
+
+    def test_returns_dataclass(self):
+        assert isinstance(aggregate_trials([1.0, 2.0]), TrialAggregate)
+
+
+class TestRepeatTrials:
+    def test_runs_requested_number(self):
+        values = repeat_trials(lambda seed: float(seed % 7), num_trials=5, seed=0)
+        assert len(values) == 5
+
+    def test_deterministic_given_seed(self):
+        first = repeat_trials(lambda seed: float(seed), num_trials=4, seed=9)
+        second = repeat_trials(lambda seed: float(seed), num_trials=4, seed=9)
+        assert first == second
+
+    def test_seeds_are_distinct(self):
+        values = repeat_trials(lambda seed: float(seed), num_trials=6, seed=1)
+        assert len(set(values)) == 6
+
+    def test_invalid_trial_count(self):
+        with pytest.raises(ConfigurationError):
+            repeat_trials(lambda seed: 0.0, num_trials=0)

@@ -1,0 +1,56 @@
+"""Tests for the top-level package API and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_core_entry_points_importable(self):
+        from repro import Cargo, CargoConfig, Graph, load_dataset  # noqa: F401
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.crypto
+        import repro.dp
+        import repro.experiments
+        import repro.graph
+        import repro.metrics
+
+        assert repro.analysis and repro.crypto and repro.experiments
+
+    def test_minimal_workflow_through_public_api(self):
+        graph = repro.load_dataset("grqc", num_nodes=50)
+        result = repro.Cargo(repro.CargoConfig(epsilon=2.0, seed=1)).run(graph)
+        assert repro.l2_loss(result.true_triangle_count, result.noisy_triangle_count) >= 0
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, exceptions.ReproError)
+
+    def test_specific_parent_relationships(self):
+        assert issubclass(exceptions.ShareError, exceptions.ProtocolError)
+        assert issubclass(exceptions.DealerError, exceptions.ProtocolError)
+        assert issubclass(exceptions.BudgetExhaustedError, exceptions.PrivacyError)
+
+    def test_library_raises_catchable_base(self):
+        with pytest.raises(exceptions.ReproError):
+            repro.load_dataset("not-a-dataset")
+        with pytest.raises(exceptions.ReproError):
+            repro.CargoConfig(epsilon=-1)

@@ -1,0 +1,91 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    choice_without_replacement,
+    derive_rng,
+    shuffled,
+    spawn_rngs,
+    stable_seed_from_name,
+)
+
+
+class TestDeriveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = derive_rng(7).integers(0, 1_000_000)
+        b = derive_rng(7).integers(0, 1_000_000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1).integers(0, 2**40)
+        b = derive_rng(2).integers(0, 2**40)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert derive_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(5)
+        assert isinstance(derive_rng(sequence), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 3)
+        draws = [child.integers(0, 2**40) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_from_seed(self):
+        first = [g.integers(0, 2**40) for g in spawn_rngs(11, 4)]
+        second = [g.integers(0, 2**40) for g in spawn_rngs(11, 4)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_generator_input_spawns(self):
+        children = spawn_rngs(np.random.default_rng(9), 2)
+        assert len(children) == 2
+
+
+class TestHelpers:
+    def test_choice_without_replacement_distinct(self, rng):
+        picked = choice_without_replacement(rng, list(range(20)), 10)
+        assert len(picked) == len(set(picked)) == 10
+
+    def test_choice_without_replacement_too_many(self, rng):
+        with pytest.raises(ValueError):
+            choice_without_replacement(rng, [1, 2, 3], 4)
+
+    def test_shuffled_preserves_elements(self, rng):
+        items = list(range(50))
+        result = shuffled(rng, items)
+        assert sorted(result) == items
+        assert items == list(range(50))  # input not mutated
+
+    def test_stable_seed_is_stable(self):
+        assert stable_seed_from_name("facebook") == stable_seed_from_name("facebook")
+
+    def test_stable_seed_differs_by_name(self):
+        assert stable_seed_from_name("facebook") != stable_seed_from_name("wiki")
+
+    def test_stable_seed_mixes_base_seed(self):
+        assert stable_seed_from_name("facebook", 1) != stable_seed_from_name("facebook", 2)
+
+    def test_stable_seed_fits_63_bits(self):
+        assert 0 <= stable_seed_from_name("enron") < 2**63

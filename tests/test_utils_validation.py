@@ -1,0 +1,99 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type("x", 3.5, (int, float)) == 3.5
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError, match="x must be of type int"):
+            check_type("x", "no", int)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.1) == 0.1
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", value)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("inf"))
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", True)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0, 0.5, 1])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", value)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 5, low=5, high=5) == 5
+
+    def test_exclusive_bounds_reject_endpoint(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 5, low=5, inclusive=False)
+
+    def test_upper_bound_violation(self):
+        with pytest.raises(ConfigurationError, match="must be <= 10"):
+            check_in_range("x", 11, high=10)
+
+    def test_lower_bound_violation(self):
+        with pytest.raises(ConfigurationError, match="must be >= 1"):
+            check_in_range("x", 0, low=1)
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer("n", 7) == 7
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_integer("n", 7.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_integer("n", True)
