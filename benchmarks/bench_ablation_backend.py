@@ -1,16 +1,19 @@
-"""Ablation — secure counting backend: faithful per-triple vs batched vs matrix.
+"""Ablation — secure counting backend: faithful vs batched vs matrix vs blocked.
 
-All three backends compute the identical count; the ablation quantifies the
-running-time gap that justifies using the matrix backend for the paper-scale
-experiments while keeping the faithful protocol as the reference.
+All backends compute the identical count; the ablation quantifies the
+running-time gap that justifies using the vectorised backends for the
+paper-scale experiments while keeping the faithful protocol as the reference.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.core.counting import FaithfulTriangleCounter
-from repro.core.fast_counting import MatrixTriangleCounter
+from repro.core.backends import (
+    BlockedMatrixTriangleCounter,
+    FaithfulTriangleCounter,
+    MatrixTriangleCounter,
+)
 from repro.graph.datasets import load_dataset
 
 
@@ -23,6 +26,7 @@ def run_backend_ablation(num_nodes: int = 40):
         "faithful": FaithfulTriangleCounter(batch_size=1),
         "batched": FaithfulTriangleCounter(batch_size=2048),
         "matrix": MatrixTriangleCounter(),
+        "blocked": BlockedMatrixTriangleCounter(block_size=16),
     }
     for name, counter in backends.items():
         start = time.perf_counter()
@@ -41,3 +45,4 @@ def test_ablation_counting_backend(benchmark):
     assert len(counts) == 1
     assert results["matrix"][0] < results["faithful"][0]
     assert results["batched"][0] < results["faithful"][0]
+    assert results["blocked"][0] < results["faithful"][0]

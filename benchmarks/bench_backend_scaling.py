@@ -1,0 +1,116 @@
+"""Scaling micro-benchmark — monolithic ``matrix`` vs tiled ``blocked`` backend.
+
+Sweeps the user count ``n`` and records, per backend, the secure-count
+runtime and the dealer's peak *single-triple* allocation (per-party ring
+elements of the largest Beaver triple issued).  The monolithic matrix backend
+pays ``3 n^2`` elements for its one giant triple; the blocked backend never
+exceeds ``3 block_size^2`` regardless of ``n``, which is what lets it keep
+scaling after the monolithic triple stops fitting.
+
+The rows are emitted as JSON (``benchmarks/results/backend_scaling.json`` by
+default, override with ``REPRO_BENCH_OUTPUT``) so future changes can track
+the runtime/memory trajectory across commits.  Set ``REPRO_BENCH_QUICK=1``
+for the small CI smoke-test sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.backends import BlockedMatrixTriangleCounter, MatrixTriangleCounter
+from repro.crypto.beaver import BeaverTripleDealer
+from repro.graph.datasets import load_dataset
+
+#: Default n sweep and tile width; the quick mode keeps CI under a minute.
+DEFAULT_USER_COUNTS = (128, 256, 384)
+QUICK_USER_COUNTS = (64, 128)
+BLOCK_SIZE = 32
+
+
+def run_backend_scaling(user_counts=None, block_size: int = BLOCK_SIZE):
+    """Return one row per (n, backend) with runtime and peak-triple stats."""
+    if user_counts is None:
+        quick = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
+        user_counts = QUICK_USER_COUNTS if quick else DEFAULT_USER_COUNTS
+    rows = []
+    for num_users in user_counts:
+        graph = load_dataset("facebook", num_nodes=num_users)
+        shares = graph.adjacency_matrix()
+        backends = {
+            "matrix": lambda dealer: MatrixTriangleCounter(dealer=dealer),
+            "blocked": lambda dealer: BlockedMatrixTriangleCounter(
+                dealer=dealer, block_size=block_size
+            ),
+        }
+        counts = {}
+        for name, build in backends.items():
+            dealer = BeaverTripleDealer(seed=0)
+            counter = build(dealer)
+            start = time.perf_counter()
+            result = counter.count(shares, rng=num_users)
+            seconds = time.perf_counter() - start
+            counts[name] = result.reconstruct()
+            rows.append(
+                {
+                    "backend": name,
+                    "num_users": num_users,
+                    "block_size": block_size if name == "blocked" else num_users,
+                    "seconds": seconds,
+                    "opening_rounds": result.opening_rounds,
+                    "largest_triple_elements": dealer.largest_triple_elements,
+                    "total_triple_elements": dealer.total_triple_elements,
+                    "count": counts[name],
+                }
+            )
+        assert counts["matrix"] == counts["blocked"], counts
+    return rows
+
+
+def write_json(rows, path=None) -> Path:
+    """Persist the benchmark rows for cross-commit trajectory tracking."""
+    if path is None:
+        path = os.environ.get(
+            "REPRO_BENCH_OUTPUT",
+            str(Path(__file__).resolve().parent / "results" / "backend_scaling.json"),
+        )
+    output = Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps({"benchmark": "backend_scaling", "rows": rows}, indent=2))
+    return output
+
+
+def test_backend_scaling(benchmark):
+    """Blocked matches matrix exactly while bounding the peak triple size."""
+    rows = benchmark.pedantic(run_backend_scaling, rounds=1, iterations=1)
+    output = write_json(rows)
+    print(f"\n  wrote {output}")
+    for row in rows:
+        print(
+            "  backend={backend:<8} n={num_users:<5} time={seconds:8.4f}s "
+            "rounds={opening_rounds:<6} peak_triple={largest_triple_elements}".format(**row)
+        )
+    largest_n = max(row["num_users"] for row in rows)
+    matrix_peak = next(
+        row["largest_triple_elements"]
+        for row in rows
+        if row["backend"] == "matrix" and row["num_users"] == largest_n
+    )
+    blocked_peak = next(
+        row["largest_triple_elements"]
+        for row in rows
+        if row["backend"] == "blocked" and row["num_users"] == largest_n
+    )
+    # The whole point of the blocked backend: at the largest n the monolithic
+    # matrix triple is at least 4x bigger than any single blocked allocation.
+    assert matrix_peak >= 4 * blocked_peak
+    assert blocked_peak <= 3 * BLOCK_SIZE * BLOCK_SIZE
+
+
+if __name__ == "__main__":
+    output_rows = run_backend_scaling()
+    destination = write_json(output_rows)
+    print(json.dumps(output_rows, indent=2))
+    print(f"wrote {destination}")

@@ -36,6 +36,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epsilon", type=float, default=None, help="override the privacy budget")
     parser.add_argument("--seed", type=int, default=None, help="override the base random seed")
     parser.add_argument(
+        "--backend",
+        default=None,
+        help="secure counting backend for experiments that run CARGO "
+        "(a registered name, e.g. matrix, blocked, batched, faithful)",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="run sweep cells on this many worker threads (deterministic; "
+        "identical rows to a serial run)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the result rows as JSON instead of a table"
     )
     return parser
@@ -58,6 +71,10 @@ def _collect_overrides(args: argparse.Namespace, runner) -> dict:
             overrides["epsilons"] = (args.epsilon,)
     if args.seed is not None and "seed" in accepted:
         overrides["seed"] = args.seed
+    if args.backend is not None and "counting_backend" in accepted:
+        overrides["counting_backend"] = args.backend
+    if args.max_workers is not None and "max_workers" in accepted:
+        overrides["max_workers"] = args.max_workers
     return overrides
 
 

@@ -4,10 +4,9 @@
   the maximum degree under ε1-Edge LDP.
 * :mod:`repro.core.projection` — Algorithm 3 (`Project`): similarity-based
   local graph projection that bounds every user's degree by ``d'_max``.
-* :mod:`repro.core.counting` — Algorithm 4 (`Count`): ASS-based secure
-  triangle counting (faithful per-triple protocol plus a batched variant).
-* :mod:`repro.core.fast_counting` — vectorised secure counting backend based
-  on secret-shared matrix products (same output, much faster).
+* :mod:`repro.core.backends` — Algorithm 4 (`Count`): the pluggable secure
+  counting backends (``faithful``, ``batched``, ``matrix``, ``blocked``) and
+  the registry that maps configuration names onto them.
 * :mod:`repro.core.perturbation` — Algorithm 5 (`Perturb`): distributed
   Gamma-difference noise added inside the secret-shared domain.
 * :mod:`repro.core.cargo` — Algorithm 1: the end-to-end protocol
@@ -22,8 +21,15 @@ from repro.core.projection import (
     degree_similarity,
     projected_triangle_count,
 )
-from repro.core.counting import FaithfulTriangleCounter
-from repro.core.fast_counting import MatrixTriangleCounter
+from repro.core.backends import (
+    BlockedMatrixTriangleCounter,
+    FaithfulTriangleCounter,
+    MatrixTriangleCounter,
+    TriangleCounterBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.core.perturbation import DistributedPerturbation, PerturbationResult
 from repro.core.cargo import Cargo
 from repro.core.node_dp import NodeDpCargo, NodeDpMaxDegreeEstimator, edge_vs_node_dp_gap
@@ -40,6 +46,11 @@ __all__ = [
     "projected_triangle_count",
     "FaithfulTriangleCounter",
     "MatrixTriangleCounter",
+    "BlockedMatrixTriangleCounter",
+    "TriangleCounterBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
     "DistributedPerturbation",
     "PerturbationResult",
     "Cargo",

@@ -1,0 +1,119 @@
+"""Vectorised secure triangle counting via secret-shared matrix products.
+
+The faithful Algorithm 4 consumes one multiplication group per candidate
+triple, which is cubic in the number of users.  This backend computes exactly
+the same quantity,
+
+``T = sum_{i<j<k} a_ij * a_ik * a_jk``,
+
+with two opening rounds by rewriting it in matrix form.  Let ``C`` be the
+strictly upper-triangular matrix with ``C[i, j] = a_ij`` for ``i < j`` (each
+entry taken from user ``i``'s shared row, exactly the bits Algorithm 4
+reads).  Then
+
+``T = sum_{j<k} C[j, k] * (C^T C)[j, k]``
+
+because ``(C^T C)[j, k] = sum_i C[i, j] C[i, k]`` and the strict upper
+triangularity of ``C`` enforces ``i < j``.  The servers therefore
+
+1. locally mask their shares down to the strict upper triangle,
+2. compute shares of ``M = C^T C`` with one secret-shared matrix
+   multiplication (a matrix Beaver triple, one opening of two ``n x n``
+   matrices), and
+3. compute shares of the element-wise product ``C ⊙ M`` over the upper
+   triangle with one element-wise Beaver triple, then locally sum.
+
+The three bits entering each product and the final count are identical to
+the faithful protocol's; only the grouping of the openings differs, so the
+backend is a drop-in replacement for `Count` in experiments at realistic
+graph sizes.  Its weakness is memory: the monolithic matrix triple holds
+several ``n x n`` arrays at once, which is what the ``blocked`` backend
+(:mod:`repro.core.backends.blocked`) fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.backends.base import CountResult, TriangleCounterBackend
+from repro.core.backends.registry import register_backend
+from repro.crypto.beaver import BeaverTripleDealer
+from repro.crypto.ring import DEFAULT_RING, Ring
+from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_pair
+from repro.crypto.views import ViewRecorder
+from repro.utils.rng import RandomState
+
+
+@register_backend("matrix")
+class MatrixTriangleCounter(TriangleCounterBackend):
+    """Secure triangle counting with secret-shared matrix algebra.
+
+    Parameters
+    ----------
+    ring:
+        Secret-sharing ring.
+    dealer:
+        Beaver-triple dealer supplying the matrix and element-wise triples; a
+        fresh one is created when not supplied.
+    views:
+        Optional view recorder for the security tests.
+    """
+
+    def __init__(
+        self,
+        ring: Ring = DEFAULT_RING,
+        dealer: Optional[BeaverTripleDealer] = None,
+        views: Optional[ViewRecorder] = None,
+    ) -> None:
+        super().__init__(ring=ring, views=views)
+        self._dealer = dealer if dealer is not None else BeaverTripleDealer(ring=ring)
+
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        dealer_rng: RandomState = None,
+        views: Optional[ViewRecorder] = None,
+    ) -> "MatrixTriangleCounter":
+        dealer = BeaverTripleDealer(ring=config.ring, seed=dealer_rng)
+        return cls(ring=config.ring, dealer=dealer, views=views)
+
+    def count_from_shares(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
+        """Run the secure count given each server's share matrix."""
+        ring = self._ring
+        share1, share2 = self._validate_share_matrices(share1, share2)
+        n = share1.shape[0]
+        if n < 3:
+            return CountResult(share1=0, share2=0, num_triples_processed=0, opening_rounds=0)
+
+        # Step 1 — each server locally zeroes everything outside the strict
+        # upper triangle.  The mask is public (it only depends on indices), so
+        # this is a local linear operation on shares.
+        upper_mask = np.triu(np.ones((n, n), dtype=ring.dtype), k=1)
+        c1 = ring.mul(share1, upper_mask)
+        c2 = ring.mul(share2, upper_mask)
+
+        # Step 2 — shares of M = C^T @ C via one matrix Beaver triple.
+        matrix_triple = self._dealer.matrix_triple((n, n), (n, n))
+        m1, m2 = secure_matrix_multiply(
+            (c1.T.copy(), c2.T.copy()), (c1, c2), matrix_triple, ring=ring, views=self._views
+        )
+
+        # Step 3 — shares of C ⊙ M over the upper triangle via one
+        # element-wise Beaver triple, then a local sum.
+        elementwise_triple = self._dealer.vector_triple((n, n))
+        prod1, prod2 = secure_multiply_pair(
+            (c1, c2), (ring.mul(m1, upper_mask), ring.mul(m2, upper_mask)),
+            elementwise_triple, ring=ring, views=self._views,
+        )
+        total1 = int(np.sum(prod1, dtype=np.uint64) & np.uint64(ring.mask))
+        total2 = int(np.sum(prod2, dtype=np.uint64) & np.uint64(ring.mask))
+        num_triples = n * (n - 1) * (n - 2) // 6
+        return CountResult(
+            share1=total1,
+            share2=total2,
+            num_triples_processed=num_triples,
+            opening_rounds=2,
+        )

@@ -22,18 +22,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.config import CargoConfig, CountingBackend
-from repro.core.counting import FaithfulTriangleCounter, share_adjacency_rows
-from repro.core.fast_counting import MatrixTriangleCounter
+from repro.core.backends import create_backend, share_adjacency_rows
+from repro.core.config import CargoConfig
 from repro.core.max_degree import MaxDegreeEstimator
 from repro.core.perturbation import DistributedPerturbation
 from repro.core.projection import SimilarityProjection, projected_triangle_count
 from repro.core.result import CargoResult
-from repro.crypto.beaver import BeaverTripleDealer
-from repro.crypto.multiplication_groups import MultiplicationGroupDealer
 from repro.crypto.protocol import TwoServerRuntime
 from repro.crypto.views import ViewRecorder
-from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 from repro.graph.triangles import count_triangles
 from repro.utils.rng import derive_rng, spawn_rngs
@@ -106,7 +102,14 @@ class Cargo:
             # Step 2 — Count: secure triangle counting on secret shares.
             # ---------------------------------------------------------- #
             with timers.measure("count"):
-                counter = self._build_counter(dealer_rng)
+                # Backends self-register with the registry; the orchestrator
+                # only knows the configured name.
+                counter = create_backend(
+                    config.counting_backend,
+                    config=config,
+                    dealer_rng=dealer_rng,
+                    views=self.views,
+                )
                 if runtime is not None:
                     # Each user uploads one share of her projected bit vector
                     # to each server; routing the upload through the runtime
@@ -155,29 +158,5 @@ class Cargo:
             edges_removed=projection_result.edges_removed,
             timings=timers.as_dict(),
             communication=runtime.ledger.summary() if runtime is not None else {},
-            backend=config.counting_backend.value,
+            backend=config.backend_name,
         )
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _build_counter(self, dealer_rng):
-        config = self._config
-        backend = config.counting_backend
-        if backend is CountingBackend.MATRIX:
-            dealer = BeaverTripleDealer(ring=config.ring, seed=dealer_rng)
-            return MatrixTriangleCounter(ring=config.ring, dealer=dealer, views=self.views)
-        if backend is CountingBackend.FAITHFUL:
-            dealer = MultiplicationGroupDealer(ring=config.ring, seed=dealer_rng)
-            return FaithfulTriangleCounter(
-                ring=config.ring, dealer=dealer, batch_size=1, views=self.views
-            )
-        if backend is CountingBackend.BATCHED:
-            dealer = MultiplicationGroupDealer(ring=config.ring, seed=dealer_rng)
-            return FaithfulTriangleCounter(
-                ring=config.ring,
-                dealer=dealer,
-                batch_size=config.batch_size,
-                views=self.views,
-            )
-        raise ConfigurationError(f"unknown counting backend: {backend!r}")

@@ -4,8 +4,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
+from repro.core.backends.registry import (
+    available_backends,
+    backend_registered,
+    resolve_backend_name,
+)
 from repro.crypto.ring import DEFAULT_RING, Ring
 from repro.dp.budget import DEFAULT_MAX_DEGREE_FRACTION, PrivacyBudget
 from repro.exceptions import ConfigurationError
@@ -23,11 +28,22 @@ class CountingBackend(str, enum.Enum):
     * ``MATRIX`` — secret-shared matrix formulation (``C^T C`` then an
       element-wise product), producing the same count with two opening
       rounds total.  This is the default backend for the experiments.
+    * ``BLOCKED`` — the matrix formulation streamed in fixed-size tiles
+      (``block_size``), consuming one small Beaver triple per tile.  Peak
+      memory per opening round is ``O(block_size^2)`` instead of ``O(n^2)``
+      at the cost of more opening rounds; use it when ``n`` outgrows the
+      monolithic matrix triple.
+
+    Beyond these built-ins, ``counting_backend`` also accepts any string
+    registered via :func:`repro.core.backends.register_backend`, so
+    third-party execution strategies plug in without touching the
+    orchestrator.
     """
 
     FAITHFUL = "faithful"
     BATCHED = "batched"
     MATRIX = "matrix"
+    BLOCKED = "blocked"
 
 
 @dataclass(frozen=True)
@@ -46,6 +62,10 @@ class CargoConfig:
         Fraction of ε spent on the `Max` step (paper default 0.1).
     counting_backend:
         Secure counting implementation to use (default: matrix backend).
+        Accepts a :class:`CountingBackend` member or the registered name of
+        any backend (built-in or third-party); names matching a built-in are
+        normalised to the enum member, other registered names are kept as
+        strings.
     ring:
         Secret-sharing ring.
     fixed_point_bits:
@@ -54,6 +74,9 @@ class CargoConfig:
     batch_size:
         Number of candidate triples per opening round for the batched
         backend.
+    block_size:
+        Tile width of the blocked backend; peak memory per opening round is
+        ``O(block_size^2)``.
     seed:
         Master seed for the run; all users, servers, and the dealer derive
         independent substreams from it.
@@ -69,10 +92,11 @@ class CargoConfig:
     epsilon: float = 2.0
     budget: Optional[PrivacyBudget] = None
     max_degree_fraction: float = DEFAULT_MAX_DEGREE_FRACTION
-    counting_backend: CountingBackend = CountingBackend.MATRIX
+    counting_backend: Union[CountingBackend, str] = CountingBackend.MATRIX
     ring: Ring = DEFAULT_RING
     fixed_point_bits: int = 16
     batch_size: int = 4096
+    block_size: int = 128
     seed: Optional[int] = None
     record_views: bool = False
     track_communication: bool = False
@@ -86,14 +110,31 @@ class CargoConfig:
             )
         if self.batch_size <= 0:
             raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
+        if self.block_size <= 0:
+            raise ConfigurationError(f"block_size must be positive, got {self.block_size}")
         if self.fixed_point_bits < 0 or self.fixed_point_bits > 30:
             raise ConfigurationError(
                 f"fixed_point_bits must be in [0, 30], got {self.fixed_point_bits}"
             )
         if not isinstance(self.counting_backend, CountingBackend):
-            object.__setattr__(
-                self, "counting_backend", CountingBackend(self.counting_backend)
-            )
+            name = resolve_backend_name(self.counting_backend)
+            try:
+                backend = CountingBackend(name)
+            except ValueError:
+                # Not a built-in: keep the registered name as a pass-through
+                # so third-party backends plug in without touching this enum.
+                if not backend_registered(name):
+                    raise ConfigurationError(
+                        f"unknown counting backend {self.counting_backend!r}; "
+                        f"registered: {', '.join(available_backends())}"
+                    ) from None
+                backend = name
+            object.__setattr__(self, "counting_backend", backend)
+
+    @property
+    def backend_name(self) -> str:
+        """The configured backend's registry name (enum members normalised)."""
+        return resolve_backend_name(self.counting_backend)
 
     def resolved_budget(self) -> PrivacyBudget:
         """The (ε1, ε2) pair this configuration resolves to."""

@@ -1,187 +1,29 @@
 """Algorithm 4 — `Count`: ASS-based secure triangle counting.
 
 Every user additively shares each bit of her (projected) adjacent bit vector
-with the two servers.  For each candidate triple ``i < j < k`` the servers
-multiply the three shared bits ``a_ij`` (row ``i``), ``a_ik`` (row ``i``)
-and ``a_jk`` (row ``j``) with the three-way multiplication protocol of
-Section III-D, consuming one multiplication group per triple, and accumulate
-the product shares into their running shares of the triangle count.
+with the two servers; the servers then evaluate the triangle count on the
+shares without learning anything beyond Beaver-masked openings.
 
-Two execution modes are provided:
+The concrete execution strategies live in the pluggable backend package
+:mod:`repro.core.backends` (``faithful``, ``batched``, ``matrix``,
+``blocked``); this module re-exports the pieces that historically lived here
+so existing imports keep working:
 
-* **faithful** — one scalar protocol instance per triple, exactly the loop of
-  Algorithm 4.  The reference implementation; cubic in ``n`` with large
-  constants, so only sensible for small graphs and tests.
-* **batched** — identical arithmetic, but candidate triples are grouped into
-  vectorised blocks that share a single opening round.  The messages a server
-  sees are the concatenation of what it would have seen in the faithful mode.
+* :class:`CountResult` — the pair of output shares,
+* :func:`share_adjacency_rows` — the users' upload step,
+* :func:`iter_candidate_triples` — the candidate loop of Algorithm 4,
+* :class:`FaithfulTriangleCounter` — the per-triple reference backend (its
+  ``batch_size`` parameter gives the batched execution mode).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from repro.core.backends.base import CountResult, share_adjacency_rows
+from repro.core.backends.faithful import FaithfulTriangleCounter, iter_candidate_triples
 
-import numpy as np
-
-from repro.crypto.multiplication_groups import MultiplicationGroupDealer
-from repro.crypto.ring import DEFAULT_RING, Ring
-from repro.crypto.secure_ops import secure_multiply_triple
-from repro.crypto.sharing import SharePair, share_vector
-from repro.crypto.views import ViewRecorder
-from repro.exceptions import ProtocolError
-from repro.utils.rng import RandomState, derive_rng, spawn_rngs
-
-
-@dataclass(frozen=True)
-class CountResult:
-    """Secret shares of the (unperturbed) triangle count held by S1 and S2."""
-
-    share1: int
-    share2: int
-    num_triples_processed: int
-    opening_rounds: int
-
-    def reconstruct(self, ring: Ring = DEFAULT_RING) -> int:
-        """Recombine the two shares (used only by tests / the final analyst step)."""
-        return int(ring.decode_signed(ring.add(self.share1, self.share2)))
-
-
-def share_adjacency_rows(
-    projected_rows: np.ndarray,
-    ring: Ring = DEFAULT_RING,
-    rng: RandomState = None,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Each user secret-shares her projected bit vector with the two servers.
-
-    Returns the two servers' share matrices (same shape as the input).  Each
-    row is shared with an independent per-user generator so the sharing
-    mirrors the distributed setting where users do not coordinate masks.
-    """
-    rows = np.asarray(projected_rows, dtype=np.int64)
-    if rows.ndim != 2 or rows.shape[0] != rows.shape[1]:
-        raise ProtocolError(f"projected_rows must be a square matrix, got {rows.shape}")
-    num_users = rows.shape[0]
-    share1 = np.zeros(rows.shape, dtype=ring.dtype)
-    share2 = np.zeros(rows.shape, dtype=ring.dtype)
-    user_rngs = spawn_rngs(rng if rng is not None else derive_rng(None), num_users)
-    for user, user_rng in enumerate(user_rngs):
-        pair = share_vector(rows[user], ring=ring, rng=user_rng)
-        share1[user] = pair.share1
-        share2[user] = pair.share2
-    return share1, share2
-
-
-def iter_candidate_triples(num_users: int) -> Iterator[Tuple[int, int, int]]:
-    """All ordered candidate triples ``i < j < k`` (the loop of Algorithm 4)."""
-    for i in range(num_users):
-        for j in range(i + 1, num_users):
-            for k in range(j + 1, num_users):
-                yield (i, j, k)
-
-
-class FaithfulTriangleCounter:
-    """Per-triple secure counting — the literal Algorithm 4.
-
-    Parameters
-    ----------
-    ring:
-        Secret-sharing ring.
-    dealer:
-        Multiplication-group dealer for the offline correlated randomness; a
-        fresh one is created when not supplied.
-    batch_size:
-        When greater than 1, candidate triples are processed in vectorised
-        blocks of this size (the "batched" execution mode); ``1`` gives the
-        strictly scalar faithful loop.
-    """
-
-    def __init__(
-        self,
-        ring: Ring = DEFAULT_RING,
-        dealer: Optional[MultiplicationGroupDealer] = None,
-        batch_size: int = 1,
-        views: Optional[ViewRecorder] = None,
-    ) -> None:
-        if batch_size <= 0:
-            raise ProtocolError(f"batch_size must be positive, got {batch_size}")
-        self._ring = ring
-        self._dealer = dealer if dealer is not None else MultiplicationGroupDealer(ring=ring)
-        self._batch_size = batch_size
-        self._views = views
-
-    @property
-    def ring(self) -> Ring:
-        """The secret-sharing ring in use."""
-        return self._ring
-
-    def count_from_shares(
-        self, share1: np.ndarray, share2: np.ndarray
-    ) -> CountResult:
-        """Run the secure count given each server's share matrix."""
-        share1 = np.asarray(share1, dtype=self._ring.dtype)
-        share2 = np.asarray(share2, dtype=self._ring.dtype)
-        if share1.shape != share2.shape or share1.ndim != 2:
-            raise ProtocolError(
-                f"share matrices must have identical square shapes, got {share1.shape} and {share2.shape}"
-            )
-        num_users = share1.shape[0]
-        ring = self._ring
-        total1 = 0
-        total2 = 0
-        triples_processed = 0
-        opening_rounds = 0
-
-        batch_a1, batch_a2 = [], []
-        batch_b1, batch_b2 = [], []
-        batch_c1, batch_c2 = [], []
-
-        def flush() -> Tuple[int, int, int]:
-            """Process the accumulated batch with a single opening round."""
-            size = len(batch_a1)
-            if size == 0:
-                return 0, 0, 0
-            group = self._dealer.vector_group((size,))
-            a_shares = (np.array(batch_a1, dtype=ring.dtype), np.array(batch_a2, dtype=ring.dtype))
-            b_shares = (np.array(batch_b1, dtype=ring.dtype), np.array(batch_b2, dtype=ring.dtype))
-            c_shares = (np.array(batch_c1, dtype=ring.dtype), np.array(batch_c2, dtype=ring.dtype))
-            product1, product2 = secure_multiply_triple(
-                a_shares, b_shares, c_shares, group, ring=ring, views=self._views
-            )
-            partial1 = int(np.sum(product1, dtype=np.uint64) & np.uint64(ring.mask))
-            partial2 = int(np.sum(product2, dtype=np.uint64) & np.uint64(ring.mask))
-            for batch in (batch_a1, batch_a2, batch_b1, batch_b2, batch_c1, batch_c2):
-                batch.clear()
-            return partial1, partial2, size
-
-        for i, j, k in iter_candidate_triples(num_users):
-            batch_a1.append(share1[i, j])
-            batch_a2.append(share2[i, j])
-            batch_b1.append(share1[i, k])
-            batch_b2.append(share2[i, k])
-            batch_c1.append(share1[j, k])
-            batch_c2.append(share2[j, k])
-            if len(batch_a1) >= self._batch_size:
-                partial1, partial2, size = flush()
-                total1 = ring.add(total1, partial1)
-                total2 = ring.add(total2, partial2)
-                triples_processed += size
-                opening_rounds += 1
-        partial1, partial2, size = flush()
-        if size:
-            total1 = ring.add(total1, partial1)
-            total2 = ring.add(total2, partial2)
-            triples_processed += size
-            opening_rounds += 1
-
-        return CountResult(
-            share1=int(total1),
-            share2=int(total2),
-            num_triples_processed=triples_processed,
-            opening_rounds=opening_rounds,
-        )
-
-    def count(self, projected_rows: np.ndarray, rng: RandomState = None) -> CountResult:
-        """Share the rows on behalf of the users and run the secure count."""
-        share1, share2 = share_adjacency_rows(projected_rows, ring=self._ring, rng=rng)
-        return self.count_from_shares(share1, share2)
+__all__ = [
+    "CountResult",
+    "share_adjacency_rows",
+    "iter_candidate_triples",
+    "FaithfulTriangleCounter",
+]

@@ -1,123 +1,18 @@
-"""Vectorised secure triangle counting via secret-shared matrix products.
+"""Vectorised secure counting backends (compatibility re-exports).
 
-The faithful Algorithm 4 consumes one multiplication group per candidate
-triple, which is cubic in the number of users.  This backend computes exactly
-the same quantity,
+The implementations moved to the pluggable backend package
+:mod:`repro.core.backends`:
 
-``T = sum_{i<j<k} a_ij * a_ik * a_jk``,
-
-with two opening rounds by rewriting it in matrix form.  Let ``C`` be the
-strictly upper-triangular matrix with ``C[i, j] = a_ij`` for ``i < j`` (each
-entry taken from user ``i``'s shared row, exactly the bits Algorithm 4
-reads).  Then
-
-``T = sum_{j<k} C[j, k] * (C^T C)[j, k]``
-
-because ``(C^T C)[j, k] = sum_i C[i, j] C[i, k]`` and the strict upper
-triangularity of ``C`` enforces ``i < j``.  The servers therefore
-
-1. locally mask their shares down to the strict upper triangle,
-2. compute shares of ``M = C^T C`` with one secret-shared matrix
-   multiplication (a matrix Beaver triple, one opening of two ``n x n``
-   matrices), and
-3. compute shares of the element-wise product ``C ⊙ M`` over the upper
-   triangle with one element-wise Beaver triple, then locally sum.
-
-The three bits entering each product and the final count are identical to
-the faithful protocol's; only the grouping of the openings differs, so the
-backend is a drop-in replacement for `Count` in experiments at realistic
-graph sizes.
+* :class:`MatrixTriangleCounter` — the monolithic secret-shared ``C^T C``
+  formulation (:mod:`repro.core.backends.matrix`),
+* :class:`BlockedMatrixTriangleCounter` — the same formulation streamed in
+  fixed-size tiles for bounded peak memory
+  (:mod:`repro.core.backends.blocked`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from repro.core.backends.blocked import BlockedMatrixTriangleCounter
+from repro.core.backends.matrix import MatrixTriangleCounter
 
-import numpy as np
-
-from repro.core.counting import CountResult, share_adjacency_rows
-from repro.crypto.beaver import BeaverTripleDealer
-from repro.crypto.ring import DEFAULT_RING, Ring
-from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_pair
-from repro.crypto.views import ViewRecorder
-from repro.exceptions import ProtocolError
-from repro.utils.rng import RandomState
-
-
-class MatrixTriangleCounter:
-    """Secure triangle counting with secret-shared matrix algebra.
-
-    Parameters
-    ----------
-    ring:
-        Secret-sharing ring.
-    dealer:
-        Beaver-triple dealer supplying the matrix and element-wise triples; a
-        fresh one is created when not supplied.
-    views:
-        Optional view recorder for the security tests.
-    """
-
-    def __init__(
-        self,
-        ring: Ring = DEFAULT_RING,
-        dealer: Optional[BeaverTripleDealer] = None,
-        views: Optional[ViewRecorder] = None,
-    ) -> None:
-        self._ring = ring
-        self._dealer = dealer if dealer is not None else BeaverTripleDealer(ring=ring)
-        self._views = views
-
-    @property
-    def ring(self) -> Ring:
-        """The secret-sharing ring in use."""
-        return self._ring
-
-    def count_from_shares(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
-        """Run the secure count given each server's share matrix."""
-        ring = self._ring
-        share1 = np.asarray(share1, dtype=ring.dtype)
-        share2 = np.asarray(share2, dtype=ring.dtype)
-        if share1.shape != share2.shape or share1.ndim != 2 or share1.shape[0] != share1.shape[1]:
-            raise ProtocolError(
-                f"share matrices must have identical square shapes, got {share1.shape} and {share2.shape}"
-            )
-        n = share1.shape[0]
-        if n < 3:
-            return CountResult(share1=0, share2=0, num_triples_processed=0, opening_rounds=0)
-
-        # Step 1 — each server locally zeroes everything outside the strict
-        # upper triangle.  The mask is public (it only depends on indices), so
-        # this is a local linear operation on shares.
-        upper_mask = np.triu(np.ones((n, n), dtype=ring.dtype), k=1)
-        c1 = ring.mul(share1, upper_mask)
-        c2 = ring.mul(share2, upper_mask)
-
-        # Step 2 — shares of M = C^T @ C via one matrix Beaver triple.
-        matrix_triple = self._dealer.matrix_triple((n, n), (n, n))
-        m1, m2 = secure_matrix_multiply(
-            (c1.T.copy(), c2.T.copy()), (c1, c2), matrix_triple, ring=ring, views=self._views
-        )
-
-        # Step 3 — shares of C ⊙ M over the upper triangle via one
-        # element-wise Beaver triple, then a local sum.
-        elementwise_triple = self._dealer.vector_triple((n, n))
-        prod1, prod2 = secure_multiply_pair(
-            (c1, c2), (ring.mul(m1, upper_mask), ring.mul(m2, upper_mask)),
-            elementwise_triple, ring=ring, views=self._views,
-        )
-        total1 = int(np.sum(prod1, dtype=np.uint64) & np.uint64(ring.mask))
-        total2 = int(np.sum(prod2, dtype=np.uint64) & np.uint64(ring.mask))
-        num_triples = n * (n - 1) * (n - 2) // 6
-        return CountResult(
-            share1=total1,
-            share2=total2,
-            num_triples_processed=num_triples,
-            opening_rounds=2,
-        )
-
-    def count(self, projected_rows: np.ndarray, rng: RandomState = None) -> CountResult:
-        """Share the rows on behalf of the users and run the secure count."""
-        share1, share2 = share_adjacency_rows(projected_rows, ring=self._ring, rng=rng)
-        return self.count_from_shares(share1, share2)
+__all__ = ["MatrixTriangleCounter", "BlockedMatrixTriangleCounter"]

@@ -22,14 +22,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.backends import create_backend
 from repro.core.cargo import Cargo
 from repro.core.config import CargoConfig
-from repro.core.fast_counting import MatrixTriangleCounter
 from repro.core.max_degree import MaxDegreeEstimator, MaxDegreeResult
 from repro.core.perturbation import DistributedPerturbation
 from repro.core.projection import SimilarityProjection, projected_triangle_count
 from repro.core.result import CargoResult
-from repro.crypto.beaver import BeaverTripleDealer
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.dp.sensitivity import degree_sensitivity_node_dp, triangle_sensitivity_node_dp
 from repro.graph.graph import Graph
@@ -105,8 +104,9 @@ class NodeDpCargo:
                 projected_count = projected_triangle_count(projection_result.projected_rows)
 
             with timers.measure("count"):
-                dealer = BeaverTripleDealer(ring=config.ring, seed=dealer_rng)
-                counter = MatrixTriangleCounter(ring=config.ring, dealer=dealer)
+                counter = create_backend(
+                    config.counting_backend, config=config, dealer_rng=dealer_rng
+                )
                 count_result = counter.count(projection_result.projected_rows, rng=share_rng)
 
             with timers.measure("perturb"):
@@ -130,7 +130,7 @@ class NodeDpCargo:
             edges_removed=projection_result.edges_removed,
             timings=timers.as_dict(),
             communication={},
-            backend=f"node-dp/{config.counting_backend.value}",
+            backend=f"node-dp/{config.backend_name}",
         )
 
 

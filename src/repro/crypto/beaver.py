@@ -75,6 +75,8 @@ class BeaverTripleDealer:
         self._ring = ring
         self._rng = derive_rng(seed)
         self._issued = 0
+        self._largest_triple_elements = 0
+        self._total_triple_elements = 0
 
     @property
     def ring(self) -> Ring:
@@ -86,6 +88,29 @@ class BeaverTripleDealer:
         """Number of scalar triples (or triple batches) issued so far."""
         return self._issued
 
+    @property
+    def largest_triple_elements(self) -> int:
+        """Per-party ring elements of the largest single triple issued so far.
+
+        One triple holds ``size(x) + size(y) + size(z)`` elements per party;
+        this is the dealer's peak *single-allocation* cost and the quantity
+        the blocked backend bounds at ``O(block_size^2)`` while the monolithic
+        matrix backend pays ``O(n^2)``.
+        """
+        return self._largest_triple_elements
+
+    @property
+    def total_triple_elements(self) -> int:
+        """Per-party ring elements summed over every triple issued so far."""
+        return self._total_triple_elements
+
+    def _record_issue(self, x: IntOrArray, y: IntOrArray, z: IntOrArray) -> None:
+        elements = sum(int(np.size(part)) for part in (x, y, z))
+        self._issued += 1
+        self._total_triple_elements += elements
+        if elements > self._largest_triple_elements:
+            self._largest_triple_elements = elements
+
     def scalar_triple(self) -> BeaverTriplePair:
         """Sample one scalar triple and share it between the two servers."""
         ring = self._ring
@@ -95,7 +120,7 @@ class BeaverTripleDealer:
         x_pair = share_scalar(x, ring=ring, rng=self._rng)
         y_pair = share_scalar(y, ring=ring, rng=self._rng)
         z_pair = share_scalar(z, ring=ring, rng=self._rng)
-        self._issued += 1
+        self._record_issue(x, y, z)
         return BeaverTriplePair(
             server1=BeaverTriple(x=x_pair.share1, y=y_pair.share1, z=z_pair.share1),
             server2=BeaverTriple(x=x_pair.share2, y=y_pair.share2, z=z_pair.share2),
@@ -113,7 +138,7 @@ class BeaverTripleDealer:
         x_pair = share_vector(x, ring=ring, rng=self._rng)
         y_pair = share_vector(y, ring=ring, rng=self._rng)
         z_pair = share_vector(z, ring=ring, rng=self._rng)
-        self._issued += 1
+        self._record_issue(x, y, z)
         return BeaverTriplePair(
             server1=BeaverTriple(x=x_pair.share1, y=y_pair.share1, z=z_pair.share1),
             server2=BeaverTriple(x=x_pair.share2, y=y_pair.share2, z=z_pair.share2),
@@ -138,7 +163,7 @@ class BeaverTripleDealer:
         x_pair = share_vector(x, ring=ring, rng=self._rng)
         y_pair = share_vector(y, ring=ring, rng=self._rng)
         z_pair = share_vector(z, ring=ring, rng=self._rng)
-        self._issued += 1
+        self._record_issue(x, y, z)
         return BeaverTriplePair(
             server1=BeaverTriple(x=x_pair.share1, y=y_pair.share1, z=z_pair.share1),
             server2=BeaverTriple(x=x_pair.share2, y=y_pair.share2, z=z_pair.share2),

@@ -47,9 +47,18 @@ def figure5_l2_vs_epsilon(
     num_nodes: int = 300,
     num_trials: int = 3,
     seed: int = 0,
+    max_workers: Optional[int] = None,
+    counting_backend: Optional[object] = None,
 ) -> ExperimentReport:
     """Figure 5 — l2 loss of triangle counting as ε varies from 0.5 to 3."""
-    sweep = ProtocolSweep(datasets=datasets, num_nodes=num_nodes, num_trials=num_trials, seed=seed)
+    sweep = ProtocolSweep(
+        datasets=datasets,
+        num_nodes=num_nodes,
+        num_trials=num_trials,
+        seed=seed,
+        max_workers=max_workers,
+        counting_backend=counting_backend,
+    )
     report = sweep.run_epsilon_sweep(epsilons)
     report.name = "fig5"
     report.description = "l2 loss vs epsilon (CARGO vs CentralLap vs Local2Rounds)"
@@ -62,6 +71,8 @@ def figure6_relative_error_vs_epsilon(
     num_nodes: int = 300,
     num_trials: int = 3,
     seed: int = 0,
+    max_workers: Optional[int] = None,
+    counting_backend: Optional[object] = None,
 ) -> ExperimentReport:
     """Figure 6 — relative error of triangle counting as ε varies.
 
@@ -69,7 +80,9 @@ def figure6_relative_error_vs_epsilon(
     column.  Running it separately keeps the per-figure benchmarks
     independent.
     """
-    report = figure5_l2_vs_epsilon(datasets, epsilons, num_nodes, num_trials, seed)
+    report = figure5_l2_vs_epsilon(
+        datasets, epsilons, num_nodes, num_trials, seed, max_workers, counting_backend
+    )
     report.name = "fig6"
     report.description = "relative error vs epsilon (CARGO vs CentralLap vs Local2Rounds)"
     report.columns = ["dataset", "epsilon", "protocol", "re_mean", "l2_mean"]
@@ -85,9 +98,17 @@ def figure7_l2_vs_n(
     epsilon: float = 2.0,
     num_trials: int = 3,
     seed: int = 0,
+    max_workers: Optional[int] = None,
+    counting_backend: Optional[object] = None,
 ) -> ExperimentReport:
     """Figure 7 — l2 loss as the number of users n grows (ε = 2)."""
-    sweep = ProtocolSweep(datasets=datasets, num_trials=num_trials, seed=seed)
+    sweep = ProtocolSweep(
+        datasets=datasets,
+        num_trials=num_trials,
+        seed=seed,
+        max_workers=max_workers,
+        counting_backend=counting_backend,
+    )
     report = sweep.run_user_sweep(user_counts, epsilon)
     report.name = "fig7"
     report.description = f"l2 loss vs number of users (epsilon={epsilon})"
@@ -100,9 +121,13 @@ def figure8_relative_error_vs_n(
     epsilon: float = 2.0,
     num_trials: int = 3,
     seed: int = 0,
+    max_workers: Optional[int] = None,
+    counting_backend: Optional[object] = None,
 ) -> ExperimentReport:
     """Figure 8 — relative error as the number of users n grows (ε = 2)."""
-    report = figure7_l2_vs_n(datasets, user_counts, epsilon, num_trials, seed)
+    report = figure7_l2_vs_n(
+        datasets, user_counts, epsilon, num_trials, seed, max_workers, counting_backend
+    )
     report.name = "fig8"
     report.description = f"relative error vs number of users (epsilon={epsilon})"
     report.columns = ["dataset", "num_users", "protocol", "re_mean", "l2_mean"]

@@ -4,12 +4,26 @@ The paper's figures are all of the form *"for each graph, for each value of a
 swept parameter, run each protocol a few times and plot a summary of an error
 metric"*.  :class:`ProtocolSweep` captures that shape once so each figure
 module only declares what varies.
+
+Seed scheme
+-----------
+All trial loops use a single documented derivation: trial ``t`` of a cell
+whose base seed is ``s`` runs with seed ``s + t``.  For a bare
+:func:`run_protocol_trials` call the base seed is the caller's ``base_seed``;
+inside a :class:`ProtocolSweep` every (dataset, parameter, protocol) cell gets
+its own deterministic base seed derived from the sweep seed and the cell's
+labels (via :func:`~repro.utils.rng.stable_seed_from_name`), which makes each
+cell independent of every other cell — and therefore of execution order, so a
+parallel sweep (``max_workers > 1``) returns row-for-row identical reports to
+a serial one.
 """
 
 from __future__ import annotations
 
+import inspect
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.central_lap import CentralLaplaceTriangleCounting
 from repro.baselines.local_two_rounds import LocalTwoRoundsTriangleCounting
@@ -19,8 +33,10 @@ from repro.exceptions import ExperimentError
 from repro.experiments.reporting import format_table
 from repro.graph.datasets import load_dataset
 from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles
 from repro.metrics.aggregate import aggregate_trials
 from repro.metrics.error import l2_loss, relative_error
+from repro.utils.rng import stable_seed_from_name
 
 
 @dataclass
@@ -57,26 +73,53 @@ class ExperimentReport:
 ProtocolFactory = Callable[[float, int], Any]
 
 
-def default_protocols(epsilon: float) -> Dict[str, ProtocolFactory]:
-    """The three protocols compared throughout the evaluation section."""
+def default_protocols(
+    epsilon: float, counting_backend: Optional[Any] = None
+) -> Dict[str, ProtocolFactory]:
+    """The three protocols compared throughout the evaluation section.
+
+    *counting_backend* (an enum member or registered name) selects CARGO's
+    secure counting backend; ``None`` keeps the config default.
+    """
+    cargo_kwargs = {} if counting_backend is None else {"counting_backend": counting_backend}
     return {
         "Local2Rounds": lambda eps, seed: LocalTwoRoundsTriangleCounting(epsilon=eps),
-        "Cargo": lambda eps, seed: Cargo(CargoConfig(epsilon=eps, seed=seed)),
+        "Cargo": lambda eps, seed: Cargo(CargoConfig(epsilon=eps, seed=seed, **cargo_kwargs)),
         "CentralLap": lambda eps, seed: CentralLaplaceTriangleCounting(epsilon=eps),
     }
 
 
-def run_protocol_trials(
+def _accepts_rng(protocol: Any) -> bool:
+    """Whether the runner's ``run`` accepts an ``rng`` argument.
+
+    Decided by signature inspection rather than type checks so that new
+    protocol runners (third-party or internal) get the right call convention
+    without this module having to know about them: baselines take the trial
+    seed at ``run()`` time, :class:`Cargo`-style runners take it in their
+    config.
+    """
+    run = getattr(protocol, "run", None)
+    if run is None:
+        return False
+    try:
+        parameters = inspect.signature(run).parameters
+    except (TypeError, ValueError):
+        return False
+    return "rng" in parameters
+
+
+def _execute_trials(
     protocol_factory: ProtocolFactory,
     graph: Graph,
     epsilon: float,
     num_trials: int,
-    base_seed: int = 0,
+    base_seed: int,
 ) -> Dict[str, float]:
-    """Run one protocol *num_trials* times and aggregate both error metrics.
+    """Run ``num_trials`` independent trials and aggregate both error metrics.
 
-    Returns a dictionary with the mean/median of the l2 loss and relative
-    error across trials, which is what every figure reports.
+    This is the single trial loop behind :func:`run_protocol_trials` and
+    :class:`ProtocolSweep`; trial ``t`` runs with seed ``base_seed + t`` (see
+    the module docstring).
     """
     if num_trials <= 0:
         raise ExperimentError(f"num_trials must be positive, got {num_trials}")
@@ -103,6 +146,34 @@ def run_protocol_trials(
     }
 
 
+def run_protocol_trials(
+    protocol_factory: ProtocolFactory,
+    graph: Graph,
+    epsilon: float,
+    num_trials: int,
+    base_seed: int = 0,
+) -> Dict[str, float]:
+    """Run one protocol *num_trials* times and aggregate both error metrics.
+
+    Returns a dictionary with the mean/median of the l2 loss and relative
+    error across trials, which is what every figure reports.
+    """
+    return _execute_trials(protocol_factory, graph, epsilon, num_trials, base_seed)
+
+
+@dataclass(frozen=True)
+class _SweepCell:
+    """One (dataset, parameter, protocol) cell of a sweep, ready to execute."""
+
+    dataset: str
+    parameter_name: str
+    parameter_value: Any
+    protocol: str
+    factory: ProtocolFactory
+    graph: Graph
+    epsilon: float
+
+
 @dataclass
 class ProtocolSweep:
     """A generic utility-versus-parameter sweep over several protocols.
@@ -117,13 +188,26 @@ class ProtocolSweep:
     num_trials:
         Independent repetitions per (dataset, parameter, protocol) cell.
     seed:
-        Base seed from which every trial seed is derived.
+        Base seed from which every trial seed is derived (see the module
+        docstring for the exact scheme).
+    max_workers:
+        When greater than 1, sweep cells execute concurrently on a thread
+        pool.  Every cell derives its own seed from its labels, so the report
+        is row-for-row identical to a serial run.
+    counting_backend:
+        Secure counting backend for the CARGO runs in the sweep (enum member
+        or registered name); ``None`` keeps the config default.
     """
 
     datasets: Sequence[str]
     num_nodes: int = 300
     num_trials: int = 3
     seed: int = 0
+    max_workers: Optional[int] = None
+    counting_backend: Optional[Any] = None
+    _graph_cache: Dict[Tuple[str, int], Graph] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def run_epsilon_sweep(self, epsilons: Sequence[float]) -> ExperimentReport:
         """Error of each protocol as ε varies (Figures 5 and 6)."""
@@ -132,18 +216,28 @@ class ProtocolSweep:
             description="l2 loss and relative error vs privacy budget",
             columns=["dataset", "epsilon", "protocol", "l2_mean", "re_mean"],
         )
-        for dataset in self.datasets:
-            graph = load_dataset(dataset, num_nodes=self.num_nodes)
-            for epsilon in epsilons:
-                for label, factory in default_protocols(epsilon).items():
-                    metrics = self._run_cell(factory, graph, epsilon)
-                    report.add_row(
-                        dataset=dataset,
-                        epsilon=epsilon,
-                        protocol=label,
-                        l2_mean=metrics["l2_mean"],
-                        re_mean=metrics["re_mean"],
-                    )
+        cells = [
+            _SweepCell(
+                dataset=dataset,
+                parameter_name="epsilon",
+                parameter_value=epsilon,
+                protocol=label,
+                factory=factory,
+                graph=self._load_graph(dataset, self.num_nodes),
+                epsilon=epsilon,
+            )
+            for dataset in self.datasets
+            for epsilon in epsilons
+            for label, factory in default_protocols(epsilon, self.counting_backend).items()
+        ]
+        for cell, metrics in zip(cells, self._execute_cells(cells)):
+            report.add_row(
+                dataset=cell.dataset,
+                epsilon=cell.parameter_value,
+                protocol=cell.protocol,
+                l2_mean=metrics["l2_mean"],
+                re_mean=metrics["re_mean"],
+            )
         return report
 
     def run_user_sweep(self, user_counts: Sequence[int], epsilon: float) -> ExperimentReport:
@@ -153,41 +247,65 @@ class ProtocolSweep:
             description=f"l2 loss and relative error vs number of users (epsilon={epsilon})",
             columns=["dataset", "num_users", "protocol", "l2_mean", "re_mean"],
         )
-        for dataset in self.datasets:
-            for num_users in user_counts:
-                graph = load_dataset(dataset, num_nodes=num_users)
-                for label, factory in default_protocols(epsilon).items():
-                    metrics = self._run_cell(factory, graph, epsilon)
-                    report.add_row(
-                        dataset=dataset,
-                        num_users=num_users,
-                        protocol=label,
-                        l2_mean=metrics["l2_mean"],
-                        re_mean=metrics["re_mean"],
-                    )
+        cells = [
+            _SweepCell(
+                dataset=dataset,
+                parameter_name="num_users",
+                parameter_value=num_users,
+                protocol=label,
+                factory=factory,
+                graph=self._load_graph(dataset, num_users),
+                epsilon=epsilon,
+            )
+            for dataset in self.datasets
+            for num_users in user_counts
+            for label, factory in default_protocols(epsilon, self.counting_backend).items()
+        ]
+        for cell, metrics in zip(cells, self._execute_cells(cells)):
+            report.add_row(
+                dataset=cell.dataset,
+                num_users=cell.parameter_value,
+                protocol=cell.protocol,
+                l2_mean=metrics["l2_mean"],
+                re_mean=metrics["re_mean"],
+            )
         return report
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _run_cell(self, factory: ProtocolFactory, graph: Graph, epsilon: float) -> Dict[str, float]:
-        l2_values: List[float] = []
-        re_values: List[float] = []
-        for trial in range(self.num_trials):
-            seed = self.seed * 10_000 + trial
-            protocol = factory(epsilon, seed)
-            result = protocol.run(graph, rng=seed) if _accepts_rng(protocol) else protocol.run(graph)
-            l2_values.append(l2_loss(result.true_triangle_count, result.noisy_triangle_count))
-            if result.true_triangle_count > 0:
-                re_values.append(
-                    relative_error(result.true_triangle_count, result.noisy_triangle_count)
-                )
-        return {
-            "l2_mean": aggregate_trials(l2_values).mean,
-            "re_mean": aggregate_trials(re_values).mean if re_values else float("inf"),
-        }
+    def _load_graph(self, dataset: str, num_nodes: int) -> Graph:
+        """Load each (dataset, size) graph once and pre-compute its ground truth.
 
+        The exact triangle count is cached on the graph instance up front so
+        that concurrent trials only ever read it (no recomputation per trial,
+        no write races in a parallel sweep).
+        """
+        key = (dataset, num_nodes)
+        if key not in self._graph_cache:
+            graph = load_dataset(dataset, num_nodes=num_nodes)
+            count_triangles(graph)  # warm the per-graph ground-truth cache
+            self._graph_cache[key] = graph
+        return self._graph_cache[key]
 
-def _accepts_rng(protocol: Any) -> bool:
-    """Whether the runner's ``run`` accepts an ``rng`` argument (baselines do)."""
-    return not isinstance(protocol, Cargo)
+    def _cell_seed(self, cell: _SweepCell) -> int:
+        """Deterministic, order-independent base seed for one sweep cell."""
+        label = (
+            f"{cell.dataset}|{cell.parameter_name}={cell.parameter_value!r}"
+            f"|{cell.protocol}|n={cell.graph.num_nodes}"
+        )
+        # Keep headroom so base_seed + trial stays well inside 2**63.
+        return stable_seed_from_name(label, base_seed=self.seed) % (1 << 31)
+
+    def _execute_cells(self, cells: Sequence[_SweepCell]) -> List[Dict[str, float]]:
+        """Run every cell's trial loop, serially or on a thread pool."""
+
+        def run_cell(cell: _SweepCell) -> Dict[str, float]:
+            return _execute_trials(
+                cell.factory, cell.graph, cell.epsilon, self.num_trials, self._cell_seed(cell)
+            )
+
+        if self.max_workers is None or self.max_workers <= 1 or len(cells) <= 1:
+            return [run_cell(cell) for cell in cells]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(run_cell, cells))

@@ -79,8 +79,13 @@ class TestBackends:
     def test_all_backends_agree_on_projected_count(self):
         graph = erdos_renyi_graph(14, 0.4, seed=9)
         estimates = {}
-        for backend in (CountingBackend.MATRIX, CountingBackend.BATCHED, CountingBackend.FAITHFUL):
-            config = CargoConfig(epsilon=2.0, seed=11, counting_backend=backend)
+        for backend in (
+            CountingBackend.MATRIX,
+            CountingBackend.BATCHED,
+            CountingBackend.FAITHFUL,
+            CountingBackend.BLOCKED,
+        ):
+            config = CargoConfig(epsilon=2.0, seed=11, counting_backend=backend, block_size=4)
             result = Cargo(config).run(graph)
             estimates[backend] = result
         # Same seed -> same Max/projection/noise, so the final outputs agree

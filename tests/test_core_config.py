@@ -27,9 +27,22 @@ class TestCargoConfig:
         config = CargoConfig(counting_backend="faithful")
         assert config.counting_backend is CountingBackend.FAITHFUL
 
+    def test_backend_accepts_blocked(self):
+        config = CargoConfig(counting_backend="blocked", block_size=32)
+        assert config.counting_backend is CountingBackend.BLOCKED
+        assert config.backend_name == "blocked"
+        assert config.block_size == 32
+
+    def test_backend_name_normalises_enum(self):
+        assert CargoConfig().backend_name == "matrix"
+
     def test_unknown_backend_string(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             CargoConfig(counting_backend="quantum")
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError):
+            CargoConfig(block_size=0)
 
     @pytest.mark.parametrize("epsilon", [0, -2])
     def test_invalid_epsilon(self, epsilon):

@@ -5,11 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines.central_lap import CentralLaplaceTriangleCounting
+from repro.core.cargo import Cargo
 from repro.exceptions import ExperimentError
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
     ExperimentReport,
     ProtocolSweep,
+    _accepts_rng,
     default_protocols,
     run_protocol_trials,
 )
@@ -101,3 +103,43 @@ class TestProtocolSweep:
         cargo = report.filter_rows(protocol="Cargo")[0]["l2_mean"]
         local = report.filter_rows(protocol="Local2Rounds")[0]["l2_mean"]
         assert cargo < local
+
+    def test_parallel_sweep_identical_to_serial(self):
+        kwargs = dict(datasets=["facebook"], num_nodes=80, num_trials=2, seed=5)
+        serial = ProtocolSweep(**kwargs).run_epsilon_sweep([1.0, 2.0])
+        parallel = ProtocolSweep(**kwargs, max_workers=4).run_epsilon_sweep([1.0, 2.0])
+        assert serial.rows == parallel.rows
+
+    def test_parallel_user_sweep_identical_to_serial(self):
+        kwargs = dict(datasets=["wiki"], num_trials=1, seed=2)
+        serial = ProtocolSweep(**kwargs).run_user_sweep([60, 90], epsilon=2.0)
+        parallel = ProtocolSweep(**kwargs, max_workers=3).run_user_sweep([60, 90], epsilon=2.0)
+        assert serial.rows == parallel.rows
+
+    def test_graph_loaded_once_per_cell_group(self):
+        sweep = ProtocolSweep(datasets=["facebook"], num_nodes=60, num_trials=1, seed=0)
+        sweep.run_epsilon_sweep([1.0, 2.0])
+        (graph,) = sweep._graph_cache.values()
+        # Ground truth is pre-computed once at load time.
+        assert graph.cached_triangle_count is not None
+
+
+class TestAcceptsRng:
+    def test_baseline_accepts_rng(self):
+        assert _accepts_rng(CentralLaplaceTriangleCounting(epsilon=1.0))
+
+    def test_cargo_does_not_accept_rng(self):
+        assert not _accepts_rng(Cargo())
+
+    def test_duck_typed_runner_with_rng_parameter(self):
+        class WithRng:
+            def run(self, graph, rng=None):
+                raise NotImplementedError
+
+        class WithoutRng:
+            def run(self, graph):
+                raise NotImplementedError
+
+        assert _accepts_rng(WithRng())
+        assert not _accepts_rng(WithoutRng())
+        assert not _accepts_rng(object())
