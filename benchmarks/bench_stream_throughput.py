@@ -1,0 +1,136 @@
+"""Streaming throughput micro-benchmark.
+
+Measures the two numbers that matter for continual serving:
+
+* **events/sec** through the incremental triangle maintainer alone (the
+  ingest hot path — one ``O(min degree)`` neighbourhood intersection per
+  event), and
+* **per-release latency** of the full :class:`StreamingCargo` loop (binary
+  tree release plus, on anchor releases, a secure backend count).
+
+Rows are emitted as JSON (``benchmarks/results/stream_throughput.json`` by
+default, override with ``REPRO_BENCH_STREAM_OUTPUT``) so the throughput
+trajectory is trackable across commits.  Set ``REPRO_BENCH_QUICK=1`` for the
+small CI smoke-test sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.graph.datasets import load_dataset
+from repro.graph.triangles import count_triangles
+from repro.stream import (
+    IncrementalTriangleMaintainer,
+    StreamingCargo,
+    StreamingConfig,
+    replay_stream,
+)
+
+DEFAULT_USER_COUNTS = (100, 200, 300)
+QUICK_USER_COUNTS = (60, 100)
+RELEASE_EVERY = 50
+ANCHOR_EVERY = 8
+
+
+def run_stream_throughput(user_counts=None, release_every: int = RELEASE_EVERY):
+    """Return one row per n with ingest throughput and release latency."""
+    if user_counts is None:
+        quick = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
+        user_counts = QUICK_USER_COUNTS if quick else DEFAULT_USER_COUNTS
+    rows = []
+    for num_users in user_counts:
+        graph = load_dataset("facebook", num_nodes=num_users)
+        stream = replay_stream(graph, rng=num_users)
+
+        # Ingest-only throughput: the maintainer with no DP release at all.
+        maintainer = IncrementalTriangleMaintainer(num_nodes=stream.num_nodes)
+        start = time.perf_counter()
+        maintainer.apply_all(stream)
+        ingest_seconds = time.perf_counter() - start
+        assert maintainer.triangle_count == count_triangles(graph)
+
+        # Full continual-release loop with periodic secure anchors; the tree
+        # capacity and per-anchor budget are auto-sized from the stream.
+        config = StreamingConfig(
+            epsilon=4.0,
+            release_every=release_every,
+            anchor_every=ANCHOR_EVERY,
+            counting_backend="blocked",
+            block_size=32,
+            seed=num_users,
+        )
+        start = time.perf_counter()
+        result = StreamingCargo(config).run(stream)
+        serve_seconds = time.perf_counter() - start
+        num_releases = len(result.releases)
+        rows.append(
+            {
+                "num_users": num_users,
+                "num_events": len(stream),
+                "release_every": release_every,
+                "anchor_every": ANCHOR_EVERY,
+                "ingest_events_per_sec": len(stream) / max(ingest_seconds, 1e-9),
+                "serve_events_per_sec": len(stream) / max(serve_seconds, 1e-9),
+                "num_releases": num_releases,
+                "num_anchors": result.anchors_run,
+                "release_seconds_total": result.timings.get("release", 0.0),
+                "anchor_seconds_total": result.timings.get("anchor", 0.0),
+                "per_release_seconds": result.timings.get("release", 0.0)
+                / max(num_releases, 1),
+                "per_anchor_seconds": result.timings.get("anchor", 0.0)
+                / max(result.anchors_run, 1),
+                "final_estimate": result.final_estimate,
+                "final_true_count": result.final_true_count,
+                "epsilon_spent": result.epsilon_spent,
+                "ledger_entries": len(result.ledger),
+            }
+        )
+    return rows
+
+
+def write_json(rows, path=None) -> Path:
+    """Persist the benchmark rows for cross-commit trajectory tracking."""
+    if path is None:
+        path = os.environ.get(
+            "REPRO_BENCH_STREAM_OUTPUT",
+            str(Path(__file__).resolve().parent / "results" / "stream_throughput.json"),
+        )
+    output = Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps({"benchmark": "stream_throughput", "rows": rows}, indent=2))
+    return output
+
+
+def test_stream_throughput(benchmark):
+    """Continual release stays exact-in-expectation and fast enough to serve."""
+    rows = benchmark.pedantic(run_stream_throughput, rounds=1, iterations=1)
+    output = write_json(rows)
+    print(f"\n  wrote {output}")
+    for row in rows:
+        print(
+            "  n={num_users:<5} events={num_events:<6} "
+            "ingest={ingest_events_per_sec:>10.0f} ev/s "
+            "serve={serve_events_per_sec:>10.0f} ev/s "
+            "release={per_release_seconds:.6f}s anchor={per_anchor_seconds:.4f}s".format(**row)
+        )
+    for row in rows:
+        assert row["ingest_events_per_sec"] > 0
+        assert row["num_releases"] > 0
+        assert row["num_anchors"] > 0
+        # The continual estimate must land in the right ballpark of the final
+        # truth (the DP noise at epsilon=4 is tiny relative to the count).
+        assert abs(row["final_estimate"] - row["final_true_count"]) < max(
+            50.0, 0.5 * row["final_true_count"]
+        )
+        assert row["epsilon_spent"] <= 4.0 + 1e-6
+
+
+if __name__ == "__main__":
+    output_rows = run_stream_throughput()
+    destination = write_json(output_rows)
+    print(json.dumps(output_rows, indent=2))
+    print(f"wrote {destination}")

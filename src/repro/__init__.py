@@ -11,7 +11,10 @@ The public API is organised by subpackage:
 * :mod:`repro.core` — the CARGO protocol itself (Algorithms 1-5),
 * :mod:`repro.baselines` — CentralLap△, Local2Rounds△ and friends,
 * :mod:`repro.metrics` — l2 loss / relative error and trial aggregation,
-* :mod:`repro.experiments` — the harness regenerating every table and figure.
+* :mod:`repro.experiments` — the harness regenerating every table and figure,
+* :mod:`repro.stream` — continual private triangle counting over edge
+  streams (incremental maintenance, binary-tree continual DP release,
+  secure-count anchors).
 
 Quickstart::
 
@@ -41,6 +44,14 @@ from repro.core import (
 from repro.dp import LaplaceMechanism, PrivacyBudget, RandomizedResponse
 from repro.graph import Graph, available_datasets, count_triangles, load_dataset
 from repro.metrics import l2_loss, relative_error
+from repro.stream import (
+    EdgeEvent,
+    EdgeStream,
+    IncrementalTriangleMaintainer,
+    StreamingCargo,
+    StreamingConfig,
+    replay_stream,
+)
 
 __all__ = [
     "__version__",
@@ -64,4 +75,10 @@ __all__ = [
     "count_triangles",
     "l2_loss",
     "relative_error",
+    "EdgeEvent",
+    "EdgeStream",
+    "IncrementalTriangleMaintainer",
+    "StreamingCargo",
+    "StreamingConfig",
+    "replay_stream",
 ]

@@ -29,7 +29,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (e.g. table4, fig5) or 'list' to enumerate them",
+        nargs="?",
+        default=None,
+        help="experiment name (e.g. table4, fig5) or 'list' to enumerate them; "
+        "may be omitted when --stream is given",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the continual-release streaming experiment (shorthand for "
+        "the 'stream' experiment name)",
+    )
+    parser.add_argument(
+        "--release-every",
+        type=int,
+        default=None,
+        help="streaming: publish a DP release every this many edge events",
+    )
+    parser.add_argument(
+        "--anchor-every",
+        type=int,
+        default=None,
+        help="streaming: re-run the secure Count phase every this many "
+        "releases (0 disables anchoring)",
     )
     parser.add_argument("--num-nodes", type=int, default=None, help="override the graph size")
     parser.add_argument("--trials", type=int, default=None, help="override the number of trials")
@@ -75,6 +97,10 @@ def _collect_overrides(args: argparse.Namespace, runner) -> dict:
         overrides["counting_backend"] = args.backend
     if args.max_workers is not None and "max_workers" in accepted:
         overrides["max_workers"] = args.max_workers
+    if args.release_every is not None and "release_every" in accepted:
+        overrides["release_every"] = args.release_every
+    if args.anchor_every is not None and "anchor_every" in accepted:
+        overrides["anchor_every"] = args.anchor_every
     return overrides
 
 
@@ -82,6 +108,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.experiment is None:
+        if not args.stream:
+            parser.error("an experiment name is required (or pass --stream)")
+        args.experiment = "stream"
+    elif args.stream and args.experiment.lower() != "stream":
+        parser.error(
+            f"--stream conflicts with the explicit experiment name {args.experiment!r}"
+        )
 
     if args.experiment.lower() == "list":
         for name in list_experiments():

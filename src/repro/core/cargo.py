@@ -158,5 +158,8 @@ class Cargo:
             edges_removed=projection_result.edges_removed,
             timings=timers.as_dict(),
             communication=runtime.ledger.summary() if runtime is not None else {},
+            communication_phases=(
+                runtime.ledger.phase_summary() if runtime is not None else {}
+            ),
             backend=config.backend_name,
         )

@@ -34,6 +34,10 @@ class CargoResult:
     communication:
         Per-channel message/byte counts when communication tracking was
         enabled (empty otherwise).
+    communication_phases:
+        Per-phase message/byte counts (keyed by the message tags recorded at
+        send time, e.g. ``adjacency_share``, ``noise_share``); empty when
+        tracking was disabled.
     backend:
         Name of the secure counting backend that produced the count.
     """
@@ -47,6 +51,7 @@ class CargoResult:
     edges_removed: int
     timings: Dict[str, float] = field(default_factory=dict)
     communication: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    communication_phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
     backend: str = "matrix"
 
     @property

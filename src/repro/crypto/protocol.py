@@ -61,15 +61,34 @@ def estimate_message_bytes(payload: Any) -> int:
 
 @dataclass
 class CommunicationLedger:
-    """Aggregate message and byte counts, broken down by channel label."""
+    """Aggregate message and byte counts, broken down by channel label.
+
+    Every message is additionally attributed to a *phase* — the semantic
+    protocol step it belongs to (``adjacency_share``, ``noise_share``,
+    ``noisy_degree``, …).  Channels pass their message tag as the phase at
+    send time, so experiments can split, say, the adjacency-share upload from
+    the noise-share upload exactly rather than reverse-engineering the split
+    from message sizes.
+    """
 
     messages: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_sent: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    phase_messages: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    phase_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
-    def record(self, label: str, payload: Any) -> None:
-        """Account one message with the given *payload* on channel *label*."""
+    def record(self, label: str, payload: Any, phase: Optional[str] = None) -> None:
+        """Account one message with the given *payload* on channel *label*.
+
+        *phase* attributes the message to a named protocol step; ``None``
+        books it under ``"unlabelled"`` so phase totals always reconcile with
+        the channel totals.
+        """
+        size = estimate_message_bytes(payload)
         self.messages[label] += 1
-        self.bytes_sent[label] += estimate_message_bytes(payload)
+        self.bytes_sent[label] += size
+        phase_key = phase if phase is not None else "unlabelled"
+        self.phase_messages[phase_key] += 1
+        self.phase_bytes[phase_key] += size
 
     @property
     def total_messages(self) -> int:
@@ -86,6 +105,13 @@ class CommunicationLedger:
         return {
             label: {"messages": self.messages[label], "bytes": self.bytes_sent[label]}
             for label in sorted(self.messages)
+        }
+
+    def phase_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-phase breakdown (message tags recorded at send time)."""
+        return {
+            phase: {"messages": self.phase_messages[phase], "bytes": self.phase_bytes[phase]}
+            for phase in sorted(self.phase_messages)
         }
 
 
@@ -141,8 +167,12 @@ class Channel:
         self.label = f"{sender.name}->{receiver.name}"
 
     def send(self, tag: str, payload: Any) -> None:
-        """Send *payload* from the channel's sender to its receiver."""
-        self._ledger.record(self.label, payload)
+        """Send *payload* from the channel's sender to its receiver.
+
+        The message *tag* doubles as the ledger's phase label, so per-phase
+        communication totals come for free with every send.
+        """
+        self._ledger.record(self.label, payload, phase=tag)
         self._receiver.deliver(
             Message(sender=self._sender.name, receiver=self._receiver.name, tag=tag, payload=payload)
         )

@@ -56,3 +56,12 @@ class BudgetExhaustedError(PrivacyError):
 
 class ExperimentError(ReproError):
     """An experiment specification is unknown or produced no results."""
+
+
+class StreamError(ReproError):
+    """An edge-event stream is malformed or a continual release was misused.
+
+    Examples include events that reference nodes outside the stream's node
+    range, non-monotone timestamps, or asking a binary-tree release mechanism
+    for more releases than the capacity it was budgeted for.
+    """

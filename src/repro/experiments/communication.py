@@ -50,18 +50,12 @@ def communication_overhead(
         result = Cargo(config).run(graph)
         total_messages = sum(entry["messages"] for entry in result.communication.values())
         total_bytes = sum(entry["bytes"] for entry in result.communication.values())
-        # Channel labels are "user-i->S1" / "user-i->S2"; separate the upload
-        # of adjacency shares (n x 8 bytes per message) from the scalar noise
-        # shares by size: adjacency messages dominate once n > a few dozen.
-        adjacency_bytes = 0
-        noise_bytes = 0
-        for label, entry in result.communication.items():
-            if "->S" in label and label.startswith("user-"):
-                # Each user sends one adjacency-share vector (n * 8 bytes) and
-                # one noise share (8 bytes) per server, plus one noisy degree
-                # to S1; reconstruct the split from the totals.
-                adjacency_bytes += max(entry["bytes"] - 8 * entry["messages"], 0)
-                noise_bytes += min(entry["bytes"], 8 * entry["messages"])
+        # Every message is tagged with its protocol phase at send time, so
+        # the adjacency-share/noise-share split is read straight off the
+        # ledger instead of being reconstructed from message sizes.
+        phases = result.communication_phases
+        adjacency_bytes = phases.get("adjacency_share", {}).get("bytes", 0)
+        noise_bytes = phases.get("noise_share", {}).get("bytes", 0)
         report.add_row(
             dataset=dataset,
             num_users=num_users,

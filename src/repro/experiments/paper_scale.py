@@ -68,6 +68,16 @@ PAPER_SCALE_OVERRIDES: Dict[str, Dict[str, Any]] = {
     },
     "fig11": {"dataset": "facebook", "user_counts": (500, 1000, 2000, 3000, 4000), "epsilon": 2.0},
     "fig12": {"user_counts": (500, 1000, 2000, 3000, 4000), "epsilon": 2.0},
+    # (extension) streaming: replay the paper's default graph size as a full
+    # edge stream with production-ish release/anchor cadences.
+    "stream": {
+        "dataset": "facebook",
+        "num_nodes": 2000,
+        "epsilon": 2.0,
+        "release_every": 500,
+        "anchor_every": 10,
+        "counting_backend": "blocked",
+    },
 }
 
 #: table3 uses None for num_nodes meaning "full original size"; map to scale 1.0

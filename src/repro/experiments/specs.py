@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.exceptions import ExperimentError
-from repro.experiments import figures, tables
+from repro.experiments import figures, streaming, tables
 from repro.experiments.runner import ExperimentReport
 
 
@@ -116,6 +116,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             description="running time vs number of users (Wiki)",
             runner=figures.figure12_running_time_wiki,
             modules=("repro.core.cargo", "repro.core.fast_counting", "repro.baselines"),
+        ),
+        ExperimentSpec(
+            name="stream",
+            paper_artifact="(extension)",
+            description="continual private triangle counting over an edge stream",
+            runner=streaming.streaming_accuracy_over_time,
+            modules=("repro.stream", "repro.core.backends", "repro.dp.accountant"),
         ),
     )
 }

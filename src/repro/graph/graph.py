@@ -48,6 +48,7 @@ class Graph:
         self._adjacency: List[Set[int]] = [set() for _ in range(self._num_nodes)]
         self._num_edges = 0
         self._triangle_count_cache: Optional[int] = None
+        self._adjacency_matrix_cache: Optional[np.ndarray] = None
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -101,6 +102,23 @@ class Graph:
         self._check_node(node)
         return frozenset(self._adjacency[node])
 
+    def common_neighbor_count(self, u: int, v: int, above: Optional[int] = None) -> int:
+        """Number of nodes adjacent to both *u* and *v*.
+
+        Intersects the underlying adjacency sets directly (the smaller side
+        drives the intersection), so the cost is ``O(min(d_u, d_v))`` with no
+        set copies — this is the per-event hot path of the streaming
+        triangle maintainer.  With *above*, only common neighbours strictly
+        greater than it are counted (the ``w > v`` filter the exact triangle
+        counters use to count each triangle once).
+        """
+        self._check_node(u)
+        self._check_node(v)
+        common = self._adjacency[u] & self._adjacency[v]
+        if above is None:
+            return len(common)
+        return sum(1 for w in common if w > above)
+
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``{u, v}`` is present."""
         self._check_node(u)
@@ -126,7 +144,7 @@ class Graph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._num_edges += 1
-        self._triangle_count_cache = None
+        self._invalidate_caches()
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -138,7 +156,7 @@ class Graph:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         self._num_edges -= 1
-        self._triangle_count_cache = None
+        self._invalidate_caches()
         return True
 
     def copy(self) -> "Graph":
@@ -147,11 +165,17 @@ class Graph:
         clone._adjacency = [set(neighbours) for neighbours in self._adjacency]
         clone._num_edges = self._num_edges
         clone._triangle_count_cache = self._triangle_count_cache
+        clone._adjacency_matrix_cache = self._adjacency_matrix_cache
         return clone
 
     # ------------------------------------------------------------------ #
     # Derived-quantity caching
     # ------------------------------------------------------------------ #
+    def _invalidate_caches(self) -> None:
+        """Drop every memoised derived quantity after an edge mutation."""
+        self._triangle_count_cache = None
+        self._adjacency_matrix_cache = None
+
     @property
     def cached_triangle_count(self) -> Optional[int]:
         """Memoised exact triangle count, or ``None`` if not computed yet.
@@ -178,14 +202,26 @@ class Graph:
             row[np.asarray(neighbours, dtype=np.int64)] = 1
         return row
 
-    def adjacency_matrix(self) -> np.ndarray:
+    def adjacency_matrix(self, copy: bool = True) -> np.ndarray:
         """Dense symmetric 0/1 adjacency matrix ``A`` (``n x n`` int64).
 
         Built with one flattened scatter (row/column index arrays assembled
         via :func:`numpy.fromiter`) rather than one fancy-indexing pass per
         row, which keeps construction cheap for the large ``n`` the blocked
         secure-counting backend targets.
+
+        Callers that repeatedly need the dense view of an unchanged graph
+        (evaluation trials, streaming anchors) pass ``copy=False`` to get a
+        read-only view that is memoised on the instance and invalidated by
+        any edge mutation, paying for the scatter once.  The default
+        ``copy=True`` returns a fresh writable matrix and — unless the memo
+        already exists — does *not* retain it, so one-shot callers never pin
+        ``O(n²)`` memory on the graph.
         """
+        if self._adjacency_matrix_cache is not None:
+            if copy:
+                return self._adjacency_matrix_cache.copy()
+            return self._adjacency_matrix_cache
         n = self._num_nodes
         matrix = np.zeros((n, n), dtype=np.int64)
         if self._num_edges:
@@ -201,6 +237,9 @@ class Graph:
             )
             rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
             matrix[rows, cols] = 1
+        if not copy:
+            matrix.setflags(write=False)
+            self._adjacency_matrix_cache = matrix
         return matrix
 
     def adjacency_lists(self) -> List[List[int]]:

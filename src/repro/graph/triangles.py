@@ -61,14 +61,12 @@ def count_triangles_edge_iterator(graph: Graph) -> int:
 
     Every triangle contains three edges and is therefore counted three times;
     restricting the common neighbour ``w`` to ``w > v > u`` makes each
-    triangle count exactly once instead.
+    triangle count exactly once instead.  The filtered intersection runs
+    copy-free through :meth:`~repro.graph.graph.Graph.common_neighbor_count`.
     """
     total = 0
     for u, v in graph.edges():
-        common = graph.neighbor_view(u) & graph.neighbor_view(v)
-        for w in common:
-            if w > v:
-                total += 1
+        total += graph.common_neighbor_count(u, v, above=v)
     return total
 
 
@@ -79,7 +77,7 @@ def count_triangles_matrix(graph: Graph) -> int:
     independent oracle and by the vectorised secure backend as its plaintext
     reference.
     """
-    matrix = graph.adjacency_matrix().astype(np.int64)
+    matrix = graph.adjacency_matrix(copy=False)
     if matrix.shape[0] == 0:
         return 0
     cube_trace = int(np.trace(matrix @ matrix @ matrix))

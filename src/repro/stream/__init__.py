@@ -1,0 +1,61 @@
+"""Streaming dynamic-graph subsystem: continual private triangle counting.
+
+The one-shot CARGO pipeline answers a single query over a frozen graph; this
+subpackage serves a *stream* of edge additions and removals:
+
+* :mod:`repro.stream.events` — the edge-event model (:class:`EdgeEvent`,
+  :class:`EdgeStream`) and stream generators that replay any
+  ``repro.graph`` dataset as a randomized arrival sequence or synthesise
+  add/remove churn,
+* :mod:`repro.stream.delta` — an incremental maintainer that updates the
+  exact triangle count per event in ``O(min degree)`` via neighbourhood
+  intersection,
+* :mod:`repro.stream.release` — the binary-tree continual-observation DP
+  mechanism (``T`` releases under one total ε with ``O(log T)`` ledger
+  entries) plus pluggable release policies,
+* :mod:`repro.stream.orchestrator` — :class:`StreamingCargo`, which serves
+  continual DP estimates between periodic secure-count anchors executed
+  through any registered counting backend.
+"""
+
+from repro.stream.events import (
+    EdgeEvent,
+    EdgeEventKind,
+    EdgeStream,
+    churn_stream,
+    replay_dataset,
+    replay_stream,
+)
+from repro.stream.delta import IncrementalTriangleMaintainer
+from repro.stream.release import (
+    BinaryTreeRelease,
+    EveryKEventsPolicy,
+    FixedIntervalPolicy,
+    ReleasePolicy,
+    tree_depth,
+)
+from repro.stream.orchestrator import (
+    StreamRelease,
+    StreamingCargo,
+    StreamingConfig,
+    StreamingResult,
+)
+
+__all__ = [
+    "EdgeEvent",
+    "EdgeEventKind",
+    "EdgeStream",
+    "churn_stream",
+    "replay_dataset",
+    "replay_stream",
+    "IncrementalTriangleMaintainer",
+    "BinaryTreeRelease",
+    "EveryKEventsPolicy",
+    "FixedIntervalPolicy",
+    "ReleasePolicy",
+    "tree_depth",
+    "StreamRelease",
+    "StreamingCargo",
+    "StreamingConfig",
+    "StreamingResult",
+]

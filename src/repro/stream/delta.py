@@ -1,0 +1,130 @@
+"""Incremental triangle maintenance over edge events.
+
+Recounting triangles from scratch after every edge event costs
+``O(sum_e min(d_u, d_v))`` per event; the incremental maintainer instead
+exploits that inserting or deleting one edge ``{u, v}`` changes the global
+triangle count by exactly ``|N(u) ∩ N(v)|`` — the number of common
+neighbours, evaluated while the rest of the graph is fixed.  A single event
+therefore costs one set intersection, ``O(min(d_u, d_v))``, via
+:meth:`~repro.graph.graph.Graph.common_neighbor_count` (which intersects the
+adjacency sets in place, without copying either neighbourhood).
+
+The maintainer owns its graph copy and keeps the running count exactly in
+sync with it; the test suite validates the running count bit-identically
+against :func:`~repro.graph.triangles.count_triangles` on snapshots of long
+randomized replays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.exceptions import StreamError
+from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles
+from repro.stream.events import EdgeEvent
+
+__all__ = ["IncrementalTriangleMaintainer"]
+
+
+class IncrementalTriangleMaintainer:
+    """Maintains the exact triangle count of a mutating graph per edge event.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the (initially empty) dynamic graph.  Ignored when
+        *initial_graph* is given.
+    initial_graph:
+        Optional starting graph; the maintainer works on a private copy so
+        callers keep an unmodified original.  The initial exact count is
+        computed once at construction.
+    """
+
+    def __init__(
+        self, num_nodes: int = 0, initial_graph: Optional[Graph] = None
+    ) -> None:
+        if initial_graph is not None:
+            self._graph = initial_graph.copy()
+        else:
+            self._graph = Graph(num_nodes)
+        self._count = count_triangles(self._graph)
+        self._events_applied = 0
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        """The maintainer's internal graph.
+
+        Mutate it only through :meth:`apply`; direct edge mutation would
+        desynchronise the running count.  Use :meth:`snapshot` for a safe
+        independent copy.
+        """
+        return self._graph
+
+    @property
+    def triangle_count(self) -> int:
+        """The exact triangle count of the current graph."""
+        return self._count
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the dynamic graph."""
+        return self._graph.num_nodes
+
+    @property
+    def events_applied(self) -> int:
+        """How many events have been applied so far."""
+        return self._events_applied
+
+    def snapshot(self) -> Graph:
+        """An independent copy of the current graph state."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------ #
+    # Event application
+    # ------------------------------------------------------------------ #
+    def apply(self, event: EdgeEvent) -> int:
+        """Apply one event and return the triangle-count delta it caused.
+
+        Additions of already-present edges and removals of absent edges are
+        no-ops with delta 0 (the stream generators never produce them, but a
+        live deployment's dedup logic should not have to be perfect).  No-op
+        events still count toward :attr:`events_applied` — it tracks events
+        *consumed*, matching the orchestrator's throughput accounting.
+        """
+        graph = self._graph
+        u, v = event.edge
+        if v >= graph.num_nodes:
+            raise StreamError(
+                f"event on edge ({u}, {v}) is out of range for a maintainer "
+                f"over {graph.num_nodes} nodes"
+            )
+        self._events_applied += 1
+        if event.is_addition:
+            if graph.has_edge(u, v):
+                return 0
+            # Common neighbours before the insertion = new triangles closed.
+            delta = graph.common_neighbor_count(u, v)
+            graph.add_edge(u, v)
+        else:
+            if not graph.has_edge(u, v):
+                return 0
+            # Common neighbours while the edge is present = triangles broken.
+            delta = -graph.common_neighbor_count(u, v)
+            graph.remove_edge(u, v)
+        self._count += delta
+        # The running count is exact, so re-seed the per-graph memo that the
+        # mutation just invalidated; evaluation code calling count_triangles
+        # on the maintainer's graph then costs O(1).
+        graph.cached_triangle_count = self._count
+        return delta
+
+    def apply_all(self, events: Iterable[EdgeEvent]) -> int:
+        """Apply every event in order; return the cumulative delta."""
+        total = 0
+        for event in events:
+            total += self.apply(event)
+        return total

@@ -1,0 +1,249 @@
+"""Edge-event model for dynamic graphs.
+
+The streaming subsystem views a dynamic graph as an initial
+:class:`~repro.graph.graph.Graph` plus a totally ordered sequence of
+:class:`EdgeEvent` records (edge additions and removals, each carrying a
+stream timestamp).  Two generators cover the common evaluation setups:
+
+* :func:`replay_stream` / :func:`replay_dataset` — replay a frozen graph's
+  edge set as a randomized arrival sequence of ``add`` events, turning any
+  ``repro.graph`` dataset into a growth stream that ends at the original
+  graph;
+* :func:`churn_stream` — starting from an existing graph, interleave valid
+  edge additions (currently absent edges) and removals (currently present
+  edges), modelling a social graph with user churn.
+
+Timestamps are synthetic "stream seconds": events arrive with exponential
+inter-arrival times at a configurable mean *rate*, so wall-clock release
+policies (:class:`~repro.stream.release.FixedIntervalPolicy`) have something
+meaningful to trigger on while the whole stream stays deterministic under a
+seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import StreamError
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+from repro.utils.rng import RandomState, derive_rng
+
+
+class EdgeEventKind(str, enum.Enum):
+    """Whether an event inserts or deletes an undirected edge."""
+
+    ADD = "add"
+    REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped mutation of the dynamic graph.
+
+    Attributes
+    ----------
+    kind:
+        :attr:`EdgeEventKind.ADD` or :attr:`EdgeEventKind.REMOVE`.
+    u / v:
+        The endpoints of the undirected edge ``{u, v}``.  Stored sorted
+        (``u < v``) so two events on the same edge compare equal regardless
+        of the orientation the producer used.
+    time:
+        Stream timestamp in synthetic seconds; streams are non-decreasing in
+        time.
+    """
+
+    kind: EdgeEventKind
+    u: int
+    v: int
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise StreamError(f"self-loop event on node {self.u} is not allowed")
+        if self.u < 0 or self.v < 0:
+            raise StreamError(f"event endpoints must be non-negative, got ({self.u}, {self.v})")
+        if self.u > self.v:
+            low, high = self.v, self.u
+            object.__setattr__(self, "u", low)
+            object.__setattr__(self, "v", high)
+        if self.time < 0:
+            raise StreamError(f"event time must be non-negative, got {self.time}")
+
+    @property
+    def edge(self) -> Tuple[int, int]:
+        """The undirected edge as a sorted ``(u, v)`` pair."""
+        return (self.u, self.v)
+
+    @property
+    def is_addition(self) -> bool:
+        """Whether this event inserts the edge."""
+        return self.kind is EdgeEventKind.ADD
+
+
+@dataclass(frozen=True)
+class EdgeStream:
+    """An ordered, validated sequence of edge events over ``num_nodes`` nodes.
+
+    Construction checks that every event's endpoints are in range and that
+    timestamps never decrease, so downstream consumers (the maintainer, the
+    release policies) can rely on both invariants.
+    """
+
+    num_nodes: int
+    events: Tuple[EdgeEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 0:
+            raise StreamError(f"num_nodes must be non-negative, got {self.num_nodes}")
+        object.__setattr__(self, "events", tuple(self.events))
+        previous_time = 0.0
+        for event in self.events:
+            if event.v >= self.num_nodes:
+                raise StreamError(
+                    f"event on edge ({event.u}, {event.v}) is out of range for "
+                    f"a stream over {self.num_nodes} nodes"
+                )
+            if event.time < previous_time:
+                raise StreamError(
+                    f"event timestamps must be non-decreasing, got {event.time} "
+                    f"after {previous_time}"
+                )
+            previous_time = event.time
+
+    def __iter__(self) -> Iterator[EdgeEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration(self) -> float:
+        """Timestamp of the last event (0.0 for an empty stream)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def additions(self) -> int:
+        """Number of ``add`` events in the stream."""
+        return sum(1 for event in self.events if event.is_addition)
+
+    def removals(self) -> int:
+        """Number of ``remove`` events in the stream."""
+        return len(self.events) - self.additions()
+
+
+def _arrival_times(count: int, rate: float, rng) -> List[float]:
+    """Cumulative exponential inter-arrival times for *count* events."""
+    if rate <= 0:
+        raise StreamError(f"event rate must be positive, got {rate}")
+    if count == 0:
+        return []
+    return np.cumsum(rng.exponential(1.0 / rate, size=count)).tolist()
+
+
+def replay_stream(graph: Graph, rng: RandomState = None, rate: float = 1.0) -> EdgeStream:
+    """Replay *graph*'s edges as a randomized arrival sequence of additions.
+
+    The edge set is shuffled with *rng* and each edge becomes one ``add``
+    event; applying the whole stream to an empty graph reconstructs *graph*
+    exactly.  Inter-arrival times are exponential with mean ``1 / rate``.
+    """
+    generator = derive_rng(rng)
+    edges = graph.edge_list()
+    order = list(range(len(edges)))
+    generator.shuffle(order)
+    times = _arrival_times(len(edges), rate, generator)
+    events = tuple(
+        EdgeEvent(kind=EdgeEventKind.ADD, u=edges[index][0], v=edges[index][1], time=time)
+        for index, time in zip(order, times)
+    )
+    return EdgeStream(num_nodes=graph.num_nodes, events=events)
+
+
+def replay_dataset(
+    dataset: str,
+    num_nodes: Optional[int] = None,
+    rng: RandomState = None,
+    rate: float = 1.0,
+) -> EdgeStream:
+    """Replay a named ``repro.graph`` dataset as a randomized edge stream."""
+    graph = load_dataset(dataset, num_nodes=num_nodes)
+    return replay_stream(graph, rng=rng, rate=rate)
+
+
+def churn_stream(
+    graph: Graph,
+    num_events: int,
+    rng: RandomState = None,
+    add_fraction: float = 0.5,
+    rate: float = 1.0,
+) -> EdgeStream:
+    """Generate a mixed add/remove stream that is valid against *graph*.
+
+    Starting from *graph*'s edge set, each event is an addition of a
+    currently-absent edge with probability *add_fraction* and a removal of a
+    currently-present edge otherwise (falling back to the other kind when one
+    side is exhausted — e.g. removals on an empty graph become additions).
+    Applying the events in order to a copy of *graph* is always legal: no
+    duplicate additions, no removals of missing edges.
+    """
+    if num_events < 0:
+        raise StreamError(f"num_events must be non-negative, got {num_events}")
+    if not (0.0 <= add_fraction <= 1.0):
+        raise StreamError(f"add_fraction must be in [0, 1], got {add_fraction}")
+    n = graph.num_nodes
+    if n < 2 and num_events > 0:
+        raise StreamError("churn requires at least two nodes")
+    generator = derive_rng(rng)
+    # Present edges kept in a list + index map so a uniform removal is an
+    # O(1) swap-pop instead of a sort over the whole edge set per event.
+    edge_pool: List[Tuple[int, int]] = graph.edge_list()
+    edge_index = {edge: position for position, edge in enumerate(edge_pool)}
+    max_edges = n * (n - 1) // 2
+    times = _arrival_times(num_events, rate, generator)
+    events: List[EdgeEvent] = []
+    for time in times:
+        want_add = generator.random() < add_fraction
+        if want_add and len(edge_pool) == max_edges:
+            want_add = False
+        elif not want_add and not edge_pool:
+            want_add = True
+        if want_add:
+            # Rejection sampling is O(1) expected on sparse graphs; cap the
+            # attempts so a near-complete graph degrades to one explicit
+            # absent-edge scan instead of unbounded RNG draws.
+            edge = None
+            for _ in range(64):
+                u = int(generator.integers(0, n))
+                v = int(generator.integers(0, n))
+                if u == v:
+                    continue
+                candidate = (u, v) if u < v else (v, u)
+                if candidate not in edge_index:
+                    edge = candidate
+                    break
+            if edge is None:
+                absent = [
+                    (u, v)
+                    for u in range(n)
+                    for v in range(u + 1, n)
+                    if (u, v) not in edge_index
+                ]
+                edge = absent[int(generator.integers(0, len(absent)))]
+            edge_index[edge] = len(edge_pool)
+            edge_pool.append(edge)
+            events.append(EdgeEvent(kind=EdgeEventKind.ADD, u=edge[0], v=edge[1], time=time))
+        else:
+            position = int(generator.integers(0, len(edge_pool)))
+            edge = edge_pool[position]
+            last = edge_pool[-1]
+            edge_pool[position] = last
+            edge_index[last] = position
+            edge_pool.pop()
+            del edge_index[edge]
+            events.append(EdgeEvent(kind=EdgeEventKind.REMOVE, u=edge[0], v=edge[1], time=time))
+    return EdgeStream(num_nodes=n, events=tuple(events))

@@ -36,6 +36,30 @@ class TestCommunicationOverhead:
                 row["total_bytes"] / row["num_users"]
             )
 
+    def test_phase_split_is_exact_not_heuristic(self):
+        """The adjacency/noise split comes from send-time phase labels."""
+        from repro.core.cargo import Cargo
+        from repro.core.config import CargoConfig
+        from repro.graph.datasets import load_dataset
+
+        graph = load_dataset("grqc", num_nodes=40)
+        result = Cargo(CargoConfig(epsilon=2.0, seed=0, track_communication=True)).run(graph)
+        phases = result.communication_phases
+        n = graph.num_nodes
+        # Each user uploads one n-element int64 share vector to each server.
+        assert phases["adjacency_share"]["messages"] == 2 * n
+        assert phases["adjacency_share"]["bytes"] == 2 * n * n * 8
+        # Each user uploads one scalar noise share to each server.
+        assert phases["noise_share"]["messages"] == 2 * n
+        assert phases["noise_share"]["bytes"] == 2 * n * 8
+        # Phase totals reconcile exactly with the channel totals.
+        assert sum(entry["bytes"] for entry in phases.values()) == sum(
+            entry["bytes"] for entry in result.communication.values()
+        )
+        assert sum(entry["messages"] for entry in phases.values()) == sum(
+            entry["messages"] for entry in result.communication.values()
+        )
+
 
 class TestCliJsonOutput:
     def test_json_flag_emits_parseable_rows(self, capsys):

@@ -1,0 +1,123 @@
+"""Tests for the streaming experiment and its CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.specs import get_experiment, list_experiments
+from repro.experiments.streaming import streaming_accuracy_over_time
+
+
+class TestStreamingExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return streaming_accuracy_over_time(
+            dataset="grqc", num_nodes=80, epsilon=4.0, release_every=60, seed=0
+        )
+
+    def test_one_row_per_release(self, report):
+        assert len(report.rows) > 3
+        assert [row["release"] for row in report.rows] == list(
+            range(1, len(report.rows) + 1)
+        )
+
+    def test_rows_carry_error_columns(self, report):
+        for row in report.rows:
+            assert row["l2_loss"] >= 0.0
+            # None (JSON null) marks releases where the truth is still zero.
+            assert row["relative_error"] is None or row["relative_error"] >= 0.0
+            assert row["event_index"] > 0
+        assert any(row["relative_error"] is not None for row in report.rows)
+
+    def test_true_count_is_monotone_on_a_replay(self, report):
+        counts = [row["true_count"] for row in report.rows]
+        assert counts == sorted(counts)
+
+    def test_budget_columns_are_per_release_snapshots(self, report):
+        spent = [row["epsilon_spent"] for row in report.rows]
+        entries = [row["ledger_entries"] for row in report.rows]
+        # Cumulative spend never decreases and never exceeds the budget.
+        assert spent == sorted(spent)
+        assert spent[-1] <= 4.0 * (1 + 1e-9)
+        assert entries == sorted(entries)
+        assert entries[-1] < len(report.rows) or len(report.rows) < 10
+
+    def test_anchors_marked_when_enabled(self):
+        report = streaming_accuracy_over_time(
+            dataset="grqc",
+            num_nodes=60,
+            epsilon=4.0,
+            release_every=80,
+            anchor_every=2,
+            seed=1,
+        )
+        assert any(row["is_anchor"] for row in report.rows)
+
+    def test_registered_in_specs(self):
+        assert "stream" in list_experiments()
+        assert get_experiment("stream").runner is streaming_accuracy_over_time
+
+
+class TestStreamingCli:
+    def test_stream_flag_without_experiment_name(self, capsys):
+        assert (
+            main(
+                [
+                    "--stream",
+                    "--num-nodes",
+                    "60",
+                    "--release-every",
+                    "80",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        # json.loads with strict constants: the output must be valid JSON
+        # even when early releases have a zero true count (no Infinity).
+        def _reject(constant):
+            raise AssertionError(f"non-JSON constant {constant} in CLI output")
+
+        payload = json.loads(capsys.readouterr().out, parse_constant=_reject)
+        assert payload["name"] == "stream"
+        assert payload["rows"]
+
+    def test_explicit_stream_experiment_with_cadence_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--num-nodes",
+                    "60",
+                    "--release-every",
+                    "100",
+                    "--anchor-every",
+                    "2",
+                    "--epsilon",
+                    "6",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert any(row["is_anchor"] for row in payload["rows"])
+
+    def test_missing_experiment_without_stream_flag_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_stream_flag_conflicts_with_other_experiment_name(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--stream"])
+
+    def test_stream_flag_with_explicit_stream_name_is_fine(self, capsys):
+        assert main(["stream", "--stream", "--num-nodes", "60", "--json"]) == 0
+
+    def test_other_experiments_unaffected_by_new_flags(self, capsys):
+        assert main(["table2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "table2"

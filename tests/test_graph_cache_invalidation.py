@@ -1,0 +1,110 @@
+"""Regression tests: per-graph memos never serve stale values after mutation.
+
+The streaming subsystem mutates one long-lived :class:`Graph` thousands of
+times, so both instance-level memos — the exact triangle count and the dense
+adjacency matrix — must be invalidated by every ``add_edge``/``remove_edge``
+that actually changes the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles
+
+
+class TestTriangleCountCache:
+    def test_add_edge_invalidates(self, triangle_graph):
+        assert count_triangles(triangle_graph) == 1
+        assert triangle_graph.cached_triangle_count == 1
+        triangle_graph.add_edge(1, 3)
+        assert triangle_graph.cached_triangle_count is None
+        assert count_triangles(triangle_graph) == 2
+
+    def test_remove_edge_invalidates(self, triangle_graph):
+        assert count_triangles(triangle_graph) == 1
+        triangle_graph.remove_edge(0, 1)
+        assert triangle_graph.cached_triangle_count is None
+        assert count_triangles(triangle_graph) == 0
+
+    def test_noop_mutations_keep_the_cache(self, triangle_graph):
+        count_triangles(triangle_graph)
+        assert triangle_graph.add_edge(0, 1) is False  # already present
+        assert triangle_graph.remove_edge(0, 3) is False  # never existed
+        assert triangle_graph.cached_triangle_count == 1
+
+    def test_long_mutation_sequence_never_serves_stale_counts(self, rng):
+        graph = Graph(20)
+        edges = [(u, v) for u in range(20) for v in range(u + 1, 20)]
+        for _ in range(300):
+            u, v = edges[int(rng.integers(0, len(edges)))]
+            if graph.has_edge(u, v):
+                graph.remove_edge(u, v)
+            else:
+                graph.add_edge(u, v)
+            assert count_triangles(graph) == count_triangles(graph, use_cache=False)
+
+
+class TestAdjacencyMatrixCache:
+    def test_matrix_is_memoised_between_calls(self, triangle_graph):
+        first = triangle_graph.adjacency_matrix(copy=False)
+        second = triangle_graph.adjacency_matrix(copy=False)
+        assert first is second
+
+    def test_default_call_returns_a_writable_copy(self, triangle_graph):
+        matrix = triangle_graph.adjacency_matrix()
+        matrix[0, 1] = 0  # caller-side scratch edits must not corrupt the memo
+        fresh = triangle_graph.adjacency_matrix()
+        assert fresh[0, 1] == 1
+
+    def test_default_calls_do_not_pin_the_memo(self, triangle_graph):
+        # One-shot callers must not retain O(n^2) memory on the graph; only
+        # the copy=False fast path opts into memoisation.
+        triangle_graph.adjacency_matrix()
+        assert triangle_graph._adjacency_matrix_cache is None
+        triangle_graph.adjacency_matrix(copy=False)
+        assert triangle_graph._adjacency_matrix_cache is not None
+
+    def test_read_only_view_rejects_mutation(self, triangle_graph):
+        view = triangle_graph.adjacency_matrix(copy=False)
+        with pytest.raises(ValueError):
+            view[0, 1] = 0
+
+    def test_add_edge_invalidates(self, triangle_graph):
+        before = triangle_graph.adjacency_matrix()
+        triangle_graph.add_edge(1, 3)
+        after = triangle_graph.adjacency_matrix()
+        assert before[1, 3] == 0
+        assert after[1, 3] == 1 and after[3, 1] == 1
+
+    def test_remove_edge_invalidates(self, triangle_graph):
+        triangle_graph.adjacency_matrix()
+        triangle_graph.remove_edge(0, 1)
+        after = triangle_graph.adjacency_matrix()
+        assert after[0, 1] == 0 and after[1, 0] == 0
+
+    def test_matrix_matches_rebuild_after_every_mutation(self, rng):
+        graph = Graph(12)
+        for _ in range(150):
+            u = int(rng.integers(0, 12))
+            v = int(rng.integers(0, 12))
+            if u == v:
+                continue
+            if graph.has_edge(u, v):
+                graph.remove_edge(u, v)
+            else:
+                graph.add_edge(u, v)
+            rebuilt = Graph(12, edges=graph.edge_list()).adjacency_matrix()
+            assert np.array_equal(graph.adjacency_matrix(), rebuilt)
+
+    def test_copy_shares_then_diverges(self, triangle_graph):
+        original_matrix = triangle_graph.adjacency_matrix(copy=False)
+        clone = triangle_graph.copy()
+        assert np.array_equal(clone.adjacency_matrix(), original_matrix)
+        clone.add_edge(1, 3)
+        # The clone invalidated only its own memo.
+        assert triangle_graph.adjacency_matrix(copy=False) is original_matrix
+        assert clone.adjacency_matrix()[1, 3] == 1
+        assert triangle_graph.adjacency_matrix()[1, 3] == 0

@@ -1,0 +1,128 @@
+"""Tests for repro.stream.delta — incremental triangle maintenance.
+
+The acceptance property for the streaming subsystem: the maintainer's running
+count matches :func:`count_triangles` **exactly** on every snapshot of a
+500-event randomized replay (and of a mixed add/remove churn stream).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles
+from repro.stream.delta import IncrementalTriangleMaintainer
+from repro.stream.events import EdgeEvent, EdgeEventKind, churn_stream, replay_stream
+
+
+class TestBasics:
+    def test_starts_from_empty_graph(self):
+        maintainer = IncrementalTriangleMaintainer(num_nodes=5)
+        assert maintainer.triangle_count == 0
+        assert maintainer.num_nodes == 5
+        assert maintainer.events_applied == 0
+
+    def test_starts_from_initial_graph_without_mutating_it(self, complete_graph):
+        maintainer = IncrementalTriangleMaintainer(initial_graph=complete_graph)
+        assert maintainer.triangle_count == 20
+        maintainer.apply(EdgeEvent(EdgeEventKind.REMOVE, 0, 1))
+        assert complete_graph.has_edge(0, 1)  # the original is untouched
+        assert maintainer.triangle_count == 20 - 4
+
+    def test_single_addition_closes_common_neighbour_triangles(self):
+        maintainer = IncrementalTriangleMaintainer(num_nodes=4)
+        maintainer.apply(EdgeEvent(EdgeEventKind.ADD, 0, 2))
+        maintainer.apply(EdgeEvent(EdgeEventKind.ADD, 1, 2))
+        assert maintainer.triangle_count == 0
+        delta = maintainer.apply(EdgeEvent(EdgeEventKind.ADD, 0, 1))
+        assert delta == 1
+        assert maintainer.triangle_count == 1
+
+    def test_removal_reverses_addition(self):
+        maintainer = IncrementalTriangleMaintainer(
+            initial_graph=Graph(4, edges=[(0, 1), (0, 2), (1, 2), (2, 3)])
+        )
+        assert maintainer.apply(EdgeEvent(EdgeEventKind.REMOVE, 0, 1)) == -1
+        assert maintainer.apply(EdgeEvent(EdgeEventKind.ADD, 0, 1)) == 1
+        assert maintainer.triangle_count == 1
+
+    def test_duplicate_add_and_missing_remove_are_noops(self, triangle_graph):
+        maintainer = IncrementalTriangleMaintainer(initial_graph=triangle_graph)
+        before = maintainer.triangle_count
+        assert maintainer.apply(EdgeEvent(EdgeEventKind.ADD, 0, 1)) == 0
+        assert maintainer.apply(EdgeEvent(EdgeEventKind.REMOVE, 0, 3)) == 0
+        assert maintainer.triangle_count == before
+        # No-op events still count as consumed for throughput accounting.
+        assert maintainer.events_applied == 2
+
+    def test_out_of_range_event_rejected(self):
+        maintainer = IncrementalTriangleMaintainer(num_nodes=3)
+        with pytest.raises(StreamError):
+            maintainer.apply(EdgeEvent(EdgeEventKind.ADD, 0, 7))
+
+    def test_common_neighbor_count_matches_view_intersection(self, medium_cluster_graph):
+        graph = medium_cluster_graph
+        for u, v in list(graph.edges())[:50]:
+            assert graph.common_neighbor_count(u, v) == len(
+                graph.neighbor_view(u) & graph.neighbor_view(v)
+            )
+
+    def test_snapshot_is_independent(self, triangle_graph):
+        maintainer = IncrementalTriangleMaintainer(initial_graph=triangle_graph)
+        snapshot = maintainer.snapshot()
+        maintainer.apply(EdgeEvent(EdgeEventKind.REMOVE, 0, 1))
+        assert snapshot.has_edge(0, 1)
+
+
+class TestSnapshotEquivalence:
+    """The bit-identical acceptance property from the issue."""
+
+    def test_500_event_replay_matches_count_triangles_on_every_snapshot(self):
+        graph = load_dataset("facebook", num_nodes=120)
+        stream = replay_stream(graph, rng=99)
+        assert len(stream) >= 500
+        maintainer = IncrementalTriangleMaintainer(num_nodes=stream.num_nodes)
+        for index, event in enumerate(stream):
+            maintainer.apply(event)
+            if index >= 500:
+                break
+            assert maintainer.triangle_count == count_triangles(
+                maintainer.snapshot(), use_cache=False
+            )
+
+    def test_churn_with_removals_matches_on_every_snapshot(self, medium_cluster_graph):
+        stream = churn_stream(medium_cluster_graph, num_events=500, rng=17)
+        maintainer = IncrementalTriangleMaintainer(initial_graph=medium_cluster_graph)
+        assert stream.removals() > 0
+        for event in stream:
+            maintainer.apply(event)
+            assert maintainer.triangle_count == count_triangles(
+                maintainer.snapshot(), use_cache=False
+            )
+
+    def test_full_replay_ends_at_the_original_count(self):
+        graph = load_dataset("wiki", num_nodes=100)
+        stream = replay_stream(graph, rng=3)
+        maintainer = IncrementalTriangleMaintainer(num_nodes=stream.num_nodes)
+        maintainer.apply_all(stream)
+        assert maintainer.triangle_count == count_triangles(graph)
+        assert maintainer.graph == graph
+
+    def test_running_count_reseeds_the_graph_memo(self, triangle_graph):
+        maintainer = IncrementalTriangleMaintainer(initial_graph=triangle_graph)
+        maintainer.apply(EdgeEvent(EdgeEventKind.ADD, 1, 3))
+        # The mutation invalidated the memo, and apply() re-seeded it with the
+        # exact running count.
+        assert maintainer.graph.cached_triangle_count == maintainer.triangle_count
+        assert count_triangles(maintainer.graph, use_cache=False) == maintainer.triangle_count
+
+
+class TestApplyAll:
+    def test_returns_cumulative_delta(self, complete_graph):
+        maintainer = IncrementalTriangleMaintainer(num_nodes=6)
+        stream = replay_stream(complete_graph, rng=0)
+        total = maintainer.apply_all(stream)
+        assert total == 20
+        assert maintainer.events_applied == len(stream)

@@ -1,0 +1,162 @@
+"""Tests for repro.stream.events — the edge-event model and generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+from repro.stream.events import (
+    EdgeEvent,
+    EdgeEventKind,
+    EdgeStream,
+    churn_stream,
+    replay_dataset,
+    replay_stream,
+)
+
+
+class TestEdgeEvent:
+    def test_endpoints_are_normalised(self):
+        event = EdgeEvent(kind=EdgeEventKind.ADD, u=5, v=2, time=1.0)
+        assert event.edge == (2, 5)
+        assert (event.u, event.v) == (2, 5)
+
+    def test_normalised_events_compare_equal(self):
+        a = EdgeEvent(kind=EdgeEventKind.ADD, u=5, v=2, time=1.0)
+        b = EdgeEvent(kind=EdgeEventKind.ADD, u=2, v=5, time=1.0)
+        assert a == b
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeEvent(kind=EdgeEventKind.ADD, u=3, v=3)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeEvent(kind=EdgeEventKind.ADD, u=-1, v=2)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeEvent(kind=EdgeEventKind.ADD, u=0, v=1, time=-0.5)
+
+    def test_is_addition(self):
+        assert EdgeEvent(kind=EdgeEventKind.ADD, u=0, v=1).is_addition
+        assert not EdgeEvent(kind=EdgeEventKind.REMOVE, u=0, v=1).is_addition
+
+
+class TestEdgeStream:
+    def test_out_of_range_event_rejected(self):
+        with pytest.raises(StreamError):
+            EdgeStream(num_nodes=3, events=(EdgeEvent(EdgeEventKind.ADD, 0, 5),))
+
+    def test_decreasing_timestamps_rejected(self):
+        events = (
+            EdgeEvent(EdgeEventKind.ADD, 0, 1, time=2.0),
+            EdgeEvent(EdgeEventKind.ADD, 1, 2, time=1.0),
+        )
+        with pytest.raises(StreamError):
+            EdgeStream(num_nodes=3, events=events)
+
+    def test_len_duration_and_kind_counts(self):
+        events = (
+            EdgeEvent(EdgeEventKind.ADD, 0, 1, time=1.0),
+            EdgeEvent(EdgeEventKind.REMOVE, 0, 1, time=2.5),
+        )
+        stream = EdgeStream(num_nodes=3, events=events)
+        assert len(stream) == 2
+        assert stream.duration == 2.5
+        assert stream.additions() == 1
+        assert stream.removals() == 1
+
+    def test_empty_stream(self):
+        stream = EdgeStream(num_nodes=4)
+        assert len(stream) == 0
+        assert stream.duration == 0.0
+
+
+class TestReplayStream:
+    def test_replay_reconstructs_the_graph(self, medium_cluster_graph):
+        stream = replay_stream(medium_cluster_graph, rng=0)
+        assert len(stream) == medium_cluster_graph.num_edges
+        assert stream.removals() == 0
+        rebuilt = Graph(stream.num_nodes)
+        for event in stream:
+            assert rebuilt.add_edge(event.u, event.v)  # no duplicates
+        assert rebuilt == medium_cluster_graph
+
+    def test_replay_is_deterministic_under_a_seed(self, small_random_graph):
+        first = replay_stream(small_random_graph, rng=7)
+        second = replay_stream(small_random_graph, rng=7)
+        assert first.events == second.events
+
+    def test_different_seeds_shuffle_differently(self, medium_cluster_graph):
+        first = replay_stream(medium_cluster_graph, rng=1)
+        second = replay_stream(medium_cluster_graph, rng=2)
+        assert [e.edge for e in first] != [e.edge for e in second]
+
+    def test_timestamps_are_strictly_increasing(self, small_random_graph):
+        stream = replay_stream(small_random_graph, rng=3, rate=2.0)
+        times = [event.time for event in stream]
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+
+    def test_replay_dataset_matches_manual_replay(self):
+        graph = load_dataset("facebook", num_nodes=60)
+        assert replay_dataset("facebook", num_nodes=60, rng=5).events == replay_stream(
+            graph, rng=5
+        ).events
+
+    def test_bad_rate_rejected(self, small_random_graph):
+        with pytest.raises(StreamError):
+            replay_stream(small_random_graph, rng=0, rate=0.0)
+
+
+class TestChurnStream:
+    def test_events_are_always_valid_against_the_base_graph(self, small_random_graph):
+        stream = churn_stream(small_random_graph, num_events=300, rng=11)
+        live = small_random_graph.copy()
+        for event in stream:
+            if event.is_addition:
+                assert not live.has_edge(event.u, event.v)
+                live.add_edge(event.u, event.v)
+            else:
+                assert live.has_edge(event.u, event.v)
+                live.remove_edge(event.u, event.v)
+
+    def test_contains_both_kinds(self, small_random_graph):
+        stream = churn_stream(small_random_graph, num_events=200, rng=1)
+        assert stream.additions() > 0
+        assert stream.removals() > 0
+
+    def test_add_fraction_one_only_adds(self, small_random_graph):
+        stream = churn_stream(small_random_graph, num_events=50, rng=2, add_fraction=1.0)
+        assert stream.removals() == 0
+
+    def test_near_complete_graph_adds_stay_valid_and_fast(self):
+        # K8 minus one edge: rejection sampling for additions almost always
+        # misses, so the bounded-attempt fallback must kick in and still
+        # produce only valid events.
+        n = 8
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        graph = Graph(n, edges=edges[:-1])
+        stream = churn_stream(graph, num_events=100, rng=4, add_fraction=0.9)
+        live = graph.copy()
+        for event in stream:
+            if event.is_addition:
+                assert live.add_edge(event.u, event.v)
+            else:
+                assert live.remove_edge(event.u, event.v)
+
+    def test_removals_on_empty_graph_fall_back_to_additions(self):
+        stream = churn_stream(Graph(5), num_events=20, rng=3, add_fraction=0.0)
+        # The empty graph has nothing to remove, so the stream must begin by
+        # adding; later removals are fine.
+        assert stream.events[0].is_addition
+
+    def test_bad_parameters_rejected(self, small_random_graph):
+        with pytest.raises(StreamError):
+            churn_stream(small_random_graph, num_events=-1, rng=0)
+        with pytest.raises(StreamError):
+            churn_stream(small_random_graph, num_events=10, rng=0, add_fraction=1.5)
+        with pytest.raises(StreamError):
+            churn_stream(Graph(1), num_events=5, rng=0)

@@ -1,0 +1,244 @@
+"""Tests for repro.stream.orchestrator — StreamingCargo end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.graph.datasets import load_dataset
+from repro.graph.graph import Graph
+from repro.graph.triangles import count_triangles
+from repro.stream.events import churn_stream, replay_stream
+from repro.stream.orchestrator import StreamingCargo, StreamingConfig
+from repro.stream.release import EveryKEventsPolicy, FixedIntervalPolicy, tree_depth
+
+
+@pytest.fixture(scope="module")
+def facebook_stream():
+    graph = load_dataset("facebook", num_nodes=100)
+    return replay_stream(graph, rng=0)
+
+
+class TestStreamingConfig:
+    def test_defaults_resolve(self):
+        config = StreamingConfig()
+        assert isinstance(config.release_policy(), EveryKEventsPolicy)
+        assert config.planned_anchors() == 0
+        assert config.release_epsilon() == config.epsilon
+        assert config.anchor_epsilon() == 0.0
+
+    def test_interval_policy_selected_when_configured(self):
+        config = StreamingConfig(release_interval=5.0)
+        assert isinstance(config.release_policy(), FixedIntervalPolicy)
+
+    def test_anchor_budget_split(self):
+        config = StreamingConfig(
+            epsilon=4.0, anchor_every=8, anchor_fraction=0.5, max_releases=64
+        )
+        assert config.planned_anchors() == 8
+        assert config.release_epsilon() == pytest.approx(2.0)
+        assert config.anchor_epsilon() == pytest.approx(2.0 / 8)
+
+    def test_backend_name_pass_through(self):
+        assert StreamingConfig(counting_backend="blocked").backend_name == "blocked"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(release_every=0)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(release_interval=-1.0)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(anchor_every=4, anchor_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(max_releases=0)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(delta_sensitivity=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(counting_backend="no-such-backend")
+
+
+class TestStreamingCargo:
+    def test_release_cadence_and_final_release(self, facebook_stream):
+        config = StreamingConfig(epsilon=4.0, release_every=100, seed=1, max_releases=32)
+        result = StreamingCargo(config).run(facebook_stream)
+        expected = len(facebook_stream) // 100 + (1 if len(facebook_stream) % 100 else 0)
+        assert len(result.releases) == expected
+        assert result.releases[-1].event_index == len(facebook_stream)
+        assert result.events_processed == len(facebook_stream)
+
+    def test_true_counts_match_independent_recounts(self, facebook_stream):
+        config = StreamingConfig(epsilon=4.0, release_every=150, seed=2, max_releases=16)
+        result = StreamingCargo(config).run(facebook_stream)
+        replayed = Graph(facebook_stream.num_nodes)
+        events = list(facebook_stream)
+        for release in result.releases:
+            while replayed.num_edges < release.event_index:
+                event = events[replayed.num_edges]
+                replayed.add_edge(event.u, event.v)
+            assert release.true_count == count_triangles(replayed, use_cache=False)
+
+    def test_budget_ledger_is_logarithmic_without_anchors(self, facebook_stream):
+        config = StreamingConfig(epsilon=2.0, release_every=20, seed=3, max_releases=128)
+        result = StreamingCargo(config).run(facebook_stream)
+        assert len(result.releases) > 30
+        assert len(result.ledger) <= tree_depth(128)
+        assert result.epsilon_spent <= 2.0 * (1 + 1e-9)
+
+    def test_anchors_fire_on_cadence_and_stay_within_budget(self, facebook_stream):
+        config = StreamingConfig(
+            epsilon=4.0,
+            release_every=60,
+            anchor_every=5,
+            max_releases=32,
+            seed=4,
+        )
+        result = StreamingCargo(config).run(facebook_stream)
+        anchor_indices = [r.index for r in result.releases if r.is_anchor]
+        assert anchor_indices[0] == 5
+        assert all(b - a == 5 for a, b in zip(anchor_indices, anchor_indices[1:]))
+        assert result.anchors_run == len(anchor_indices) > 0
+        # Tree levels + two ledger entries per anchor (private max-degree
+        # estimate and count release), still far below T.
+        assert len(result.ledger) <= tree_depth(32) + 2 * result.anchors_run
+        assert result.epsilon_spent <= 4.0 * (1 + 1e-9)
+
+    def test_estimates_track_the_truth_at_moderate_epsilon(self, facebook_stream):
+        config = StreamingConfig(epsilon=8.0, release_every=60, seed=5, max_releases=32)
+        result = StreamingCargo(config).run(facebook_stream)
+        final = result.releases[-1]
+        assert final.true_count > 100
+        assert abs(final.estimate - final.true_count) / final.true_count < 0.5
+
+    def test_anchor_runs_through_any_registered_backend(self, facebook_stream):
+        estimates = {}
+        for backend in ("matrix", "blocked"):
+            config = StreamingConfig(
+                epsilon=6.0,
+                release_every=200,
+                anchor_every=2,
+                max_releases=16,
+                counting_backend=backend,
+                block_size=16,
+                seed=6,
+            )
+            result = StreamingCargo(config).run(facebook_stream)
+            assert result.backend == backend
+            assert result.anchors_run > 0
+            estimates[backend] = [r.estimate for r in result.releases]
+        # Identical seeds and identical secure counts: the backends differ
+        # only in execution strategy, so the served estimates coincide.
+        assert estimates["matrix"] == pytest.approx(estimates["blocked"])
+
+    def test_churn_stream_with_removals(self, medium_cluster_graph):
+        stream = churn_stream(medium_cluster_graph, num_events=400, rng=8)
+        config = StreamingConfig(epsilon=6.0, release_every=50, seed=7, max_releases=16)
+        result = StreamingCargo(config).run(stream, initial_graph=medium_cluster_graph)
+        assert len(result.releases) > 0
+        final = result.releases[-1]
+        expected = medium_cluster_graph.copy()
+        for event in stream:
+            if event.is_addition:
+                expected.add_edge(event.u, event.v)
+            else:
+                expected.remove_edge(event.u, event.v)
+        assert final.true_count == count_triangles(expected, use_cache=False)
+
+    def test_interval_policy_budget_is_fully_spent(self, facebook_stream):
+        # expected_releases simulates the actual policy, so anchor planning
+        # is exact for the interval policy too — no budget goes unspent.
+        config = StreamingConfig(
+            epsilon=4.0, release_interval=50.0, anchor_every=2, seed=3
+        )
+        result = StreamingCargo(config).run(facebook_stream)
+        assert result.capacity == len(result.releases)
+        assert result.anchors_run == len(result.releases) // 2
+        assert result.epsilon_spent == pytest.approx(4.0)
+
+    def test_unfireable_anchor_budget_folds_back_into_the_tree(self, facebook_stream):
+        # Anchors enabled, but the stream yields too few releases for any to
+        # fire: the reserved anchor fraction must fund the tree instead of
+        # going unspent.
+        config = StreamingConfig(epsilon=4.0, release_every=500, anchor_every=50, seed=21)
+        result = StreamingCargo(config).run(facebook_stream)
+        assert result.anchors_run == 0
+        assert result.epsilon_spent == pytest.approx(4.0)
+
+    def test_private_initial_graph_is_bootstrap_anchored(self, medium_cluster_graph):
+        stream = churn_stream(medium_cluster_graph, num_events=100, rng=12)
+        true_start = count_triangles(medium_cluster_graph)
+        config = StreamingConfig(
+            epsilon=4.0,
+            release_every=10,
+            anchor_every=1000,  # no cadence anchor will ever fire
+            max_releases=16,
+            seed=13,
+        )
+        result = StreamingCargo(config).run(stream, initial_graph=medium_cluster_graph)
+        # The bootstrap anchor ran before the first event (the label marks
+        # the data-dependent sensitivity fallback)...
+        assert result.anchors_run == 1
+        assert any(label.startswith("anchor") for label, _ in result.ledger)
+        # ...so no release serves the exact private starting count: the base
+        # is Laplace-perturbed, and tree noise is centred, so an exact match
+        # with the deterministic seed would require the noise to cancel.
+        deltas = [r.estimate - r.true_count for r in result.releases]
+        assert all(abs(d) > 1e-9 for d in deltas)
+
+    def test_empty_initial_graph_consumes_no_anchor_budget(self, facebook_stream):
+        # An explicitly-passed empty graph is semantically the default start;
+        # it must not burn a bootstrap anchor (its count of 0 is public).
+        config = StreamingConfig(
+            epsilon=4.0, release_every=60, anchor_every=5, max_releases=32, seed=4
+        )
+        explicit = StreamingCargo(config).run(
+            facebook_stream, initial_graph=Graph(facebook_stream.num_nodes)
+        )
+        implicit = StreamingCargo(config).run(facebook_stream)
+        assert explicit.anchors_run == implicit.anchors_run
+        assert [r.estimate for r in explicit.releases] == [
+            r.estimate for r in implicit.releases
+        ]
+
+    def test_initial_graph_size_mismatch_rejected(self, facebook_stream):
+        with pytest.raises(ConfigurationError):
+            StreamingCargo(StreamingConfig()).run(
+                facebook_stream, initial_graph=Graph(3)
+            )
+
+    def test_too_small_pinned_capacity_fails_before_processing(self, facebook_stream):
+        config = StreamingConfig(epsilon=4.0, release_every=50, max_releases=4, seed=0)
+        with pytest.raises(StreamError):
+            StreamingCargo(config).run(facebook_stream)
+
+    def test_releaseless_stream_spends_nothing(self, medium_cluster_graph):
+        # No release is ever published, so neither the tree nor a bootstrap
+        # anchor may consume budget.
+        from repro.stream.events import EdgeStream
+
+        empty = EdgeStream(num_nodes=medium_cluster_graph.num_nodes)
+        config = StreamingConfig(epsilon=4.0, release_every=10, anchor_every=2, seed=1)
+        result = StreamingCargo(config).run(empty, initial_graph=medium_cluster_graph)
+        assert result.releases == []
+        assert result.anchors_run == 0
+        assert result.epsilon_spent == 0.0
+
+    def test_deterministic_under_a_seed(self, facebook_stream):
+        config = StreamingConfig(epsilon=4.0, release_every=100, seed=42, max_releases=32)
+        first = StreamingCargo(config).run(facebook_stream)
+        second = StreamingCargo(config).run(facebook_stream)
+        assert [r.estimate for r in first.releases] == [
+            r.estimate for r in second.releases
+        ]
+
+    def test_timings_and_error_helpers(self, facebook_stream):
+        config = StreamingConfig(
+            epsilon=4.0, release_every=100, anchor_every=4, max_releases=32, seed=9
+        )
+        result = StreamingCargo(config).run(facebook_stream)
+        assert "total" in result.timings
+        assert "release" in result.timings
+        assert "anchor" in result.timings
+        assert result.mean_absolute_error() >= 0.0
+        assert result.final_estimate == result.releases[-1].estimate

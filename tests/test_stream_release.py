@@ -1,0 +1,146 @@
+"""Tests for repro.stream.release — policies and the binary-tree mechanism.
+
+The acceptance property: for ``T`` releases the accountant ledger holds only
+``O(log T)`` entries (one per dyadic level) and the total spent ε never
+exceeds the configured budget — versus the ``T`` entries / ``T·ε`` a naive
+release-per-step Laplace mechanism would cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.exceptions import PrivacyError, StreamError
+from repro.stream.release import (
+    BinaryTreeRelease,
+    EveryKEventsPolicy,
+    FixedIntervalPolicy,
+    tree_depth,
+)
+
+
+class TestPolicies:
+    def test_every_k_events_fires_on_multiples(self):
+        policy = EveryKEventsPolicy(k=3)
+        assert not policy.should_release(2, 0.0, 0, 0.0)
+        assert policy.should_release(3, 0.0, 0, 0.0)
+        assert not policy.should_release(4, 0.0, 3, 0.0)
+        assert policy.should_release(6, 0.0, 3, 0.0)
+
+    def test_fixed_interval_fires_on_elapsed_stream_time(self):
+        policy = FixedIntervalPolicy(interval=10.0)
+        assert not policy.should_release(5, 9.9, 0, 0.0)
+        assert policy.should_release(6, 10.0, 0, 0.0)
+        assert not policy.should_release(7, 15.0, 6, 10.0)
+        assert policy.should_release(9, 20.5, 6, 10.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(StreamError):
+            EveryKEventsPolicy(k=0)
+        with pytest.raises(StreamError):
+            FixedIntervalPolicy(interval=0.0)
+
+
+class TestTreeDepth:
+    def test_depth_is_logarithmic(self):
+        assert tree_depth(1) == 1
+        assert tree_depth(2) == 2
+        assert tree_depth(8) == 4
+        assert tree_depth(1024) == 11
+        for capacity in (3, 17, 100, 999):
+            assert tree_depth(capacity) == math.floor(math.log2(capacity)) + 1
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(StreamError):
+            tree_depth(0)
+
+
+class TestBinaryTreeRelease:
+    def test_ledger_is_logarithmic_in_t(self):
+        """The acceptance criterion: T releases, O(log T) ledger entries."""
+        T = 500
+        accountant = PrivacyAccountant(total_budget=2.0)
+        tree = BinaryTreeRelease(
+            epsilon=2.0, max_releases=T, accountant=accountant, rng=0
+        )
+        for _ in range(T):
+            tree.release(1.0)
+        # 500 releases touch at most floor(log2 500)+1 = 9 dyadic levels.
+        assert len(accountant.ledger()) <= tree_depth(T)
+        assert len(accountant.ledger()) < T / 10
+        assert accountant.spent <= 2.0 * (1 + 1e-9)
+
+    def test_total_spend_is_independent_of_release_count(self):
+        for T in (4, 64, 300):
+            accountant = PrivacyAccountant(total_budget=1.0)
+            tree = BinaryTreeRelease(
+                epsilon=1.0, max_releases=T, accountant=accountant, rng=1
+            )
+            for _ in range(T):
+                tree.release(0.5)
+            assert accountant.spent == pytest.approx(1.0)
+
+    def test_ledger_labels_name_the_levels(self):
+        accountant = PrivacyAccountant(total_budget=1.0)
+        tree = BinaryTreeRelease(
+            epsilon=1.0, max_releases=8, accountant=accountant, rng=2, label="demo"
+        )
+        for _ in range(8):
+            tree.release(1.0)
+        labels = [label for label, _ in accountant.ledger()]
+        assert labels == [f"demo/level-{d}" for d in range(4)]
+
+    def test_prefix_sums_are_accurate_at_high_epsilon(self):
+        rng = np.random.default_rng(5)
+        deltas = rng.integers(-3, 7, size=200)
+        tree = BinaryTreeRelease(epsilon=1e6, max_releases=200, rng=3)
+        prefix = 0
+        for delta in deltas:
+            prefix += int(delta)
+            released = tree.release(float(delta))
+            assert released == pytest.approx(prefix, abs=1e-2)
+
+    def test_noise_concentrates_with_moderate_epsilon(self):
+        # Average released error over many steps stays within a few multiples
+        # of the analytic per-release bound.
+        tree = BinaryTreeRelease(epsilon=2.0, max_releases=256, rng=7)
+        errors = []
+        prefix = 0.0
+        for step in range(256):
+            prefix += 1.0
+            errors.append(abs(tree.release(1.0) - prefix))
+        assert np.mean(errors) < 4.0 * tree.per_release_noise_std()
+
+    def test_capacity_is_enforced(self):
+        tree = BinaryTreeRelease(epsilon=1.0, max_releases=4, rng=0)
+        for _ in range(4):
+            tree.release(1.0)
+        with pytest.raises(StreamError):
+            tree.release(1.0)
+        assert tree.releases_made == 4
+
+    def test_noise_scale_reflects_depth(self):
+        tree = BinaryTreeRelease(epsilon=2.0, max_releases=64, sensitivity=3.0)
+        assert tree.levels == 7
+        assert tree.noise_scale == pytest.approx(3.0 * 7 / 2.0)
+        assert tree.per_release_noise_std() == pytest.approx(
+            math.sqrt(2 * 7) * tree.noise_scale
+        )
+
+    def test_deterministic_under_a_seed(self):
+        first = BinaryTreeRelease(epsilon=1.0, max_releases=32, rng=9)
+        second = BinaryTreeRelease(epsilon=1.0, max_releases=32, rng=9)
+        for _ in range(32):
+            assert first.release(2.0) == second.release(2.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PrivacyError):
+            BinaryTreeRelease(epsilon=0.0, max_releases=8)
+        with pytest.raises(PrivacyError):
+            BinaryTreeRelease(epsilon=1.0, max_releases=8, sensitivity=0.0)
+        with pytest.raises(StreamError):
+            BinaryTreeRelease(epsilon=1.0, max_releases=0)
