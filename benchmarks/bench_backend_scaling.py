@@ -1,11 +1,17 @@
-"""Scaling micro-benchmark — monolithic ``matrix`` vs tiled ``blocked`` backend.
+"""Scaling micro-benchmark — every registered built-in counting backend.
 
 Sweeps the user count ``n`` and records, per backend, the secure-count
-runtime and the dealer's peak *single-triple* allocation (per-party ring
-elements of the largest Beaver triple issued).  The monolithic matrix backend
-pays ``3 n^2`` elements for its one giant triple; the blocked backend never
-exceeds ``3 block_size^2`` regardless of ``n``, which is what lets it keep
-scaling after the monolithic triple stops fitting.
+runtime plus the dealer-side accounting that explains it:
+
+* ``matrix`` vs ``blocked`` — the monolithic matrix backend pays ``3 n^2``
+  ring elements for its one giant Beaver triple; the blocked backend never
+  exceeds ``3 block_size^2`` regardless of ``n``, which is what lets it keep
+  scaling after the monolithic triple stops fitting.
+* ``batched`` (and, at small ``n``, ``faithful``) — the loop-free online
+  phase of the per-triple protocol: vectorised candidate-triple blocks, one
+  fused gather per opening round, and a buffered (pre-provisioned) offline
+  phase.  These rows are the before/after evidence for the loop-free online
+  phase optimisation and the input to the CI perf-smoke regression gate.
 
 The rows are emitted as JSON (``benchmarks/results/backend_scaling.json`` by
 default, override with ``REPRO_BENCH_OUTPUT``) so future changes can track
@@ -20,52 +26,91 @@ import os
 import time
 from pathlib import Path
 
-from repro.core.backends import BlockedMatrixTriangleCounter, MatrixTriangleCounter
+from repro.core.backends import (
+    BlockedMatrixTriangleCounter,
+    FaithfulTriangleCounter,
+    MatrixTriangleCounter,
+    share_adjacency_rows,
+)
 from repro.crypto.beaver import BeaverTripleDealer
+from repro.crypto.multiplication_groups import MultiplicationGroupDealer
 from repro.graph.datasets import load_dataset
 
 #: Default n sweep and tile width; the quick mode keeps CI under a minute.
-DEFAULT_USER_COUNTS = (128, 256, 384)
+DEFAULT_USER_COUNTS = (64, 128, 256, 384)
 QUICK_USER_COUNTS = (64, 128)
 BLOCK_SIZE = 32
+BATCH_SIZE = 4096
+#: The faithful (batch_size=1) schedule runs one opening round per candidate
+#: triple; past this n the cubic round count stops being a useful data point.
+FAITHFUL_MAX_USERS = 64
+#: Timing repetitions per cell (minimum is reported, standard for
+#: microbenchmarks on shared hardware where noise is one-sided).
+TIMING_REPS = 3
 
 
-def run_backend_scaling(user_counts=None, block_size: int = BLOCK_SIZE):
-    """Return one row per (n, backend) with runtime and peak-triple stats."""
+def _backend_builders(num_users: int, block_size: int):
+    """Name -> (dealer, counter) builders applicable at this n."""
+    builders = {
+        "matrix": lambda: _with_dealer(BeaverTripleDealer(seed=0), MatrixTriangleCounter),
+        "blocked": lambda: _with_dealer(
+            BeaverTripleDealer(seed=0),
+            lambda dealer: BlockedMatrixTriangleCounter(dealer=dealer, block_size=block_size),
+        ),
+        "batched": lambda: _with_dealer(
+            MultiplicationGroupDealer(seed=0),
+            lambda dealer: FaithfulTriangleCounter(dealer=dealer, batch_size=BATCH_SIZE),
+        ),
+    }
+    if num_users <= FAITHFUL_MAX_USERS:
+        builders["faithful"] = lambda: _with_dealer(
+            MultiplicationGroupDealer(seed=0),
+            lambda dealer: FaithfulTriangleCounter(dealer=dealer, batch_size=1),
+        )
+    return builders
+
+
+def _with_dealer(dealer, make_counter):
+    if isinstance(make_counter, type):
+        return dealer, make_counter(dealer=dealer)
+    return dealer, make_counter(dealer)
+
+
+def run_backend_scaling(user_counts=None, block_size: int = BLOCK_SIZE, reps: int = TIMING_REPS):
+    """Return one row per (n, backend) with runtime and dealer stats."""
     if user_counts is None:
         quick = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
         user_counts = QUICK_USER_COUNTS if quick else DEFAULT_USER_COUNTS
     rows = []
     for num_users in user_counts:
         graph = load_dataset("facebook", num_nodes=num_users)
-        shares = graph.adjacency_matrix()
-        backends = {
-            "matrix": lambda dealer: MatrixTriangleCounter(dealer=dealer),
-            "blocked": lambda dealer: BlockedMatrixTriangleCounter(
-                dealer=dealer, block_size=block_size
-            ),
-        }
+        share1, share2 = share_adjacency_rows(graph.adjacency_matrix(), rng=num_users)
         counts = {}
-        for name, build in backends.items():
-            dealer = BeaverTripleDealer(seed=0)
-            counter = build(dealer)
-            start = time.perf_counter()
-            result = counter.count(shares, rng=num_users)
-            seconds = time.perf_counter() - start
+        for name, build in _backend_builders(num_users, block_size).items():
+            best = None
+            for _ in range(max(reps, 1)):
+                dealer, counter = build()
+                start = time.perf_counter()
+                result = counter.count_from_shares(share1, share2)
+                seconds = time.perf_counter() - start
+                best = seconds if best is None else min(best, seconds)
             counts[name] = result.reconstruct()
-            rows.append(
-                {
-                    "backend": name,
-                    "num_users": num_users,
-                    "block_size": block_size if name == "blocked" else num_users,
-                    "seconds": seconds,
-                    "opening_rounds": result.opening_rounds,
-                    "largest_triple_elements": dealer.largest_triple_elements,
-                    "total_triple_elements": dealer.total_triple_elements,
-                    "count": counts[name],
-                }
-            )
-        assert counts["matrix"] == counts["blocked"], counts
+            row = {
+                "backend": name,
+                "num_users": num_users,
+                "seconds": best,
+                "opening_rounds": result.opening_rounds,
+                "count": counts[name],
+            }
+            if isinstance(dealer, BeaverTripleDealer):
+                row["block_size"] = block_size if name == "blocked" else num_users
+                row["largest_triple_elements"] = dealer.largest_triple_elements
+                row["total_triple_elements"] = dealer.total_triple_elements
+            else:
+                row["batch_size"] = 1 if name == "faithful" else BATCH_SIZE
+                row["groups_issued"] = dealer.groups_issued
+            rows.append(row)
+        assert len(set(counts.values())) == 1, counts
     return rows
 
 
@@ -83,14 +128,14 @@ def write_json(rows, path=None) -> Path:
 
 
 def test_backend_scaling(benchmark):
-    """Blocked matches matrix exactly while bounding the peak triple size."""
+    """Every backend agrees; blocked bounds the peak triple size."""
     rows = benchmark.pedantic(run_backend_scaling, rounds=1, iterations=1)
     output = write_json(rows)
     print(f"\n  wrote {output}")
     for row in rows:
         print(
             "  backend={backend:<8} n={num_users:<5} time={seconds:8.4f}s "
-            "rounds={opening_rounds:<6} peak_triple={largest_triple_elements}".format(**row)
+            "rounds={opening_rounds}".format(**row)
         )
     largest_n = max(row["num_users"] for row in rows)
     matrix_peak = next(
@@ -107,6 +152,13 @@ def test_backend_scaling(benchmark):
     # matrix triple is at least 4x bigger than any single blocked allocation.
     assert matrix_peak >= 4 * blocked_peak
     assert blocked_peak <= 3 * BLOCK_SIZE * BLOCK_SIZE
+    # The loop-free batched schedule opens C(n,3)/batch_size rounds, never
+    # one round per triple.
+    for row in rows:
+        if row["backend"] == "batched":
+            n = row["num_users"]
+            total = n * (n - 1) * (n - 2) // 6
+            assert row["opening_rounds"] == -(-total // BATCH_SIZE)
 
 
 if __name__ == "__main__":

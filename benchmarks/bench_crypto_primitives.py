@@ -3,9 +3,18 @@
 Not a paper artefact, but useful for understanding where CARGO's running time
 (Figures 11-12) comes from: per-triple three-way multiplications versus the
 matrix-Beaver products used by the vectorised backend.
+
+Besides the pytest-benchmark fixtures, :func:`run_crypto_primitives` produces
+plain JSON rows (``benchmarks/results/crypto_primitives.json``, or
+``REPRO_BENCH_CRYPTO_OUTPUT``) consumed by the CI perf-smoke regression gate.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -13,6 +22,88 @@ from repro.crypto.beaver import BeaverTripleDealer
 from repro.crypto.multiplication_groups import MultiplicationGroupDealer
 from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_triple
 from repro.crypto.sharing import share_scalar, share_vector
+
+#: Sizes for the JSON runner (kept small: these feed a CI smoke job).
+VECTOR_BATCH = 10_000
+MATRIX_N = 128
+PROVISION_COUNT = 50_000
+
+
+def run_crypto_primitives(reps: int = 5):
+    """Time each primitive *reps* times and report the minimum per row."""
+
+    def best_of(callable_):
+        best = None
+        for _ in range(max(reps, 1)):
+            start = time.perf_counter()
+            callable_()
+            seconds = time.perf_counter() - start
+            best = seconds if best is None else min(best, seconds)
+        return best
+
+    rows = []
+    rng = np.random.default_rng(5)
+
+    vec_a = share_vector(rng.integers(0, 2, VECTOR_BATCH), rng=6)
+    vec_b = share_vector(rng.integers(0, 2, VECTOR_BATCH), rng=7)
+    vec_c = share_vector(rng.integers(0, 2, VECTOR_BATCH), rng=8)
+    mg_dealer = MultiplicationGroupDealer(seed=4)
+
+    def vectorised_triple():
+        group = mg_dealer.vector_group((VECTOR_BATCH,))
+        secure_multiply_triple(
+            (vec_a.share1, vec_a.share2),
+            (vec_b.share1, vec_b.share2),
+            (vec_c.share1, vec_c.share2),
+            group,
+        )
+
+    rows.append(
+        {
+            "name": "vectorised_triple_multiplication",
+            "size": VECTOR_BATCH,
+            "seconds": best_of(vectorised_triple),
+        }
+    )
+
+    def provision_groups():
+        MultiplicationGroupDealer(seed=9).provision(PROVISION_COUNT)
+
+    rows.append(
+        {
+            "name": "mg_dealer_provision",
+            "size": PROVISION_COUNT,
+            "seconds": best_of(provision_groups),
+        }
+    )
+
+    mat_a = share_vector(rng.integers(0, 2, (MATRIX_N, MATRIX_N)), rng=11)
+    mat_b = share_vector(rng.integers(0, 2, (MATRIX_N, MATRIX_N)), rng=12)
+    beaver_dealer = BeaverTripleDealer(seed=9)
+
+    def matrix_product():
+        triple = beaver_dealer.matrix_triple((MATRIX_N, MATRIX_N), (MATRIX_N, MATRIX_N))
+        secure_matrix_multiply(
+            (mat_a.share1, mat_a.share2), (mat_b.share1, mat_b.share2), triple
+        )
+
+    rows.append(
+        {"name": "secure_matrix_product", "size": MATRIX_N, "seconds": best_of(matrix_product)}
+    )
+    return rows
+
+
+def write_json(rows, path=None) -> Path:
+    """Persist the primitive timings for cross-commit trajectory tracking."""
+    if path is None:
+        path = os.environ.get(
+            "REPRO_BENCH_CRYPTO_OUTPUT",
+            str(Path(__file__).resolve().parent / "results" / "crypto_primitives.json"),
+        )
+    output = Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps({"benchmark": "crypto_primitives", "rows": rows}, indent=2))
+    return output
 
 
 def test_bench_scalar_triple_multiplication(benchmark):
@@ -65,3 +156,10 @@ def test_bench_secure_matrix_product(benchmark):
 
     s1, s2 = benchmark(run)
     assert s1.shape == (n, n)
+
+
+if __name__ == "__main__":
+    output_rows = run_crypto_primitives()
+    destination = write_json(output_rows)
+    print(json.dumps(output_rows, indent=2))
+    print(f"wrote {destination}")

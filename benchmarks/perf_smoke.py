@@ -1,0 +1,130 @@
+"""CI perf-smoke gate: quick benchmarks vs the committed baseline.
+
+Runs the small-n backend-scaling sweep plus the crypto-primitive timings,
+writes the fresh rows to ``benchmarks/results/perf_smoke.json`` (the CI
+artifact), and compares each timed row against ``BENCH_baseline.json`` at the
+repository root.  Two conditions fail the gate, each with the ``TOLERANCE``
+factor (3x):
+
+* the **median** current/baseline ratio across all rows exceeds it — an
+  across-the-board slowdown that no host difference explains, or
+* any single row exceeds it **after dividing out the median ratio** — a
+  localised algorithmic regression (e.g. a backend silently falling back to
+  a per-element loop is 10-100x), measured machine-independently because the
+  median calibrates away how much slower/faster the CI host is than the
+  machine the baseline was committed from.
+
+The factor is deliberately loose; the gate exists to catch algorithmic
+regressions, not scheduler noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py            # gate (exit 1 on regression)
+    PYTHONPATH=src python benchmarks/perf_smoke.py --rebase   # rewrite the baseline
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+from bench_backend_scaling import QUICK_USER_COUNTS, run_backend_scaling
+from bench_crypto_primitives import run_crypto_primitives
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
+OUTPUT_PATH = Path(__file__).resolve().parent / "results" / "perf_smoke.json"
+TOLERANCE = 3.0
+
+
+def _key(row: dict) -> str:
+    if "backend" in row:
+        return f"backend_scaling/{row['backend']}/n={row['num_users']}"
+    return f"crypto_primitives/{row['name']}"
+
+
+def collect_rows() -> dict:
+    """Run the quick benchmarks and index the timed rows by comparison key."""
+    rows = {}
+    for row in run_backend_scaling(user_counts=QUICK_USER_COUNTS):
+        rows[_key(row)] = row
+    for row in run_crypto_primitives():
+        rows[_key(row)] = row
+    return rows
+
+
+def main(argv: list[str]) -> int:
+    rows = collect_rows()
+    OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_PATH.write_text(
+        json.dumps({"benchmark": "perf_smoke", "rows": list(rows.values())}, indent=2)
+    )
+    print(f"wrote {OUTPUT_PATH}")
+
+    if "--rebase" in argv:
+        baseline = {
+            "note": (
+                "Committed perf baseline for the CI perf-smoke gate "
+                "(benchmarks/perf_smoke.py).  Regenerate with --rebase on a "
+                "quiet machine when the expected performance changes."
+            ),
+            "machine": platform.platform(),
+            "python": platform.python_version(),
+            "tolerance": TOLERANCE,
+            "rows": {key: row["seconds"] for key, row in rows.items()},
+        }
+        if BASELINE_PATH.exists():
+            previous = json.loads(BASELINE_PATH.read_text())
+            if "reference" in previous:
+                baseline["reference"] = previous["reference"]
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"rebased {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --rebase to create one")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    tolerance = float(baseline.get("tolerance", TOLERANCE))
+    regressions = []
+    ratios = {}
+    for key, expected in baseline["rows"].items():
+        row = rows.get(key)
+        if row is None:
+            print(f"  MISSING {key} (baseline has it, current run does not)")
+            regressions.append(key)
+            continue
+        ratios[key] = row["seconds"] / expected if expected > 0 else float("inf")
+    if not ratios:
+        print("perf-smoke FAILED: no comparable rows")
+        return 1
+    # The median ratio estimates how much slower/faster this host is than
+    # the baseline machine; dividing it out makes the per-row check
+    # machine-independent.  The median itself is still capped so a uniform
+    # algorithmic slowdown cannot hide behind the calibration.
+    ordered = sorted(ratios.values())
+    median_ratio = ordered[len(ordered) // 2]
+    print(f"  host calibration: median current/baseline ratio {median_ratio:.2f}x")
+    if median_ratio > tolerance:
+        print(f"  FAIL across-the-board slowdown: median {median_ratio:.2f}x > {tolerance}x")
+        regressions.append("median")
+    for key, ratio in ratios.items():
+        normalised = ratio / median_ratio if median_ratio > 0 else float("inf")
+        status = "FAIL" if normalised > tolerance else "ok"
+        print(
+            f"  {status:4s} {key}: {rows[key]['seconds']*1e3:8.2f} ms vs baseline "
+            f"{baseline['rows'][key]*1e3:8.2f} ms ({ratio:.2f}x raw, {normalised:.2f}x calibrated)"
+        )
+        if normalised > tolerance:
+            regressions.append(key)
+    if regressions:
+        print(f"perf-smoke FAILED: {len(regressions)} check(s) regressed past {tolerance}x")
+        return 1
+    print("perf-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

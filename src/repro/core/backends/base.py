@@ -47,6 +47,18 @@ class CountResult:
         return int(ring.decode_signed(ring.add(self.share1, self.share2)))
 
 
+def num_candidate_triples(num_users: int) -> int:
+    """``C(num_users, 3)`` — the size of Algorithm 4's candidate set.
+
+    Every backend processes exactly this many three-way products (however it
+    groups them into opening rounds), so the count lives here rather than in
+    any one execution strategy.
+    """
+    if num_users < 3:
+        return 0
+    return num_users * (num_users - 1) * (num_users - 2) // 6
+
+
 def share_adjacency_rows(
     projected_rows: np.ndarray,
     ring: Ring = DEFAULT_RING,

@@ -39,7 +39,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.backends.base import CountResult, TriangleCounterBackend
+from repro.core.backends.base import CountResult, TriangleCounterBackend, num_candidate_triples
 from repro.core.backends.registry import register_backend
 from repro.crypto.beaver import BeaverTripleDealer
 from repro.crypto.ring import DEFAULT_RING, Ring
@@ -156,11 +156,11 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
                     (ring.mul(m1, tile_mask), ring.mul(m2, tile_mask)),
                     elementwise_triple, ring=ring, views=self._views,
                 )
-                total1 = ring.add(total1, int(np.sum(prod1, dtype=np.uint64) & np.uint64(ring.mask)))
-                total2 = ring.add(total2, int(np.sum(prod2, dtype=np.uint64) & np.uint64(ring.mask)))
+                total1 = ring.add(total1, ring.sum(prod1))
+                total2 = ring.add(total2, ring.sum(prod2))
                 opening_rounds += 1
 
-        num_triples = n * (n - 1) * (n - 2) // 6
+        num_triples = num_candidate_triples(n)
         return CountResult(
             share1=int(total1),
             share2=int(total2),

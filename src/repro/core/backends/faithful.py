@@ -8,12 +8,23 @@ running shares of the triangle count.
 
 Two execution modes are provided:
 
-* **faithful** — one scalar protocol instance per triple, exactly the loop of
+* **faithful** — one opening round per triple, exactly the loop of
   Algorithm 4.  The reference implementation; cubic in ``n`` with large
   constants, so only sensible for small graphs and tests.
 * **batched** — identical arithmetic, but candidate triples are grouped into
   vectorised blocks that share a single opening round.  The messages a server
   sees are the concatenation of what it would have seen in the faithful mode.
+
+The online phase is loop-free at the Python level: the candidate set
+``{(i, j, k) : i < j < k}`` depends only on the (public) number of users,
+never on the graph, so :func:`candidate_triple_blocks` can emit whole blocks
+of index arrays and the batch operands are gathered with one fancy-indexing
+read per wire (``share[ii, jj]``).  Vectorising this enumeration is therefore
+security-neutral by construction — it changes how the servers *schedule*
+their local work, not a single value that crosses the wire.  The offline
+phase is pre-provisioned through the dealer's buffered mode in large chunks,
+which also makes the openings independent of the batch size (the
+transcript-equivalence tests rely on this).
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
-from repro.core.backends.base import CountResult, TriangleCounterBackend
+from repro.core.backends.base import CountResult, TriangleCounterBackend, num_candidate_triples
 from repro.core.backends.registry import register_backend
 from repro.crypto.multiplication_groups import MultiplicationGroupDealer
 from repro.crypto.ring import DEFAULT_RING, Ring
@@ -31,13 +42,140 @@ from repro.crypto.views import ViewRecorder
 from repro.exceptions import ProtocolError
 from repro.utils.rng import RandomState
 
+#: Upper bound on multiplication groups drawn per buffered offline-phase call.
+#: 2^18 groups hold 7 ring elements per server each, ~29 MiB per provisioning
+#: chunk — large enough to cover every run up to n ≈ 116 in a single call.
+DEFAULT_PROVISION_LIMIT = 1 << 18
+
 
 def iter_candidate_triples(num_users: int) -> Iterator[Tuple[int, int, int]]:
-    """All ordered candidate triples ``i < j < k`` (the loop of Algorithm 4)."""
+    """All ordered candidate triples ``i < j < k`` (the loop of Algorithm 4).
+
+    Kept as the scalar reference enumeration; the protocol itself consumes
+    :func:`candidate_triple_blocks`, which yields the same sequence as whole
+    index arrays.
+    """
     for i in range(num_users):
         for j in range(i + 1, num_users):
             for k in range(j + 1, num_users):
                 yield (i, j, k)
+
+
+def candidate_triple_blocks(
+    num_users: int, batch_size: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Vectorised candidate enumeration: ``(ii, jj, kk)`` index-array blocks.
+
+    Yields the exact lexicographic sequence of :func:`iter_candidate_triples`
+    split into blocks of exactly *batch_size* triples (the final block may be
+    shorter).  The enumeration depends only on the public ``num_users``, so
+    emitting it as arrays is security-neutral; per anchor row ``i`` the
+    ``(j, k)`` pairs come from one :func:`numpy.triu_indices` call, keeping
+    the Python-level work at ``O(n)`` instead of ``O(n^3)``.
+    """
+    if batch_size <= 0:
+        raise ProtocolError(f"batch_size must be positive, got {batch_size}")
+    if num_users < 3:
+        return
+    # One shared pair table: base_j/base_k enumerate all 1 <= j < k < n in
+    # lexicographic order.  For anchor i the valid pairs are exactly those
+    # with j > i, and because the table is sorted by j they form a suffix —
+    # so each anchor's pair list is an O(1) slice, no per-anchor rebuild.
+    base_j, base_k = np.triu_indices(num_users - 1, k=1)
+    base_j = base_j + 1
+    base_k = base_k + 1
+    pairs_total = base_j.shape[0]
+
+    def pairs_before(anchor: int) -> int:
+        """Number of table entries with j <= anchor (the skipped prefix)."""
+        span = num_users - 1 - anchor
+        return pairs_total - span * (span - 1) // 2
+
+    pending: list[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    buffered = 0
+    for i in range(num_users - 2):
+        start = pairs_before(i)
+        jj = base_j[start:]
+        kk = base_k[start:]
+        ii = np.full(jj.shape[0], i, dtype=base_j.dtype)
+        pending.append((ii, jj, kk))
+        buffered += jj.shape[0]
+        if buffered < batch_size:
+            continue
+        # Concatenate the pending pieces once, then hand out consecutive
+        # slice views — a cursor, not a rebuild, so enumeration stays linear
+        # in the number of triples even when one anchor spans many blocks.
+        if len(pending) == 1:
+            ii_all, jj_all, kk_all = pending[0]
+        else:
+            ii_all, jj_all, kk_all = (
+                np.concatenate([part[axis] for part in pending]) for axis in range(3)
+            )
+        start = 0
+        while buffered >= batch_size:
+            stop = start + batch_size
+            yield ii_all[start:stop], jj_all[start:stop], kk_all[start:stop]
+            start = stop
+            buffered -= batch_size
+        pending = [(ii_all[start:], jj_all[start:], kk_all[start:])] if buffered else []
+    if buffered:
+        if len(pending) == 1:
+            yield pending[0]
+        else:
+            yield tuple(np.concatenate([part[axis] for part in pending]) for axis in range(3))
+
+
+#: Cache of fused gather schedules, keyed by ``(num_users, batch_size)``.
+#: The schedule is a pure function of public quantities, so sharing it across
+#: runs (and across sweep threads — the arrays are marked read-only) is safe.
+#: The triple cap bounds each entry at ~6 MiB of index arrays (48 bytes per
+#: triple) and the block cap bounds the per-block Python object overhead
+#: (which dominates at tiny batch sizes); schedules above either cap are
+#: cheap to rebuild relative to their runs.
+_GATHER_SCHEDULE_CACHE: dict = {}
+_GATHER_SCHEDULE_CACHE_MAX_ENTRIES = 4
+_GATHER_SCHEDULE_CACHE_MAX_TRIPLES = 1 << 17
+_GATHER_SCHEDULE_CACHE_MAX_BLOCKS = 1 << 12
+
+
+def _iter_gather_blocks(num_users: int, batch_size: int):
+    """Lazily yield per-block fused gather indices ``(size, rows, cols)``."""
+    for ii, jj, kk in candidate_triple_blocks(num_users, batch_size):
+        rows = np.concatenate((ii, ii, jj))
+        cols = np.concatenate((jj, kk, kk))
+        rows.flags.writeable = False
+        cols.flags.writeable = False
+        yield ii.shape[0], rows, cols
+
+
+def _gather_schedule(num_users: int, batch_size: int):
+    """Per-block fused gather indices: an iterable of ``(size, rows, cols)``.
+
+    ``rows``/``cols`` are the concatenated index arrays for the three wires
+    ``a_ij, a_ik, a_jk`` of one block, so each server's operands come from a
+    single fancy-indexing read.  Schedules for small runs are materialised
+    and cached across invocations; larger runs get a lazy generator so peak
+    index memory stays ``O(batch_size)`` regardless of ``n``.
+    """
+    total = num_candidate_triples(num_users)
+    if (
+        total > _GATHER_SCHEDULE_CACHE_MAX_TRIPLES
+        or -(-total // batch_size) > _GATHER_SCHEDULE_CACHE_MAX_BLOCKS
+    ):
+        return _iter_gather_blocks(num_users, batch_size)
+    key = (num_users, batch_size)
+    cached = _GATHER_SCHEDULE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    schedule = list(_iter_gather_blocks(num_users, batch_size))
+    if len(_GATHER_SCHEDULE_CACHE) >= _GATHER_SCHEDULE_CACHE_MAX_ENTRIES:
+        try:
+            _GATHER_SCHEDULE_CACHE.pop(next(iter(_GATHER_SCHEDULE_CACHE)), None)
+        except (StopIteration, RuntimeError):
+            # Another sweep thread evicted concurrently; the cap still holds.
+            pass
+    _GATHER_SCHEDULE_CACHE[key] = schedule
+    return schedule
 
 
 @register_backend("faithful")
@@ -54,7 +192,12 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
     batch_size:
         When greater than 1, candidate triples are processed in vectorised
         blocks of this size (the "batched" execution mode); ``1`` gives the
-        strictly scalar faithful loop.
+        faithful one-opening-per-triple schedule.
+    provision_limit:
+        Maximum number of multiplication groups the backend pre-provisions
+        per buffered offline-phase call (memory bound).  ``0`` disables
+        buffered dealing and draws one group batch per opening round, exactly
+        as the unbuffered dealer would.
     """
 
     def __init__(
@@ -63,12 +206,16 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
         dealer: Optional[MultiplicationGroupDealer] = None,
         batch_size: int = 1,
         views: Optional[ViewRecorder] = None,
+        provision_limit: int = DEFAULT_PROVISION_LIMIT,
     ) -> None:
         if batch_size <= 0:
             raise ProtocolError(f"batch_size must be positive, got {batch_size}")
+        if provision_limit < 0:
+            raise ProtocolError(f"provision_limit must be non-negative, got {provision_limit}")
         super().__init__(ring=ring, views=views)
         self._dealer = dealer if dealer is not None else MultiplicationGroupDealer(ring=ring)
         self._batch_size = batch_size
+        self._provision_limit = provision_limit
 
     @classmethod
     def from_config(
@@ -87,50 +234,38 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
         share1, share2 = self._validate_share_matrices(share1, share2)
         num_users = share1.shape[0]
         ring = self._ring
+        dealer = self._dealer
         total1 = 0
         total2 = 0
         triples_processed = 0
         opening_rounds = 0
 
-        batch_a1, batch_a2 = [], []
-        batch_b1, batch_b2 = [], []
-        batch_c1, batch_c2 = [], []
+        # Buffered offline phase: provision the dealer in chunks of exactly
+        # min(still-unprovisioned, provision_limit).  The chunk sequence
+        # depends only on the total candidate count and the limit — never on
+        # the batch size — so the provisioned mask stream (and therefore
+        # every opening) is identical across batch sizes.
+        to_provision = num_candidate_triples(num_users) if self._provision_limit else 0
 
-        def flush() -> Tuple[int, int, int]:
-            """Process the accumulated batch with a single opening round."""
-            size = len(batch_a1)
-            if size == 0:
-                return 0, 0, 0
-            group = self._dealer.vector_group((size,))
-            a_shares = (np.array(batch_a1, dtype=ring.dtype), np.array(batch_a2, dtype=ring.dtype))
-            b_shares = (np.array(batch_b1, dtype=ring.dtype), np.array(batch_b2, dtype=ring.dtype))
-            c_shares = (np.array(batch_c1, dtype=ring.dtype), np.array(batch_c2, dtype=ring.dtype))
+        for size, rows, cols in _gather_schedule(num_users, self._batch_size):
+            while to_provision and dealer.provisioned_remaining < size:
+                draw = min(to_provision, self._provision_limit)
+                dealer.provision(draw)
+                to_provision -= draw
+            # One fused gather per server: the three wires a_ij, a_ik, a_jk
+            # of every candidate triple in this block share a single
+            # fancy-indexing read of shape (3, size).
+            gathered1 = share1[rows, cols].reshape(3, size)
+            gathered2 = share2[rows, cols].reshape(3, size)
+            a_shares = (gathered1[0], gathered2[0])
+            b_shares = (gathered1[1], gathered2[1])
+            c_shares = (gathered1[2], gathered2[2])
+            group = dealer.vector_group((size,))
             product1, product2 = secure_multiply_triple(
                 a_shares, b_shares, c_shares, group, ring=ring, views=self._views
             )
-            partial1 = int(np.sum(product1, dtype=np.uint64) & np.uint64(ring.mask))
-            partial2 = int(np.sum(product2, dtype=np.uint64) & np.uint64(ring.mask))
-            for batch in (batch_a1, batch_a2, batch_b1, batch_b2, batch_c1, batch_c2):
-                batch.clear()
-            return partial1, partial2, size
-
-        for i, j, k in iter_candidate_triples(num_users):
-            batch_a1.append(share1[i, j])
-            batch_a2.append(share2[i, j])
-            batch_b1.append(share1[i, k])
-            batch_b2.append(share2[i, k])
-            batch_c1.append(share1[j, k])
-            batch_c2.append(share2[j, k])
-            if len(batch_a1) >= self._batch_size:
-                partial1, partial2, size = flush()
-                total1 = ring.add(total1, partial1)
-                total2 = ring.add(total2, partial2)
-                triples_processed += size
-                opening_rounds += 1
-        partial1, partial2, size = flush()
-        if size:
-            total1 = ring.add(total1, partial1)
-            total2 = ring.add(total2, partial2)
+            total1 = ring.add(total1, ring.sum(product1))
+            total2 = ring.add(total2, ring.sum(product2))
             triples_processed += size
             opening_rounds += 1
 

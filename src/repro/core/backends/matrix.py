@@ -37,7 +37,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.backends.base import CountResult, TriangleCounterBackend
+from repro.core.backends.base import CountResult, TriangleCounterBackend, num_candidate_triples
 from repro.core.backends.registry import register_backend
 from repro.crypto.beaver import BeaverTripleDealer
 from repro.crypto.ring import DEFAULT_RING, Ring
@@ -108,9 +108,9 @@ class MatrixTriangleCounter(TriangleCounterBackend):
             (c1, c2), (ring.mul(m1, upper_mask), ring.mul(m2, upper_mask)),
             elementwise_triple, ring=ring, views=self._views,
         )
-        total1 = int(np.sum(prod1, dtype=np.uint64) & np.uint64(ring.mask))
-        total2 = int(np.sum(prod2, dtype=np.uint64) & np.uint64(ring.mask))
-        num_triples = n * (n - 1) * (n - 2) // 6
+        total1 = ring.sum(prod1)
+        total2 = ring.sum(prod2)
+        num_triples = num_candidate_triples(n)
         return CountResult(
             share1=total1,
             share2=total2,

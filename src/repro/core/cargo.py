@@ -115,17 +115,14 @@ class Cargo:
                     # to each server; routing the upload through the runtime
                     # makes the dominant communication cost visible in the
                     # ledger (the openings between servers are internal to
-                    # the counter backends).
+                    # the counter backends).  The n per-server uploads ride
+                    # in one array-payload record each — n messages with the
+                    # identical byte total.
                     share1, share2 = share_adjacency_rows(
                         projection_result.projected_rows, ring=config.ring, rng=share_rng
                     )
-                    for user_index in range(graph.num_nodes):
-                        runtime.user_to_server(user_index, 1).send(
-                            "adjacency_share", share1[user_index]
-                        )
-                        runtime.user_to_server(user_index, 2).send(
-                            "adjacency_share", share2[user_index]
-                        )
+                    runtime.users_to_server(1, "adjacency_share", share1)
+                    runtime.users_to_server(2, "adjacency_share", share2)
                     count_result = counter.count_from_shares(share1, share2)
                 else:
                     count_result = counter.count(

@@ -20,7 +20,7 @@ import numpy as np
 from repro.crypto.protocol import TwoServerRuntime
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.exceptions import PrivacyError
-from repro.utils.rng import RandomState, derive_rng, spawn_rngs
+from repro.utils.rng import RandomState, spawn_state_matrix, uniforms_from_states
 
 
 @dataclass(frozen=True)
@@ -92,15 +92,19 @@ class MaxDegreeEstimator:
         num_users = len(degrees)
         if num_users == 0:
             return MaxDegreeResult(noisy_degrees=[], noisy_max_degree=1.0, epsilon1=self._epsilon1)
-        user_rngs = spawn_rngs(rng if rng is not None else derive_rng(None), num_users)
-        noisy_degrees = [
-            float(degree) + self._mechanism.sample_noise(user_rng)
-            for degree, user_rng in zip(degrees, user_rngs)
-        ]
+        # One stacked Laplace draw for every user: each user's uniform comes
+        # from her own spawned substream (the same children spawn_rngs would
+        # hand out), so per-user determinism is preserved while the sampling
+        # itself is a single inverse-CDF transform.
+        states = spawn_state_matrix(rng, num_users, words=1)
+        noise = self._mechanism.noise_from_uniforms(uniforms_from_states(states[:, 0]))
+        noisy_array = np.asarray(degrees, dtype=np.float64) + noise
+        noisy_degrees = [float(value) for value in noisy_array]
         if runtime is not None:
-            for index, noisy_degree in enumerate(noisy_degrees):
-                runtime.user_to_server(index, 1).send("noisy_degree", noisy_degree)
-        noisy_max = max(noisy_degrees)
+            # The n per-user uploads ride in one array-payload ledger record
+            # (n messages, identical byte total).
+            runtime.users_to_server(1, "noisy_degree", noisy_array)
+        noisy_max = float(np.max(noisy_array))
         if self._clamp_to_n:
             noisy_max = min(noisy_max, float(num_users - 1) if num_users > 1 else 1.0)
         noisy_max = max(noisy_max, 1.0)

@@ -21,9 +21,15 @@ from repro.core.counting import CountResult
 from repro.crypto.protocol import TwoServerRuntime
 from repro.crypto.ring import DEFAULT_RING, Ring
 from repro.crypto.sharing import share_scalar
-from repro.dp.gamma_noise import DistributedLaplaceNoise
+from repro.dp.gamma_noise import DistributedLaplaceNoise, stacked_noise_supported
 from repro.exceptions import PrivacyError
-from repro.utils.rng import RandomState, derive_rng, spawn_rngs
+from repro.utils.rng import (
+    RandomState,
+    derive_rng,
+    spawn_rngs,
+    spawn_state_matrix,
+    uniforms_from_states,
+)
 
 
 @dataclass(frozen=True)
@@ -124,20 +130,43 @@ class DistributedPerturbation:
         scaled_share1 = ring.mul(ring.encode(count_result.share1), factor)
         scaled_share2 = ring.mul(ring.encode(count_result.share2), factor)
 
-        user_rngs = spawn_rngs(rng if rng is not None else derive_rng(None), num_users)
-        noise_total_encoded = 0
-        agg_share1 = 0
-        agg_share2 = 0
-        for index, user_rng in enumerate(user_rngs):
-            gamma = noise.sample_user_noise(user_rng)
-            encoded = noise.encode(gamma)
-            noise_total_encoded += encoded
-            pair = share_scalar(encoded, ring=ring, rng=user_rng)
-            agg_share1 = ring.add(agg_share1, pair.share1)
-            agg_share2 = ring.add(agg_share2, pair.share2)
+        if stacked_noise_supported():
+            # Loop-free noise plane: three uint64 words per user, drawn from
+            # her own spawned substream — two become the uniforms behind the
+            # inverse-CDF Gamma difference, the third is her sharing mask.
+            states = spawn_state_matrix(rng, num_users, words=3)
+            gammas = noise.sample_noises_from_uniforms(
+                uniforms_from_states(states[:, 0]), uniforms_from_states(states[:, 1])
+            )
+            encoded = noise.encode_array(gammas)
+            noise_total_encoded = int(np.sum(encoded.astype(object)))
+            encoded_ring = ring.encode(encoded)
+            share1_plane = states[:, 2] & np.uint64(ring.mask)
+            share2_plane = ring.sub(encoded_ring, share1_plane)
+            agg_share1 = ring.sum(share1_plane)
+            agg_share2 = ring.sum(share2_plane)
             if runtime is not None:
-                runtime.user_to_server(index, 1).send("noise_share", pair.share1)
-                runtime.user_to_server(index, 2).send("noise_share", pair.share2)
+                runtime.users_to_server(1, "noise_share", share1_plane)
+                runtime.users_to_server(2, "noise_share", share2_plane)
+        else:
+            user_rngs = spawn_rngs(rng if rng is not None else derive_rng(None), num_users)
+            noise_total_encoded = 0
+            agg_share1 = 0
+            agg_share2 = 0
+            share1_list = []
+            share2_list = []
+            for user_rng in user_rngs:
+                gamma = noise.sample_user_noise(user_rng)
+                encoded_value = noise.encode(gamma)
+                noise_total_encoded += encoded_value
+                pair = share_scalar(encoded_value, ring=ring, rng=user_rng)
+                agg_share1 = ring.add(agg_share1, pair.share1)
+                agg_share2 = ring.add(agg_share2, pair.share2)
+                share1_list.append(pair.share1)
+                share2_list.append(pair.share2)
+            if runtime is not None:
+                runtime.users_to_server(1, "noise_share", np.asarray(share1_list, dtype=ring.dtype))
+                runtime.users_to_server(2, "noise_share", np.asarray(share2_list, dtype=ring.dtype))
 
         noisy_share1 = ring.add(scaled_share1, agg_share1)
         noisy_share2 = ring.add(scaled_share2, agg_share2)

@@ -77,6 +77,12 @@ class BeaverTripleDealer:
         self._issued = 0
         self._largest_triple_elements = 0
         self._total_triple_elements = 0
+        # Buffered dealing mode: a flat pool of element-wise triples served as
+        # consecutive slices, and stacked pools of same-shape matrix triples.
+        self._vector_pool: dict | None = None
+        self._vector_pool_size = 0
+        self._vector_pool_cursor = 0
+        self._matrix_pools: dict = {}
 
     @property
     def ring(self) -> Ring:
@@ -127,10 +133,116 @@ class BeaverTripleDealer:
             ring=ring,
         )
 
+    @property
+    def provisioned_vector_remaining(self) -> int:
+        """Element-wise triples still available in the provisioned pool."""
+        return self._vector_pool_size - self._vector_pool_cursor
+
+    def provision_vector(self, count: int) -> None:
+        """Pre-provision *count* element-wise triples in one bulk draw.
+
+        The buffered offline phase for two-way multiplications: subsequent
+        :meth:`vector_triple` requests (of any shape whose element count fits
+        the remaining pool) are served as consecutive slices, so the Beaver
+        masks a triple carries depend only on its position in the provisioned
+        stream, not on how requests are batched.  Issue accounting still
+        happens at serve time, exactly as in the unbuffered mode.
+        """
+        if count <= 0:
+            raise DealerError(f"provision count must be positive, got {count}")
+        if self.provisioned_vector_remaining:
+            raise DealerError(
+                f"{self.provisioned_vector_remaining} provisioned triples are still unserved"
+            )
+        ring = self._ring
+        shape = (int(count),)
+        x = ring.random_array(shape, self._rng)
+        y = ring.random_array(shape, self._rng)
+        z = ring.mul(x, y)
+        x_pair = share_vector(x, ring=ring, rng=self._rng)
+        y_pair = share_vector(y, ring=ring, rng=self._rng)
+        z_pair = share_vector(z, ring=ring, rng=self._rng)
+        self._vector_pool = {
+            "x1": x_pair.share1, "x2": x_pair.share2,
+            "y1": y_pair.share1, "y2": y_pair.share2,
+            "z1": z_pair.share1, "z2": z_pair.share2,
+        }
+        self._vector_pool_size = int(count)
+        self._vector_pool_cursor = 0
+
+    def provision_matrix(
+        self, left_shape: Tuple[int, int], right_shape: Tuple[int, int], count: int
+    ) -> None:
+        """Pre-provision *count* same-shape matrix triples in one stacked draw.
+
+        The stacked draw computes all ``Z_i = X_i @ Y_i`` products with one
+        batched ring matmul; :meth:`matrix_triple` calls with exactly these
+        shapes are then served from the pool (one stacked slice per call,
+        identical accounting).
+        """
+        if count <= 0:
+            raise DealerError(f"provision count must be positive, got {count}")
+        if left_shape[1] != right_shape[0]:
+            raise DealerError(
+                f"inner dimensions must agree, got {left_shape} @ {right_shape}"
+            )
+        key = (tuple(left_shape), tuple(right_shape))
+        pool = self._matrix_pools.get(key)
+        if pool is not None and pool["cursor"] < pool["size"]:
+            raise DealerError(
+                f"{pool['size'] - pool['cursor']} provisioned matrix triples "
+                f"of shape {key} are still unserved"
+            )
+        ring = self._ring
+        x = ring.random_array((count,) + tuple(left_shape), self._rng)
+        y = ring.random_array((count,) + tuple(right_shape), self._rng)
+        z = ring.matmul(x, y)
+        x_pair = share_vector(x, ring=ring, rng=self._rng)
+        y_pair = share_vector(y, ring=ring, rng=self._rng)
+        z_pair = share_vector(z, ring=ring, rng=self._rng)
+        self._matrix_pools[key] = {
+            "size": int(count),
+            "cursor": 0,
+            "x1": x_pair.share1, "x2": x_pair.share2,
+            "y1": y_pair.share1, "y2": y_pair.share2,
+            "z1": z_pair.share1, "z2": z_pair.share2,
+        }
+
     def vector_triple(self, shape: Tuple[int, ...]) -> BeaverTriplePair:
-        """Sample an element-wise triple batch of the given *shape*."""
+        """An element-wise triple batch of the given *shape*.
+
+        Served from the provisioned pool (as a reshaped consecutive slice)
+        when one is available and large enough; drawn fresh otherwise.
+        """
         if any(dim <= 0 for dim in shape):
             raise DealerError(f"triple batch shape must be positive, got {shape}")
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        if self._vector_pool is not None and self.provisioned_vector_remaining >= size:
+            pool = self._vector_pool
+            start = self._vector_pool_cursor
+            end = start + size
+            parts = {name: pool[name][start:end].reshape(shape) for name in pool}
+            self._vector_pool_cursor = end
+            if self._vector_pool_cursor >= self._vector_pool_size:
+                self._vector_pool = None
+                self._vector_pool_size = 0
+                self._vector_pool_cursor = 0
+            self._record_issue(parts["x1"], parts["y1"], parts["z1"])
+            return BeaverTriplePair(
+                server1=BeaverTriple(x=parts["x1"], y=parts["y1"], z=parts["z1"]),
+                server2=BeaverTriple(x=parts["x2"], y=parts["y2"], z=parts["z2"]),
+                ring=self._ring,
+            )
+        if self.provisioned_vector_remaining:
+            # Bypassing a partially-consumed pool would later serve the
+            # stranded triples out of stream order; fail loudly instead.
+            raise DealerError(
+                f"request for {size} triples exceeds the "
+                f"{self.provisioned_vector_remaining} still provisioned; "
+                "provision more or drain the pool first"
+            )
         ring = self._ring
         x = ring.random_array(shape, self._rng)
         y = ring.random_array(shape, self._rng)
@@ -155,6 +267,20 @@ class BeaverTripleDealer:
         if left_shape[1] != right_shape[0]:
             raise DealerError(
                 f"inner dimensions must agree, got {left_shape} @ {right_shape}"
+            )
+        key = (tuple(left_shape), tuple(right_shape))
+        pool = self._matrix_pools.get(key)
+        if pool is not None and pool["cursor"] < pool["size"]:
+            index = pool["cursor"]
+            pool["cursor"] = index + 1
+            if pool["cursor"] >= pool["size"]:
+                self._matrix_pools.pop(key)
+            parts = {name: pool[name][index] for name in ("x1", "x2", "y1", "y2", "z1", "z2")}
+            self._record_issue(parts["x1"], parts["y1"], parts["z1"])
+            return BeaverTriplePair(
+                server1=BeaverTriple(x=parts["x1"], y=parts["y1"], z=parts["z1"]),
+                server2=BeaverTriple(x=parts["x2"], y=parts["y2"], z=parts["z2"]),
+                ring=self._ring,
             )
         ring = self._ring
         x = ring.random_array(left_shape, self._rng)

@@ -76,18 +76,33 @@ class CommunicationLedger:
     phase_messages: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     phase_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
-    def record(self, label: str, payload: Any, phase: Optional[str] = None) -> None:
-        """Account one message with the given *payload* on channel *label*.
+    def record(
+        self,
+        label: str,
+        payload: Any,
+        phase: Optional[str] = None,
+        messages: int = 1,
+        total_bytes: Optional[int] = None,
+    ) -> None:
+        """Account *messages* messages with the given total *payload* on *label*.
 
-        *phase* attributes the message to a named protocol step; ``None``
-        books it under ``"unlabelled"`` so phase totals always reconcile with
-        the channel totals.
+        *phase* attributes the messages to a named protocol step; ``None``
+        books them under ``"unlabelled"`` so phase totals always reconcile
+        with the channel totals.  *messages* supports batched sends: one
+        array payload stands for that many per-user messages, with the byte
+        total computed once over the stacked payload (identical to the sum of
+        the per-message sizes, since ring elements and floats are fixed
+        width).  *total_bytes*, when given, overrides the payload size
+        estimate — used when the caller already knows the aggregate size
+        (e.g. a broadcast of ``messages`` identical copies).
         """
-        size = estimate_message_bytes(payload)
-        self.messages[label] += 1
+        if messages < 0:
+            raise ProtocolError(f"messages must be non-negative, got {messages}")
+        size = total_bytes if total_bytes is not None else estimate_message_bytes(payload)
+        self.messages[label] += messages
         self.bytes_sent[label] += size
         phase_key = phase if phase is not None else "unlabelled"
-        self.phase_messages[phase_key] += 1
+        self.phase_messages[phase_key] += messages
         self.phase_bytes[phase_key] += size
 
     @property
@@ -229,10 +244,55 @@ class TwoServerRuntime:
         """The user party with index *user_index*."""
         return self._user(user_index)
 
+    def users_to_server(self, server_index: int, tag: str, payloads: Any) -> None:
+        """Batched upload: every user sends ``payloads[i]`` to one server.
+
+        The wire-equivalent of ``n`` individual :meth:`user_to_server` sends,
+        executed as one array-native step: the ledger books ``n`` messages
+        under the aggregate ``users->S{server_index}`` label with the byte
+        total of the stacked payload (identical to the sum of the per-user
+        sizes), and the server's mailbox receives one stacked message.
+        """
+        server = self._server(server_index)
+        payloads = np.asarray(payloads)
+        if payloads.ndim == 0:
+            raise ProtocolError(
+                "batched upload needs one payload row per user, got a scalar"
+            )
+        if payloads.shape[0] != len(self.users):
+            raise ProtocolError(
+                f"batched upload carries {payloads.shape[0]} rows "
+                f"for {len(self.users)} users"
+            )
+        self.ledger.record(
+            f"users->{server.name}", payloads, phase=tag, messages=payloads.shape[0]
+        )
+        server.deliver(
+            Message(sender="users", receiver=server.name, tag=tag, payload=payloads)
+        )
+
     def broadcast_to_users(self, server_index: int, tag: str, payload: Any) -> None:
-        """Send the same *payload* from a server to every user."""
-        for user_index in range(len(self.users)):
-            self.server_to_user(server_index, user_index).send(tag, payload)
+        """Send the same *payload* from a server to every user.
+
+        Accounted as one aggregate ledger record of ``n`` messages (the byte
+        total is ``n`` copies of the payload); each user's mailbox still
+        receives its own copy.
+        """
+        num_users = len(self.users)
+        if num_users == 0:
+            return
+        server = self._server(server_index)
+        self.ledger.record(
+            f"{server.name}->users",
+            payload,
+            phase=tag,
+            messages=num_users,
+            total_bytes=num_users * estimate_message_bytes(payload),
+        )
+        for user in self.users:
+            user.deliver(
+                Message(sender=server.name, receiver=user.name, tag=tag, payload=payload)
+            )
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -72,8 +72,14 @@ class Ring:
         """Map a (signed) integer or integer array into the ring.
 
         Negative integers wrap around, so ``encode(-1) == modulus - 1``.
+        Arrays already stored in the ring dtype may be returned without a
+        copy, so callers must treat the result as read-only.
         """
         if isinstance(value, np.ndarray):
+            if value.dtype == self.dtype:
+                if self.bits == 64:
+                    return value
+                return value & self.dtype.type(self.mask)
             return np.asarray(value).astype(np.int64).astype(self.dtype) & self.dtype.type(self.mask)
         return int(value) & self.mask
 
@@ -91,20 +97,36 @@ class Ring:
     def add(self, a: IntOrArray, b: IntOrArray) -> IntOrArray:
         """``(a + b) mod 2^l``."""
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-            return (np.asarray(a, dtype=self.dtype) + np.asarray(b, dtype=self.dtype)) & self.dtype.type(self.mask)
+            out = np.asarray(a, dtype=self.dtype) + np.asarray(b, dtype=self.dtype)
+            # uint64 addition wraps modulo 2^64 natively; only narrower rings
+            # need the explicit reduction pass.
+            return out if self.bits == 64 else out & self.dtype.type(self.mask)
         return (int(a) + int(b)) & self.mask
 
     def sub(self, a: IntOrArray, b: IntOrArray) -> IntOrArray:
         """``(a - b) mod 2^l``."""
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-            return (np.asarray(a, dtype=self.dtype) - np.asarray(b, dtype=self.dtype)) & self.dtype.type(self.mask)
+            out = np.asarray(a, dtype=self.dtype) - np.asarray(b, dtype=self.dtype)
+            return out if self.bits == 64 else out & self.dtype.type(self.mask)
         return (int(a) - int(b)) & self.mask
 
     def mul(self, a: IntOrArray, b: IntOrArray) -> IntOrArray:
         """``(a * b) mod 2^l``."""
         if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
-            return (np.asarray(a, dtype=self.dtype) * np.asarray(b, dtype=self.dtype)) & self.dtype.type(self.mask)
+            out = np.asarray(a, dtype=self.dtype) * np.asarray(b, dtype=self.dtype)
+            return out if self.bits == 64 else out & self.dtype.type(self.mask)
         return (int(a) * int(b)) & self.mask
+
+    def sum(self, values: np.ndarray) -> int:
+        """Reduce a share vector to a single ring element, ``sum(values) mod 2^l``.
+
+        This is the one reduction every backend performs after an opening
+        round (accumulating product shares into the running count share).
+        uint64 accumulation wraps modulo ``2^64`` natively, so the result only
+        needs masking for narrower rings.
+        """
+        total = int(np.sum(np.asarray(values, dtype=self.dtype), dtype=np.uint64))
+        return total & self.mask
 
     def neg(self, a: IntOrArray) -> IntOrArray:
         """``(-a) mod 2^l``."""
@@ -141,6 +163,8 @@ class Ring:
         generator = derive_rng(rng)
         raw = generator.integers(0, self.modulus if self.bits < 64 else np.iinfo(np.uint64).max,
                                  size=shape, dtype=np.uint64, endpoint=self.bits == 64)
+        if self.bits == 64:
+            return raw
         return np.asarray(raw, dtype=self.dtype) & self.dtype.type(self.mask)
 
 

@@ -15,6 +15,7 @@ integer ring used by the secret-sharing layer.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,8 +23,25 @@ import numpy as np
 from repro.exceptions import PrivacyError
 from repro.utils.rng import RandomState, derive_rng
 
+try:  # SciPy is optional; the stacked inverse-CDF path is gated on it.
+    from scipy.special import gammaincinv as _gammaincinv
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _gammaincinv = None
+
 #: Number of fractional bits used to embed real-valued noise in the ring.
 DEFAULT_FIXED_POINT_BITS = 16
+
+
+def stacked_noise_supported() -> bool:
+    """Whether the loop-free inverse-CDF noise plane is available (SciPy).
+
+    Setting ``REPRO_FORCE_PER_USER_NOISE=1`` forces the per-user rejection
+    sampler even when SciPy is installed — used to exercise the fallback
+    path and to reproduce runs from SciPy-less environments.
+    """
+    if os.environ.get("REPRO_FORCE_PER_USER_NOISE", "").strip() not in ("", "0"):
+        return False
+    return _gammaincinv is not None
 
 
 def sample_partial_noise(
@@ -60,6 +78,33 @@ def sample_partial_noises(
     generator = derive_rng(rng)
     gamma1 = generator.gamma(shape=1.0 / num_users, scale=scale, size=num_users)
     gamma2 = generator.gamma(shape=1.0 / num_users, scale=scale, size=num_users)
+    return gamma1 - gamma2
+
+
+def sample_partial_noises_from_uniforms(
+    num_users: int, scale: float, u1: np.ndarray, u2: np.ndarray
+) -> np.ndarray:
+    """The whole noise plane ``γ_i = Gamma(1/n, λ) - Gamma(1/n, λ)`` at once.
+
+    Inverse-CDF sampling: if ``U ~ Uniform[0, 1)`` then
+    ``scale * gammaincinv(1/n, U) ~ Gamma(1/n, scale)`` exactly, so each
+    user's partial noise is a pure function of her two uniforms — which is
+    what lets the caller derive them from per-user substreams while sampling
+    the whole plane in one stacked call.  Requires SciPy
+    (:func:`stacked_noise_supported`); callers fall back to the per-user
+    rejection sampler when it is absent.
+    """
+    if num_users <= 0:
+        raise PrivacyError(f"num_users must be positive, got {num_users}")
+    if scale <= 0:
+        raise PrivacyError(f"scale must be positive, got {scale}")
+    if _gammaincinv is None:
+        raise PrivacyError(
+            "stacked noise sampling requires scipy; use sample_partial_noise per user"
+        )
+    shape = 1.0 / num_users
+    gamma1 = scale * _gammaincinv(shape, np.asarray(u1, dtype=np.float64))
+    gamma2 = scale * _gammaincinv(shape, np.asarray(u2, dtype=np.float64))
     return gamma1 - gamma2
 
 
@@ -121,6 +166,14 @@ class DistributedLaplaceNoise:
     def sample_all_noises(self, rng: RandomState = None) -> np.ndarray:
         """All users' partial noises (used by the vectorised protocol path)."""
         return sample_partial_noises(self.num_users, self.scale, rng)
+
+    def sample_noises_from_uniforms(self, u1: np.ndarray, u2: np.ndarray) -> np.ndarray:
+        """All users' partial noises from per-user uniforms (inverse CDF)."""
+        return sample_partial_noises_from_uniforms(self.num_users, self.scale, u1, u2)
+
+    def encode_array(self, noises: np.ndarray) -> np.ndarray:
+        """Fixed-point encode a stacked noise plane (element-wise ``encode``)."""
+        return np.rint(np.asarray(noises, dtype=np.float64) * self.fixed_point_factor).astype(np.int64)
 
     def encode(self, noise: float) -> int:
         """Fixed-point encode a real-valued noise for the sharing ring."""

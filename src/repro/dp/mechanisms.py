@@ -26,6 +26,22 @@ from repro.utils.rng import RandomState, derive_rng
 FloatOrArray = Union[float, np.ndarray]
 
 
+def laplace_from_uniforms(uniforms: np.ndarray, scale: float) -> np.ndarray:
+    """Inverse-CDF Laplace sampling from uniforms in ``[0, 1)``.
+
+    ``x = -scale * sign(u - 1/2) * log(1 - 2|u - 1/2|)`` — the stacked
+    (loop-free) counterpart of drawing one Laplace variate per user from her
+    own substream: each output element is a pure function of the matching
+    uniform.  ``log1p`` keeps precision in the tails, and the ``u == 0`` cell
+    (probability ``2^-53``) is clamped to the smallest representable tail
+    instead of overflowing to infinity.
+    """
+    u = np.asarray(uniforms, dtype=np.float64)
+    centered = u - 0.5
+    interior = np.maximum(-2.0 * np.abs(centered), -1.0 + 2.0**-53)
+    return -scale * np.sign(centered) * np.log1p(interior)
+
+
 def _check_epsilon(epsilon: float) -> float:
     if not (epsilon > 0) or math.isinf(epsilon) or math.isnan(epsilon):
         raise PrivacyError(f"epsilon must be a positive finite number, got {epsilon}")
@@ -64,6 +80,10 @@ class LaplaceMechanism:
         generator = derive_rng(rng)
         noise = generator.laplace(loc=0.0, scale=self.scale, size=size)
         return float(noise) if size is None else noise
+
+    def noise_from_uniforms(self, uniforms: np.ndarray) -> np.ndarray:
+        """Stacked Laplace noise from per-user uniforms (inverse CDF)."""
+        return laplace_from_uniforms(uniforms, self.scale)
 
     def randomize(self, value: FloatOrArray, rng: RandomState = None) -> FloatOrArray:
         """Return ``value + Lap(sensitivity / epsilon)``."""

@@ -52,6 +52,49 @@ def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
 
 
+def spawn_seed_sequences(seed: RandomState, count: int) -> list[np.random.SeedSequence]:
+    """The *count* child :class:`~numpy.random.SeedSequence`\\ s of *seed*.
+
+    These are exactly the children :func:`spawn_rngs` builds its generators
+    from, exposed so vectorised code can derive per-user randomness without
+    instantiating one :class:`~numpy.random.Generator` per user.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.bit_generator.seed_seq.spawn(count))  # type: ignore[union-attr]
+    if isinstance(seed, np.random.SeedSequence):
+        return list(seed.spawn(count))
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def spawn_state_matrix(seed: RandomState, count: int, words: int = 2) -> np.ndarray:
+    """A deterministic ``(count, words)`` uint64 matrix, one row per substream.
+
+    Row ``i`` is drawn from the ``i``-th spawned child of *seed* — the same
+    per-user substreams :func:`spawn_rngs` would hand out — so each user's
+    words depend only on her own substream, but the whole matrix is available
+    to stacked (loop-free) transforms such as inverse-CDF sampling.
+    """
+    if words <= 0:
+        raise ValueError(f"words must be positive, got {words}")
+    children = spawn_seed_sequences(seed, count)
+    matrix = np.empty((count, words), dtype=np.uint64)
+    for index, child in enumerate(children):
+        matrix[index] = child.generate_state(words, np.uint64)
+    return matrix
+
+
+def uniforms_from_states(states: np.ndarray) -> np.ndarray:
+    """Map uint64 state words to uniform doubles in ``[0, 1)``.
+
+    Uses the standard 53-bit mantissa construction (the same one numpy's
+    generators use), so the result is a deterministic pure function of the
+    state words.
+    """
+    return (np.asarray(states, dtype=np.uint64) >> np.uint64(11)) * np.float64(2.0**-53)
+
+
 def choice_without_replacement(
     rng: np.random.Generator, items: Sequence[int], size: int
 ) -> list[int]:

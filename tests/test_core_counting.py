@@ -104,3 +104,36 @@ class TestFaithfulCounting:
         expected = projected_triangle_count(rows)
         result = FaithfulTriangleCounter(batch_size=16).count(rows, rng=9)
         assert result.reconstruct() == expected
+
+
+class TestCandidateTripleBlocks:
+    def test_blocks_reproduce_scalar_enumeration(self):
+        from repro.core.backends.faithful import candidate_triple_blocks
+
+        for num_users in (0, 2, 3, 7, 12):
+            for batch_size in (1, 3, 64):
+                flat = [
+                    (int(i), int(j), int(k))
+                    for ii, jj, kk in candidate_triple_blocks(num_users, batch_size)
+                    for i, j, k in zip(ii, jj, kk)
+                ]
+                assert flat == list(iter_candidate_triples(num_users)), (num_users, batch_size)
+
+    def test_all_blocks_full_except_last(self):
+        from repro.core.backends.faithful import candidate_triple_blocks
+
+        blocks = list(candidate_triple_blocks(9, 16))  # C(9,3) = 84 triples
+        assert [b[0].shape[0] for b in blocks[:-1]] == [16] * (len(blocks) - 1)
+        assert sum(b[0].shape[0] for b in blocks) == 84
+
+    def test_invalid_batch_size(self):
+        from repro.core.backends.faithful import candidate_triple_blocks
+
+        with pytest.raises(ProtocolError):
+            list(candidate_triple_blocks(5, 0))
+
+    def test_num_candidate_triples(self):
+        from repro.core.backends.faithful import num_candidate_triples
+
+        assert num_candidate_triples(2) == 0
+        assert num_candidate_triples(6) == 20

@@ -80,3 +80,22 @@ class TestDistributedPerturbation:
     def test_invalid_num_users(self):
         with pytest.raises(PrivacyError):
             DistributedPerturbation(epsilon2=1.0, sensitivity=1.0, num_users=0)
+
+
+class TestPerUserFallbackPath:
+    """REPRO_FORCE_PER_USER_NOISE=1 exercises the SciPy-less sampler."""
+
+    def test_fallback_is_deterministic_and_consistent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PER_USER_NOISE", "1")
+        perturbation = DistributedPerturbation(epsilon2=1.0, sensitivity=5.0, num_users=10)
+        first = perturbation.run(make_count_result(100), rng=7)
+        second = perturbation.run(make_count_result(100), rng=7)
+        assert first.noisy_count == second.noisy_count
+        assert first.noisy_count == pytest.approx(100 + first.aggregate_noise, abs=1e-2)
+
+    def test_fallback_communication_recorded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PER_USER_NOISE", "1")
+        runtime = TwoServerRuntime(4)
+        perturbation = DistributedPerturbation(epsilon2=1.0, sensitivity=2.0, num_users=4)
+        perturbation.run(make_count_result(10), rng=4, runtime=runtime)
+        assert runtime.ledger.total_messages == 4 * 2 + 2

@@ -74,6 +74,53 @@ class TestLedger:
         assert ledger.total_bytes == 32 + 8
         assert ledger.summary()["u->S1"]["messages"] == 2
 
+    def test_batched_record_counts_many_messages(self):
+        ledger = CommunicationLedger()
+        ledger.record("users->S1", np.zeros(5, dtype=np.uint64), phase="x", messages=5)
+        assert ledger.total_messages == 5
+        assert ledger.total_bytes == 5 * 8
+        assert ledger.phase_summary()["x"] == {"messages": 5, "bytes": 40}
+
+    def test_negative_message_count_rejected(self):
+        with pytest.raises(ProtocolError):
+            CommunicationLedger().record("u->S1", 1, messages=-1)
+
+
+class TestBatchedUploads:
+    def test_users_to_server_accounting_matches_per_user_sends(self):
+        """One array-payload record == n scalar sends, message and byte wise."""
+        batched = TwoServerRuntime(4)
+        batched.users_to_server(1, "noise_share", np.arange(4, dtype=np.uint64))
+        scalar = TwoServerRuntime(4)
+        for index in range(4):
+            scalar.user_to_server(index, 1).send("noise_share", index)
+        assert batched.ledger.total_messages == scalar.ledger.total_messages
+        assert batched.ledger.total_bytes == scalar.ledger.total_bytes
+        assert (
+            batched.ledger.phase_summary()["noise_share"]
+            == scalar.ledger.phase_summary()["noise_share"]
+        )
+
+    def test_users_to_server_delivers_stacked_payload(self):
+        runtime = TwoServerRuntime(3)
+        runtime.users_to_server(2, "adjacency_share", np.eye(3, dtype=np.uint64))
+        message = runtime.server(2).receive(tag="adjacency_share")
+        assert message.payload.shape == (3, 3)
+
+    def test_users_to_server_rejects_wrong_row_count(self):
+        runtime = TwoServerRuntime(3)
+        with pytest.raises(ProtocolError):
+            runtime.users_to_server(1, "x", np.zeros(2, dtype=np.uint64))
+
+    def test_broadcast_accounting_matches_per_user_sends(self):
+        batched = TwoServerRuntime(4)
+        batched.broadcast_to_users(1, "dmax", 17.0)
+        scalar = TwoServerRuntime(4)
+        for index in range(4):
+            scalar.server_to_user(1, index).send("dmax", 17.0)
+        assert batched.ledger.total_messages == scalar.ledger.total_messages
+        assert batched.ledger.total_bytes == scalar.ledger.total_bytes
+
 
 class TestTwoServerRuntime:
     def test_topology(self):

@@ -116,3 +116,21 @@ class TestSampling:
         array = DEFAULT_RING.random_array(1000, np.random.default_rng(4))
         # With 1000 uniform draws over 2^64, some should exceed 2^63.
         assert int(array.max()) > 2**63
+
+
+class TestRingSum:
+    def test_sum_matches_python_mod(self):
+        ring = Ring(bits=16)
+        values = np.array([65535, 3, 70000], dtype=np.uint64)
+        assert ring.sum(values) == (65535 + 3 + 70000) % 65536
+
+    def test_sum_wraps_at_64_bits(self):
+        values = np.array([2**63, 2**63, 5], dtype=np.uint64)
+        assert DEFAULT_RING.sum(values) == 5
+
+    def test_sum_of_empty_is_zero(self):
+        assert DEFAULT_RING.sum(np.array([], dtype=np.uint64)) == 0
+
+    def test_sum_accepts_matrices(self):
+        values = np.ones((4, 4), dtype=np.uint64)
+        assert DEFAULT_RING.sum(values) == 16

@@ -89,3 +89,45 @@ class TestHelpers:
 
     def test_stable_seed_fits_63_bits(self):
         assert 0 <= stable_seed_from_name("enron") < 2**63
+
+
+class TestSpawnStateMatrix:
+    def test_deterministic_per_seed(self):
+        from repro.utils.rng import spawn_state_matrix
+
+        assert np.array_equal(spawn_state_matrix(7, 5, words=3), spawn_state_matrix(7, 5, words=3))
+        assert not np.array_equal(spawn_state_matrix(7, 5), spawn_state_matrix(8, 5))
+
+    def test_rows_match_spawned_substreams(self):
+        """Row i is a pure function of user i's spawned child sequence."""
+        from repro.utils.rng import spawn_seed_sequences, spawn_state_matrix
+
+        matrix = spawn_state_matrix(9, 4, words=2)
+        children = spawn_seed_sequences(9, 4)
+        for index, child in enumerate(children):
+            assert np.array_equal(matrix[index], child.generate_state(2, np.uint64))
+
+    def test_same_children_as_spawn_rngs(self):
+        """The substreams behind the matrix are the spawn_rngs substreams."""
+        from repro.utils.rng import spawn_rngs, spawn_seed_sequences
+
+        generators = spawn_rngs(11, 3)
+        sequences = spawn_seed_sequences(11, 3)
+        for generator, sequence in zip(generators, sequences):
+            expected = np.random.default_rng(sequence)
+            assert generator.integers(0, 2**32) == expected.integers(0, 2**32)
+
+    def test_words_validation(self):
+        from repro.utils.rng import spawn_state_matrix
+
+        with pytest.raises(ValueError):
+            spawn_state_matrix(0, 3, words=0)
+
+    def test_uniforms_in_unit_interval(self):
+        from repro.utils.rng import spawn_state_matrix, uniforms_from_states
+
+        uniforms = uniforms_from_states(spawn_state_matrix(13, 500, words=1)[:, 0])
+        assert uniforms.shape == (500,)
+        assert float(uniforms.min()) >= 0.0
+        assert float(uniforms.max()) < 1.0
+        assert 0.4 < float(uniforms.mean()) < 0.6
