@@ -11,11 +11,16 @@ standard Laplace mechanism.
 Run with::
 
     python examples/clustering_coefficient.py
+
+Set ``REPRO_EXAMPLES_FAST=1`` for a smaller graph (the CI examples job
+does).
 """
 
 from __future__ import annotations
 
-from repro import Cargo, CargoConfig, LaplaceMechanism, load_dataset
+import os
+
+from repro import Cargo, CargoConfig, ClusteringCoefficientRelease, LaplaceMechanism, load_dataset
 from repro.graph.statistics import global_clustering_coefficient
 
 
@@ -39,7 +44,8 @@ def private_transitivity(graph, epsilon: float, seed: int) -> float:
 
 
 def main() -> None:
-    graph = load_dataset("astroph", num_nodes=400)
+    fast = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
+    graph = load_dataset("astroph", num_nodes=80 if fast else 400)
     exact = global_clustering_coefficient(graph)
     print(f"collaboration graph: {graph.num_nodes} researchers, {graph.num_edges} co-authorships")
     print(f"exact transitivity : {exact:.4f}\n")
@@ -49,6 +55,15 @@ def main() -> None:
         error = abs(estimate - exact) / exact
         print(f"epsilon = {epsilon:>3}: private transitivity = {estimate:.4f} "
               f"(relative error {error:.2%})")
+
+    # The hand-rolled budget split above is now a library citizen: the
+    # derived release composes the triangle and wedge statistics through
+    # the privacy accountant, both via the full two-server pipeline.
+    release = ClusteringCoefficientRelease(epsilon=4.0, seed=11).run(graph)
+    print(f"\nClusteringCoefficientRelease(epsilon=4.0): {release.value:.4f} "
+          f"(exact {release.exact_value:.4f})")
+    for label, spent in release.ledger:
+        print(f"  accountant: {label:<22} epsilon = {spent:.2f}")
 
     print("\nEven at moderate budgets the CARGO-based estimate tracks the exact")
     print("clustering coefficient closely, with no trusted curator involved.")

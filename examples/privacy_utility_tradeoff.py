@@ -7,9 +7,14 @@ averaged over repeated runs — a console version of the paper's Figures 5/6.
 Run with::
 
     python examples/privacy_utility_tradeoff.py
+
+Set ``REPRO_EXAMPLES_FAST=1`` for a smaller graph and fewer trials (the CI
+examples job does).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import (
     Cargo,
@@ -32,20 +37,25 @@ def mean_relative_error(run_trial, num_trials: int = 3) -> float:
 
 
 def main() -> None:
-    graph = load_dataset("wiki", num_nodes=300)
+    fast = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
+    graph = load_dataset("wiki", num_nodes=60 if fast else 300)
     print(f"wiki stand-in: {graph.num_nodes} users, {graph.num_edges} edges\n")
     print(f"{'epsilon':>8} | {'Local2Rounds':>13} | {'CARGO':>10} | {'CentralLap':>11}")
     print("-" * 52)
 
+    num_trials = 2 if fast else 3
     for epsilon in (0.5, 1.0, 2.0, 3.0):
         local = mean_relative_error(
-            lambda seed: LocalTwoRoundsTriangleCounting(epsilon=epsilon).run(graph, rng=seed)
+            lambda seed: LocalTwoRoundsTriangleCounting(epsilon=epsilon).run(graph, rng=seed),
+            num_trials=num_trials,
         )
         cargo = mean_relative_error(
-            lambda seed: Cargo(CargoConfig(epsilon=epsilon, seed=seed)).run(graph)
+            lambda seed: Cargo(CargoConfig(epsilon=epsilon, seed=seed)).run(graph),
+            num_trials=num_trials,
         )
         central = mean_relative_error(
-            lambda seed: CentralLaplaceTriangleCounting(epsilon=epsilon).run(graph, rng=seed)
+            lambda seed: CentralLaplaceTriangleCounting(epsilon=epsilon).run(graph, rng=seed),
+            num_trials=num_trials,
         )
         print(f"{epsilon:>8} | {local:>13.3f} | {cargo:>10.4f} | {central:>11.5f}")
 

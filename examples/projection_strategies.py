@@ -9,9 +9,14 @@ baseline, across a range of degree bounds, on two synthetic SNAP stand-ins.
 Run with::
 
     python examples/projection_strategies.py
+
+Set ``REPRO_EXAMPLES_FAST=1`` for a smaller graph (the CI examples job
+does).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import RandomProjection, SimilarityProjection, count_triangles, load_dataset
 from repro.core.projection import projected_triangle_count
@@ -31,7 +36,8 @@ def survival_rate(graph, projector, rng=None) -> float:
 
 def main() -> None:
     for dataset in ("facebook", "wiki"):
-        graph = load_dataset(dataset, num_nodes=400)
+        fast = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
+        graph = load_dataset(dataset, num_nodes=80 if fast else 400)
         print(f"\n{dataset}: {graph.num_nodes} nodes, {graph.num_edges} edges, "
               f"{count_triangles(graph)} triangles, d_max = {graph.max_degree()}")
         print(f"{'theta':>6} | {'similarity Project':>19} | {'random GraphProjection':>22}")

@@ -4,13 +4,16 @@ Run with::
 
     python examples/quickstart.py
 
-The script loads the synthetic stand-in for the SNAP Facebook graph, runs the
+Set ``REPRO_EXAMPLES_FAST=1`` to shrink the graph for a seconds-long smoke
+run (this is what the CI examples job does).  The script loads the synthetic stand-in for the SNAP Facebook graph, runs the
 full CARGO protocol (Max -> Project -> Count -> Perturb) at a total privacy
 budget of epsilon = 2, and compares the differentially private estimate with
 the exact count and with the central/local baselines.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import (
     Cargo,
@@ -26,7 +29,8 @@ def main() -> None:
     # A 400-node synthetic graph matching the Facebook ego-network's shape
     # (heavy-tailed degrees, strong clustering).  Increase num_nodes (or use
     # scale=1.0) for a paper-scale run.
-    graph = load_dataset("facebook", num_nodes=400)
+    fast = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
+    graph = load_dataset("facebook", num_nodes=80 if fast else 400)
     true_count = count_triangles(graph)
     print(f"graph: {graph.num_nodes} users, {graph.num_edges} edges, "
           f"{true_count} triangles, max degree {graph.max_degree()}")

@@ -1,0 +1,72 @@
+"""One pipeline, many statistics: the generalised private counting engine.
+
+CARGO's architecture — private Max, similarity projection, secure Count on
+secret shares, calibrated noise — is statistic-agnostic.  This example runs
+the *same* two-server protocol over every built-in subgraph statistic
+(triangles, wedges, k-stars, 4-cycles), compares each private release with
+the brute-force ground truth, and finishes with the derived clustering
+coefficient composed through the privacy accountant.
+
+Run with::
+
+    python examples/subgraph_statistics.py
+
+Set ``REPRO_EXAMPLES_FAST=1`` for a smaller graph (the CI examples job
+does).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import (
+    Cargo,
+    CargoConfig,
+    ClusteringCoefficientRelease,
+    available_statistics,
+    load_dataset,
+)
+
+
+def main() -> None:
+    fast = os.environ.get("REPRO_EXAMPLES_FAST") == "1"
+    graph = load_dataset("facebook", num_nodes=60 if fast else 200)
+    print(
+        f"graph: {graph.num_nodes} users, {graph.num_edges} edges, "
+        f"max degree {graph.max_degree()}"
+    )
+    print(f"registered statistics: {', '.join(available_statistics())}\n")
+
+    epsilon = 2.0
+    print(f"{'statistic':<10} | {'true count':>12} | {'private estimate':>16} | {'rel. error':>10}")
+    print("-" * 60)
+    for statistic in ("triangles", "wedges", "kstars", "4cycles"):
+        config = CargoConfig(
+            epsilon=epsilon,
+            seed=7,
+            statistic=statistic,
+            star_k=3,  # only the kstars row reads this (3-stars)
+        )
+        result = Cargo(config).run(graph)
+        error = abs(result.noisy_count - result.true_count) / max(result.true_count, 1)
+        print(
+            f"{statistic:<10} | {result.true_count:>12,} | "
+            f"{result.noisy_count:>16,.1f} | {error:>10.2%}"
+        )
+
+    # A derived release: clustering coefficient = 3T / W, with the triangle
+    # and wedge budgets composed through the privacy accountant.
+    release = ClusteringCoefficientRelease(epsilon=2 * epsilon, seed=7).run(graph)
+    print(
+        f"\nclustering coefficient: private {release.value:.4f} "
+        f"vs exact {release.exact_value:.4f} "
+        f"(total epsilon {release.epsilon:.1f} across {len(release.ledger)} spends)"
+    )
+
+    print("\nEvery row above ran the identical Max -> Project -> Count -> Perturb")
+    print("pipeline; only the statistic object (kernel + sensitivity + geometry)")
+    print("changed.  Register your own with repro.stats.register_statistic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,10 @@ The public API is organised by subpackage:
 * :mod:`repro.baselines` — CentralLap△, Local2Rounds△ and friends,
 * :mod:`repro.metrics` — l2 loss / relative error and trial aggregation,
 * :mod:`repro.experiments` — the harness regenerating every table and figure,
-* :mod:`repro.stream` — continual private triangle counting over edge
+* :mod:`repro.stats` — the subgraph-statistic registry (triangles, k-stars,
+  4-cycles, derived clustering coefficient) the pipeline is generalised
+  over,
+* :mod:`repro.stream` — continual private statistic release over edge
   streams (incremental maintenance, binary-tree continual DP release,
   secure-count anchors).
 
@@ -44,6 +47,13 @@ from repro.core import (
 from repro.dp import LaplaceMechanism, PrivacyBudget, RandomizedResponse
 from repro.graph import Graph, available_datasets, count_triangles, load_dataset
 from repro.metrics import l2_loss, relative_error
+from repro.stats import (
+    ClusteringCoefficientRelease,
+    SubgraphStatistic,
+    available_statistics,
+    create_statistic,
+    register_statistic,
+)
 from repro.stream import (
     EdgeEvent,
     EdgeStream,
@@ -75,6 +85,11 @@ __all__ = [
     "count_triangles",
     "l2_loss",
     "relative_error",
+    "SubgraphStatistic",
+    "register_statistic",
+    "available_statistics",
+    "create_statistic",
+    "ClusteringCoefficientRelease",
     "EdgeEvent",
     "EdgeStream",
     "IncrementalTriangleMaintainer",

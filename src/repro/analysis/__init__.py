@@ -6,8 +6,8 @@ subgraph counts.  This subpackage composes CARGO's private triangle count
 with low-sensitivity degree statistics to release those downstream quantities
 end to end under a single privacy budget:
 
-* :mod:`repro.analysis.subgraphs` — wedge (2-star) and k-star counts with
-  their Edge-DP sensitivities and Laplace releases,
+* :mod:`repro.analysis.subgraphs` — wedge (2-star), k-star and 4-cycle
+  counts with their Edge-DP sensitivities and Laplace releases,
 * :mod:`repro.analysis.clustering` — private global clustering coefficient
   (transitivity) and average-degree reports that combine a CARGO triangle
   estimate with a wedge estimate under a split budget.
@@ -18,9 +18,12 @@ from repro.analysis.clustering import (
     PrivateClusteringResult,
 )
 from repro.analysis.subgraphs import (
+    count_four_cycles,
     count_k_stars,
     count_wedges,
+    four_cycle_sensitivity,
     k_star_sensitivity,
+    private_four_cycle_count,
     private_k_star_count,
     private_wedge_count,
     wedge_sensitivity,
@@ -31,8 +34,11 @@ __all__ = [
     "PrivateClusteringResult",
     "count_wedges",
     "count_k_stars",
+    "count_four_cycles",
     "wedge_sensitivity",
     "k_star_sensitivity",
+    "four_cycle_sensitivity",
     "private_wedge_count",
     "private_k_star_count",
+    "private_four_cycle_count",
 ]

@@ -124,5 +124,12 @@ class PrivateClusteringAnalyzer:
 
 
 def exact_wedge_count(graph: Graph) -> int:
-    """Convenience re-export of the exact wedge count (see :mod:`subgraphs`)."""
+    """Convenience re-export of the exact wedge count (see :mod:`subgraphs`).
+
+    Examples
+    --------
+    >>> from repro.graph.graph import Graph
+    >>> exact_wedge_count(Graph(3, edges=[(0, 1), (1, 2)]))
+    1
+    """
     return count_wedges(graph)

@@ -1,16 +1,22 @@
-"""Wedge and k-star counting with Edge-DP releases.
+"""Wedge, k-star and 4-cycle counting with Edge-DP releases.
 
 A *wedge* (2-star) is a path of length two; a *k-star* is a node together
-with ``k`` of its neighbours.  These counts are the denominators of the
-clustering coefficient and transitivity ratio and have much lower sensitivity
-than the triangle count, so they are released with a plain Laplace mechanism:
+with ``k`` of its neighbours; a *4-cycle* is a quadrilateral.  The wedge and
+k-star counts are the denominators of the clustering coefficient and
+transitivity ratio and have much lower sensitivity than the triangle count,
+so they are released with a plain Laplace mechanism:
 
 * adding/removing one edge ``{u, v}`` changes the number of k-stars by at
   most ``C(d_u, k-1) + C(d_v, k-1) <= 2 * C(θ, k-1)`` on a θ-degree-bounded
-  graph (for wedges, ``k = 2``, this is ``2 (θ - 1) + ... <= 2 θ``).
+  graph (for wedges, ``k = 2``, this is ``2 (θ - 1) + ... <= 2 θ``), and
+  the number of 4-cycles by at most ``(θ - 1)²``.
 
 The functions take an explicit degree bound so callers can pass CARGO's noisy
 maximum degree and keep the whole analysis free of non-private quantities.
+The exact counting kernels live on the statistics in :mod:`repro.stats`
+(this module layers central-model Laplace releases over them); the full
+two-server pipeline for the same statistics is
+``Cargo(CargoConfig(statistic=...))``.
 """
 
 from __future__ import annotations
@@ -21,19 +27,35 @@ from typing import Optional
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.exceptions import ConfigurationError, PrivacyError
 from repro.graph.graph import Graph
+from repro.stats.four_cycles import (
+    count_four_cycles_exact,
+    four_cycle_sensitivity_bounded,
+)
+from repro.stats.kstars import count_k_stars_exact
 from repro.utils.rng import RandomState
 
 
 def count_wedges(graph: Graph) -> int:
-    """Exact number of wedges (paths of length two): ``sum_v C(d_v, 2)``."""
-    return sum(degree * (degree - 1) // 2 for degree in graph.degrees())
+    """Exact number of wedges (paths of length two): ``sum_v C(d_v, 2)``.
+
+    Examples
+    --------
+    >>> from repro.graph.graph import Graph
+    >>> count_wedges(Graph(3, edges=[(0, 1), (1, 2)]))
+    1
+    >>> count_wedges(Graph(3, edges=[(0, 1), (1, 2), (0, 2)]))  # a triangle
+    3
+    """
+    return count_k_stars_exact(graph.degrees(), 2)
 
 
 def count_k_stars(graph: Graph, k: int) -> int:
-    """Exact number of k-stars: ``sum_v C(d_v, k)``."""
-    if k < 1:
-        raise ConfigurationError(f"k must be at least 1, got {k}")
-    return sum(math.comb(degree, k) for degree in graph.degrees())
+    """Exact number of k-stars: ``sum_v C(d_v, k)``.
+
+    Delegates to the k-star statistic's plain kernel
+    (:func:`repro.stats.count_k_stars_exact`), which also validates ``k``.
+    """
+    return count_k_stars_exact(graph.degrees(), k)
 
 
 def wedge_sensitivity(degree_bound: float) -> float:
@@ -88,3 +110,43 @@ def private_k_star_count(
         epsilon=epsilon, sensitivity=k_star_sensitivity(bound, k)
     )
     return float(mechanism.randomize(float(count_k_stars(graph, k)), rng=rng))
+
+
+def count_four_cycles(graph: Graph) -> int:
+    """Exact number of 4-cycles: ``(1/4) sum_{u<v} w_uv (w_uv - 1)``.
+
+    Delegates to the 4-cycle statistic's plain kernel
+    (:func:`repro.stats.count_four_cycles_exact`); re-exported here so the
+    analysis layer offers every exact count next to its private release.
+    """
+    return count_four_cycles_exact(graph)
+
+
+def four_cycle_sensitivity(degree_bound: float) -> float:
+    """Edge-DP sensitivity of the 4-cycle count on a degree-bounded graph.
+
+    One edge flip creates or destroys at most ``(θ - 1)²`` 4-cycles (one
+    further neighbour of each endpoint determines the cycle); clamped below
+    at 1 so noise scales stay positive on degenerate graphs.
+    """
+    if degree_bound < 0:
+        raise PrivacyError(f"degree_bound must be non-negative, got {degree_bound}")
+    return four_cycle_sensitivity_bounded(degree_bound)
+
+
+def private_four_cycle_count(
+    graph: Graph,
+    epsilon: float,
+    degree_bound: Optional[float] = None,
+    rng: RandomState = None,
+) -> float:
+    """Release the 4-cycle count with a Laplace mechanism under ε-Edge DP.
+
+    When *degree_bound* is omitted the graph's true maximum degree is used —
+    appropriate in the central model; pass CARGO's noisy maximum degree for
+    a fully untrusted pipeline (or run the whole two-server protocol with
+    ``CargoConfig(statistic="4cycles")``).
+    """
+    bound = degree_bound if degree_bound is not None else graph.max_degree()
+    mechanism = LaplaceMechanism(epsilon=epsilon, sensitivity=four_cycle_sensitivity(bound))
+    return float(mechanism.randomize(float(count_four_cycles(graph)), rng=rng))

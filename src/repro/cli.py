@@ -64,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(a registered name, e.g. matrix, blocked, batched, faithful)",
     )
     parser.add_argument(
+        "--statistic",
+        default=None,
+        help="subgraph statistic for experiments that run CARGO "
+        "(a registered name, e.g. triangles, kstars, wedges, 4cycles)",
+    )
+    parser.add_argument(
+        "--star-k",
+        type=int,
+        default=None,
+        help="star size for the kstars statistic (default 2, i.e. wedges)",
+    )
+    parser.add_argument(
         "--max-workers",
         type=int,
         default=None,
@@ -95,6 +107,10 @@ def _collect_overrides(args: argparse.Namespace, runner) -> dict:
         overrides["seed"] = args.seed
     if args.backend is not None and "counting_backend" in accepted:
         overrides["counting_backend"] = args.backend
+    if args.statistic is not None and "statistic" in accepted:
+        overrides["statistic"] = args.statistic
+    if args.star_k is not None and "star_k" in accepted:
+        overrides["star_k"] = args.star_k
     if args.max_workers is not None and "max_workers" in accepted:
         overrides["max_workers"] = args.max_workers
     if args.release_every is not None and "release_every" in accepted:

@@ -11,6 +11,11 @@
   Gamma-difference noise added inside the secret-shared domain.
 * :mod:`repro.core.cargo` — Algorithm 1: the end-to-end protocol
   orchestration, producing a :class:`~repro.core.result.CargoResult`.
+
+The pipeline is generalised over :mod:`repro.stats`: `Count` executes the
+secure kernel of whichever registered subgraph statistic the configuration
+names (``triangles`` by default), and `Perturb` calibrates its noise to
+that statistic's post-projection sensitivity.
 """
 
 from repro.core.config import CargoConfig, CountingBackend

@@ -53,6 +53,13 @@ def num_candidate_triples(num_users: int) -> int:
     Every backend processes exactly this many three-way products (however it
     groups them into opening rounds), so the count lives here rather than in
     any one execution strategy.
+
+    Examples
+    --------
+    >>> num_candidate_triples(6)
+    20
+    >>> num_candidate_triples(2)
+    0
     """
     if num_users < 3:
         return 0

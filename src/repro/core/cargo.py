@@ -1,15 +1,19 @@
-"""Algorithm 1 — the end-to-end CARGO protocol.
+"""Algorithm 1 — the end-to-end CARGO protocol, generalised over statistics.
 
-:class:`Cargo` wires the three phases together:
+:class:`Cargo` wires the phases together:
 
 1. `Max` (Algorithm 2) privately estimates the maximum degree ``d'_max``
    spending ε1;
 2. `Project` (Algorithm 3) bounds each user's degree by ``d'_max`` using the
    similarity-based rule;
 3. `Count` (Algorithm 4, or one of its accelerated equivalents) computes
-   secret shares of the projected triangle count;
+   secret shares of the projected count of the configured
+   :class:`~repro.stats.SubgraphStatistic` — triangles by default, but any
+   registered statistic (``kstars``, ``4cycles``, …) runs through the same
+   pipeline;
 4. `Perturb` (Algorithm 5) adds distributed Laplace noise inside the shared
-   domain and reconstructs the noisy count ``T'``.
+   domain, calibrated to the statistic's post-projection sensitivity, and
+   reconstructs the noisy count ``T'``.
 
 The returned :class:`~repro.core.result.CargoResult` bundles the estimate
 with the evaluation-only ground truth, phase timings, and (optionally) the
@@ -20,30 +24,27 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from repro.core.backends import create_backend, share_adjacency_rows
 from repro.core.config import CargoConfig
 from repro.core.max_degree import MaxDegreeEstimator
 from repro.core.perturbation import DistributedPerturbation
-from repro.core.projection import SimilarityProjection, projected_triangle_count
+from repro.core.projection import SimilarityProjection
 from repro.core.result import CargoResult
 from repro.crypto.protocol import TwoServerRuntime
 from repro.crypto.views import ViewRecorder
 from repro.graph.graph import Graph
-from repro.graph.triangles import count_triangles
+from repro.stats import create_statistic
 from repro.utils.rng import derive_rng, spawn_rngs
 from repro.utils.timer import TimerRegistry
 
 
 class Cargo:
-    """The CARGO system: crypto-assisted DP triangle counting.
+    """The CARGO system: crypto-assisted DP subgraph-statistic release.
 
     Parameters
     ----------
     config:
         A :class:`~repro.core.config.CargoConfig`; a default configuration
-        (ε = 2, matrix backend) is used when omitted.
+        (ε = 2, matrix backend, triangle statistic) is used when omitted.
 
     Examples
     --------
@@ -53,6 +54,9 @@ class Cargo:
     >>> result = Cargo(CargoConfig(epsilon=2.0, seed=7)).run(graph)
     >>> result.relative_error < 1.0
     True
+    >>> wedges = Cargo(CargoConfig(epsilon=2.0, seed=7, statistic="wedges")).run(graph)
+    >>> wedges.statistic
+    'wedges'
     """
 
     def __init__(self, config: Optional[CargoConfig] = None) -> None:
@@ -70,6 +74,7 @@ class Cargo:
         """Execute the full protocol on *graph* and return the result."""
         config = self._config
         budget = config.resolved_budget()
+        statistic = create_statistic(config.statistic, config)
         timers = TimerRegistry()
         master_rng = derive_rng(config.seed)
         # Independent sub-streams: users' degree noise, users' share masks,
@@ -96,46 +101,38 @@ class Cargo:
                 projection_result = projection.project_graph(
                     graph, noisy_degrees=max_result.noisy_degrees
                 )
-                projected_count = projected_triangle_count(projection_result.projected_rows)
+                projected_count = statistic.projected_count(
+                    projection_result.projected_rows
+                )
 
             # ---------------------------------------------------------- #
-            # Step 2 — Count: secure triangle counting on secret shares.
+            # Step 2 — Count: the statistic's secure kernel on shares.
             # ---------------------------------------------------------- #
             with timers.measure("count"):
-                # Backends self-register with the registry; the orchestrator
-                # only knows the configured name.
-                counter = create_backend(
-                    config.counting_backend,
+                # The statistic owns its secure-share formulation (triangles
+                # delegate to whichever counting backend the configuration
+                # names); the orchestrator only knows the registered name.
+                count_result = statistic.secure_count(
+                    projection_result.projected_rows,
                     config=config,
+                    share_rng=share_rng,
                     dealer_rng=dealer_rng,
                     views=self.views,
+                    runtime=runtime,
                 )
-                if runtime is not None:
-                    # Each user uploads one share of her projected bit vector
-                    # to each server; routing the upload through the runtime
-                    # makes the dominant communication cost visible in the
-                    # ledger (the openings between servers are internal to
-                    # the counter backends).  The n per-server uploads ride
-                    # in one array-payload record each — n messages with the
-                    # identical byte total.
-                    share1, share2 = share_adjacency_rows(
-                        projection_result.projected_rows, ring=config.ring, rng=share_rng
-                    )
-                    runtime.users_to_server(1, "adjacency_share", share1)
-                    runtime.users_to_server(2, "adjacency_share", share2)
-                    count_result = counter.count_from_shares(share1, share2)
-                else:
-                    count_result = counter.count(
-                        projection_result.projected_rows, rng=share_rng
-                    )
 
             # ---------------------------------------------------------- #
-            # Step 3 — Perturb: distributed noise inside the shared domain.
+            # Step 3 — Perturb: distributed noise inside the shared domain,
+            # calibrated to the statistic's post-projection sensitivity (in
+            # units of the raw secure output — `finalise` divides the
+            # release scale back out afterwards, which is post-processing).
             # ---------------------------------------------------------- #
             with timers.measure("perturb"):
                 perturbation = DistributedPerturbation(
                     epsilon2=budget.epsilon2,
-                    sensitivity=max_result.noisy_max_degree,
+                    sensitivity=statistic.secure_output_sensitivity(
+                        max_result.noisy_max_degree
+                    ),
                     num_users=max(graph.num_nodes, 1),
                     ring=config.ring,
                     fixed_point_bits=config.fixed_point_bits,
@@ -144,9 +141,9 @@ class Cargo:
                     count_result, rng=noise_rng, runtime=runtime
                 )
 
-        true_count = count_triangles(graph)
+        true_count = statistic.plain_count(graph)
         return CargoResult(
-            noisy_triangle_count=perturb_result.noisy_count,
+            noisy_triangle_count=statistic.finalise(perturb_result.noisy_count),
             true_triangle_count=true_count,
             projected_triangle_count=projected_count,
             noisy_max_degree=max_result.noisy_max_degree,
@@ -159,4 +156,5 @@ class Cargo:
                 runtime.ledger.phase_summary() if runtime is not None else {}
             ),
             backend=config.backend_name,
+            statistic=config.statistic,
         )

@@ -66,6 +66,14 @@ class CargoConfig:
         any backend (built-in or third-party); names matching a built-in are
         normalised to the enum member, other registered names are kept as
         strings.
+    statistic:
+        Which subgraph statistic the protocol releases (default:
+        ``triangles``).  Any name registered with
+        :func:`repro.stats.register_statistic` is accepted — built-ins are
+        ``triangles``, ``kstars``, ``wedges``, and ``4cycles``.
+    star_k:
+        Star size for the ``kstars`` statistic (``2`` counts wedges);
+        ignored by other statistics.
     ring:
         Secret-sharing ring.
     fixed_point_bits:
@@ -87,12 +95,23 @@ class CargoConfig:
         When ``True`` the protocol routes user/server messages through the
         :class:`~repro.crypto.protocol.TwoServerRuntime` so byte counts are
         available in the result.
+
+    Examples
+    --------
+    >>> config = CargoConfig(epsilon=2.0, statistic="Wedges")
+    >>> config.statistic, config.backend_name
+    ('wedges', 'matrix')
+    >>> budget = config.resolved_budget()
+    >>> (budget.epsilon1, budget.epsilon2)
+    (0.2, 1.8)
     """
 
     epsilon: float = 2.0
     budget: Optional[PrivacyBudget] = None
     max_degree_fraction: float = DEFAULT_MAX_DEGREE_FRACTION
     counting_backend: Union[CountingBackend, str] = CountingBackend.MATRIX
+    statistic: str = "triangles"
+    star_k: int = 2
     ring: Ring = DEFAULT_RING
     fixed_point_bits: int = 16
     batch_size: int = 4096
@@ -116,6 +135,24 @@ class CargoConfig:
             raise ConfigurationError(
                 f"fixed_point_bits must be in [0, 30], got {self.fixed_point_bits}"
             )
+        if self.star_k < 1:
+            raise ConfigurationError(f"star_k must be at least 1, got {self.star_k}")
+        # Imported lazily: repro.stats pulls in repro.core.backends, which
+        # initialises repro.core (and therefore this module) — by the time a
+        # config is constructed all imports have settled.
+        from repro.stats import (
+            available_statistics,
+            resolve_statistic_name,
+            statistic_registered,
+        )
+
+        statistic_name = resolve_statistic_name(self.statistic)
+        if not statistic_registered(statistic_name):
+            raise ConfigurationError(
+                f"unknown statistic {self.statistic!r}; "
+                f"registered: {', '.join(available_statistics())}"
+            )
+        object.__setattr__(self, "statistic", statistic_name)
         if not isinstance(self.counting_backend, CountingBackend):
             name = resolve_backend_name(self.counting_backend)
             try:

@@ -22,17 +22,16 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.backends import create_backend
 from repro.core.cargo import Cargo
 from repro.core.config import CargoConfig
 from repro.core.max_degree import MaxDegreeEstimator, MaxDegreeResult
 from repro.core.perturbation import DistributedPerturbation
-from repro.core.projection import SimilarityProjection, projected_triangle_count
+from repro.core.projection import SimilarityProjection
 from repro.core.result import CargoResult
 from repro.dp.mechanisms import LaplaceMechanism
-from repro.dp.sensitivity import degree_sensitivity_node_dp, triangle_sensitivity_node_dp
+from repro.dp.sensitivity import degree_sensitivity_node_dp
 from repro.graph.graph import Graph
-from repro.graph.triangles import count_triangles
+from repro.stats import create_statistic
 from repro.utils.rng import derive_rng, spawn_rngs
 from repro.utils.timer import TimerRegistry
 
@@ -87,6 +86,7 @@ class NodeDpCargo:
         """Execute the Node-DP variant of the full protocol on *graph*."""
         config = self._config
         budget = config.resolved_budget()
+        statistic = create_statistic(config.statistic, config)
         timers = TimerRegistry()
         master_rng = derive_rng(config.seed)
         max_rng, share_rng, noise_rng, dealer_rng = spawn_rngs(master_rng, 4)
@@ -101,16 +101,24 @@ class NodeDpCargo:
                 projection_result = projection.project_graph(
                     graph, noisy_degrees=max_result.noisy_degrees
                 )
-                projected_count = projected_triangle_count(projection_result.projected_rows)
+                projected_count = statistic.projected_count(
+                    projection_result.projected_rows
+                )
 
             with timers.measure("count"):
-                counter = create_backend(
-                    config.counting_backend, config=config, dealer_rng=dealer_rng
+                count_result = statistic.secure_count(
+                    projection_result.projected_rows,
+                    config=config,
+                    share_rng=share_rng,
+                    dealer_rng=dealer_rng,
                 )
-                count_result = counter.count(projection_result.projected_rows, rng=share_rng)
 
             with timers.measure("perturb"):
-                sensitivity = triangle_sensitivity_node_dp(max_result.noisy_max_degree)
+                # The statistic's Node-DP bound, scaled to the raw secure
+                # output exactly as the Edge-DP orchestrator scales its bound.
+                sensitivity = statistic.release_scale * statistic.node_sensitivity(
+                    max_result.noisy_max_degree
+                )
                 perturbation = DistributedPerturbation(
                     epsilon2=budget.epsilon2,
                     sensitivity=sensitivity,
@@ -121,8 +129,8 @@ class NodeDpCargo:
                 perturb_result = perturbation.run(count_result, rng=noise_rng)
 
         return CargoResult(
-            noisy_triangle_count=perturb_result.noisy_count,
-            true_triangle_count=count_triangles(graph),
+            noisy_triangle_count=statistic.finalise(perturb_result.noisy_count),
+            true_triangle_count=statistic.plain_count(graph),
             projected_triangle_count=projected_count,
             noisy_max_degree=max_result.noisy_max_degree,
             epsilon1=budget.epsilon1,
@@ -131,6 +139,7 @@ class NodeDpCargo:
             timings=timers.as_dict(),
             communication={},
             backend=f"node-dp/{config.backend_name}",
+            statistic=config.statistic,
         )
 
 

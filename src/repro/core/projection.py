@@ -32,6 +32,13 @@ def degree_similarity(own_degree: float, neighbor_degree: float) -> float:
 
     Lower values mean more similar degrees.  ``own_degree`` must be positive;
     a user with degree zero has no edges to project anyway.
+
+    Examples
+    --------
+    >>> degree_similarity(10, 8)
+    0.2
+    >>> degree_similarity(10, 10)
+    0.0
     """
     if own_degree <= 0:
         raise ConfigurationError(f"own_degree must be positive, got {own_degree}")

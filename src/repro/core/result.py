@@ -40,6 +40,12 @@ class CargoResult:
         tracking was disabled.
     backend:
         Name of the secure counting backend that produced the count.
+    statistic:
+        Registered name of the released subgraph statistic.  The
+        ``*_triangle_count`` field names are kept for compatibility with the
+        original triangle-only pipeline; for other statistics they hold that
+        statistic's counts (use the :attr:`noisy_count` / :attr:`true_count`
+        / :attr:`projected_count` aliases in statistic-agnostic code).
     """
 
     noisy_triangle_count: float
@@ -53,6 +59,22 @@ class CargoResult:
     communication: Dict[str, Dict[str, int]] = field(default_factory=dict)
     communication_phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
     backend: str = "matrix"
+    statistic: str = "triangles"
+
+    @property
+    def noisy_count(self) -> float:
+        """Statistic-agnostic alias for the private estimate."""
+        return self.noisy_triangle_count
+
+    @property
+    def true_count(self) -> int:
+        """Statistic-agnostic alias for the evaluation-only ground truth."""
+        return self.true_triangle_count
+
+    @property
+    def projected_count(self) -> int:
+        """Statistic-agnostic alias for the post-projection count."""
+        return self.projected_triangle_count
 
     @property
     def epsilon(self) -> float:

@@ -74,6 +74,14 @@ class Ring:
         Negative integers wrap around, so ``encode(-1) == modulus - 1``.
         Arrays already stored in the ring dtype may be returned without a
         copy, so callers must treat the result as read-only.
+
+        Examples
+        --------
+        >>> ring = Ring(bits=16)
+        >>> ring.encode(-1)
+        65535
+        >>> ring.decode_signed(ring.add(ring.encode(-5), ring.encode(12)))
+        7
         """
         if isinstance(value, np.ndarray):
             if value.dtype == self.dtype:

@@ -60,6 +60,19 @@ def secure_multiply_pair(
     The servers open ``e = a - x`` and ``f = b - y`` (uniformly distributed
     because ``x, y`` are fresh masks) and locally combine them with their
     triple shares.
+
+    Examples
+    --------
+    >>> from repro.crypto.beaver import BeaverTripleDealer
+    >>> from repro.crypto.ring import DEFAULT_RING
+    >>> from repro.crypto.sharing import share_scalar
+    >>> dealer = BeaverTripleDealer(seed=0)
+    >>> a, b = share_scalar(6, rng=1), share_scalar(7, rng=2)
+    >>> shares = secure_multiply_pair(
+    ...     (a.share1, a.share2), (b.share1, b.share2), dealer.scalar_triple()
+    ... )
+    >>> int(DEFAULT_RING.decode_signed(DEFAULT_RING.add(*shares)))
+    42
     """
     t1, t2 = triple.server1, triple.server2
     e1 = ring.sub(a_shares[0], t1.x)

@@ -59,7 +59,16 @@ class SharePair:
 def share_scalar(
     value: int, ring: Ring = DEFAULT_RING, rng: RandomState = None
 ) -> SharePair:
-    """Additively share a single (possibly negative) integer."""
+    """Additively share a single (possibly negative) integer.
+
+    Examples
+    --------
+    >>> pair = share_scalar(-42, rng=0)
+    >>> pair.reconstruct_signed()
+    -42
+    >>> pair.share1 != -42  # each share alone is a uniform mask
+    True
+    """
     generator = derive_rng(rng)
     encoded = ring.encode(int(value))
     mask = ring.random_element(generator)

@@ -7,7 +7,7 @@ paper actually used (Section V-A: n defaults to 2000, ε defaults to 2,
 full-fidelity rerun is a one-liner:
 
 >>> from repro.experiments.paper_scale import paper_scale_overrides, run_at_paper_scale
->>> report = run_at_paper_scale("fig5")          # hours, not minutes
+>>> report = run_at_paper_scale("fig5")          # hours, not minutes  # doctest: +SKIP
 
 ``paper_scale_overrides`` only returns keyword arguments, so callers can also
 tweak individual settings (e.g. fewer trials) before launching.
@@ -76,6 +76,16 @@ PAPER_SCALE_OVERRIDES: Dict[str, Dict[str, Any]] = {
         "epsilon": 2.0,
         "release_every": 500,
         "anchor_every": 10,
+        "counting_backend": "blocked",
+    },
+    # (extension) generalised statistics: the paper's default graph size and
+    # ε sweep, across every built-in statistic.
+    "stats": {
+        "dataset": "facebook",
+        "num_nodes": 2000,
+        "epsilons": (0.5, 1.0, 1.5, 2.0, 2.5, 3.0),
+        "statistics": ("triangles", "kstars", "4cycles"),
+        "num_trials": 10,
         "counting_backend": "blocked",
     },
 }

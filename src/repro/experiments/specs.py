@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.exceptions import ExperimentError
-from repro.experiments import figures, streaming, tables
+from repro.experiments import figures, statistics, streaming, tables
 from repro.experiments.runner import ExperimentReport
 
 
@@ -120,9 +120,16 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             name="stream",
             paper_artifact="(extension)",
-            description="continual private triangle counting over an edge stream",
+            description="continual private statistic release over an edge stream",
             runner=streaming.streaming_accuracy_over_time,
             modules=("repro.stream", "repro.core.backends", "repro.dp.accountant"),
+        ),
+        ExperimentSpec(
+            name="stats",
+            paper_artifact="(extension)",
+            description="private subgraph statistics (triangles, k-stars, 4-cycles) vs epsilon",
+            runner=statistics.statistics_accuracy,
+            modules=("repro.stats", "repro.core.cargo", "repro.analysis.subgraphs"),
         ),
     )
 }

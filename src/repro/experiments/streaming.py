@@ -28,6 +28,8 @@ def streaming_accuracy_over_time(
     release_every: int = 50,
     anchor_every: int = 0,
     counting_backend: Optional[str] = None,
+    statistic: Optional[str] = None,
+    star_k: Optional[int] = None,
     seed: int = 0,
 ) -> ExperimentReport:
     """Continual-release accuracy as a dataset's edges arrive over time.
@@ -45,12 +47,14 @@ def streaming_accuracy_over_time(
         anchor_every=anchor_every,
         seed=seed,
         **({} if counting_backend is None else {"counting_backend": counting_backend}),
+        **({} if statistic is None else {"statistic": statistic}),
+        **({} if star_k is None else {"star_k": star_k}),
     )
     result = StreamingCargo(config).run(stream)
     report = ExperimentReport(
         name="stream",
         description=(
-            f"continual private triangle counting over a {dataset} edge stream "
+            f"continual private {result.statistic} counting over a {dataset} edge stream "
             f"(n={num_nodes}, epsilon={epsilon}, release_every={release_every}, "
             f"anchor_every={anchor_every})"
         ),

@@ -1,0 +1,76 @@
+"""Subgraph statistics: the generalised private counting engine.
+
+CARGO's pipeline (private `Max`, similarity `Project`, secure `Count`,
+calibrated `Perturb`) is statistic-agnostic; this package supplies the
+pieces that are not:
+
+* :mod:`repro.stats.base` — :class:`SubgraphStatistic`, bundling a plain
+  counting kernel, a secure-share formulation, a post-projection
+  sensitivity bound, and the candidate-enumeration geometry,
+* :mod:`repro.stats.registry` — the name-based statistic registry, parallel
+  to the counting-backend registry,
+* :mod:`repro.stats.triangles` / :mod:`~repro.stats.kstars` /
+  :mod:`~repro.stats.four_cycles` — the built-in statistics
+  (``triangles``, ``kstars``/``wedges``, ``4cycles``),
+* :mod:`repro.stats.derived` — composed releases (the clustering
+  coefficient) spending one budget through the accountant.
+
+Pick a statistic by registered name through the configuration::
+
+    from repro.core import Cargo, CargoConfig
+
+    result = Cargo(CargoConfig(epsilon=2.0, statistic="4cycles")).run(graph)
+
+.. note::
+   Import order in this module is load-bearing: :class:`~repro.core.cargo.
+   Cargo` imports ``create_statistic`` from here *while the built-in
+   statistic modules below are still importing* (they pull in
+   :mod:`repro.core.backends`, which initialises :mod:`repro.core`).  The
+   registry import must therefore precede the built-in imports.
+"""
+
+from repro.stats.base import SubgraphStatistic, validate_projected_rows
+from repro.stats.registry import (
+    available_statistics,
+    create_statistic,
+    get_statistic_factory,
+    register_statistic,
+    resolve_statistic_name,
+    statistic_registered,
+    unregister_statistic,
+)
+from repro.stats.triangles import TriangleStatistic
+from repro.stats.kstars import (
+    KStarStatistic,
+    count_k_stars_exact,
+    k_star_sensitivity_bounded,
+)
+from repro.stats.four_cycles import (
+    FourCycleStatistic,
+    candidate_pair_blocks,
+    count_four_cycles_exact,
+    four_cycle_sensitivity_bounded,
+)
+from repro.stats.derived import ClusteringCoefficientRelease, DerivedReleaseResult
+
+__all__ = [
+    "SubgraphStatistic",
+    "validate_projected_rows",
+    "register_statistic",
+    "unregister_statistic",
+    "resolve_statistic_name",
+    "statistic_registered",
+    "available_statistics",
+    "get_statistic_factory",
+    "create_statistic",
+    "TriangleStatistic",
+    "KStarStatistic",
+    "count_k_stars_exact",
+    "k_star_sensitivity_bounded",
+    "FourCycleStatistic",
+    "candidate_pair_blocks",
+    "count_four_cycles_exact",
+    "four_cycle_sensitivity_bounded",
+    "ClusteringCoefficientRelease",
+    "DerivedReleaseResult",
+]

@@ -1,0 +1,181 @@
+"""The k-star statistic — a degree polynomial with a share-only secure kernel.
+
+A *k-star* is a node together with ``k`` of its neighbours, so the global
+count is ``S_k = sum_v C(d_v, k)`` (``k = 2`` gives wedges, the clustering
+coefficient's denominator).  The statistic is *local*: each user evaluates
+her own contribution ``C(d_i, k)`` in the clear from her projected bit
+vector, exactly like she evaluates her degree for `Max`.  The secure kernel
+therefore needs **no secure multiplication at all** — every user additively
+shares her contribution and the servers sum their share columns locally:
+
+1. user ``i`` computes ``c_i = C(sum_j â_ij, k)`` on her projected row,
+2. she sends one additive share of ``c_i`` to each server,
+3. each server sums the ``n`` shares it received (a local linear operation);
+   the two sums are shares of ``S_k``, with zero opening rounds.
+
+Compare the triangle kernel, which needs one three-way product per vertex
+triple: k-stars trade candidate geometry (``n`` per-user contributions
+instead of ``C(n, 3)`` triples) for a protocol that any backend name
+executes identically, since there is nothing to schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.backends.base import CountResult
+from repro.crypto.protocol import TwoServerRuntime
+from repro.crypto.ring import Ring
+from repro.crypto.views import ViewRecorder
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.stats.base import SubgraphStatistic, validate_projected_rows
+from repro.stats.registry import register_statistic
+from repro.utils.rng import RandomState, derive_rng, spawn_rngs
+
+__all__ = ["KStarStatistic", "count_k_stars_exact", "k_star_sensitivity_bounded"]
+
+
+def count_k_stars_exact(degrees: List[int], k: int) -> int:
+    """``sum_v C(d_v, k)`` from a degree sequence.
+
+    Examples
+    --------
+    >>> count_k_stars_exact([2, 2, 2], 2)  # a triangle has 3 wedges
+    3
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be at least 1, got {k}")
+    return sum(math.comb(int(degree), k) for degree in degrees)
+
+
+def k_star_sensitivity_bounded(degree_bound: float, k: int) -> float:
+    """Edge-DP k-star sensitivity on a θ-bounded graph: ``2 · C(θ-1, k-1)``.
+
+    Flipping edge ``{u, v}`` moves each endpoint's contribution by
+    ``C(d-1, k-1) <= C(θ-1, k-1)``; clamped below at 1 so noise scales stay
+    positive on degenerate graphs.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be at least 1, got {k}")
+    bound = max(int(degree_bound), 0)
+    return max(2.0 * math.comb(max(bound - 1, 0), k - 1), 1.0)
+
+
+@register_statistic("kstars")
+class KStarStatistic(SubgraphStatistic):
+    """k-star counting: ``S_k = sum_v C(d_v, k)``.
+
+    Parameters
+    ----------
+    k:
+        Star size; ``2`` (the default) counts wedges.
+
+    Examples
+    --------
+    >>> from repro.graph.graph import Graph
+    >>> star = Graph(4, edges=[(0, 1), (0, 2), (0, 3)])
+    >>> KStarStatistic(k=2).plain_count(star)
+    3
+    >>> KStarStatistic(k=3).plain_count(star)
+    1
+    """
+
+    name = "kstars"
+    description = "number of k-stars (a node plus k of its neighbours)"
+    release_scale = 1
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be at least 1, got {k}")
+        self._k = int(k)
+
+    @property
+    def k(self) -> int:
+        """The star size."""
+        return self._k
+
+    @classmethod
+    def from_config(cls, config) -> "KStarStatistic":
+        """Read ``star_k`` from the (duck-typed) config; default 2 (wedges)."""
+        return cls(k=getattr(config, "star_k", 2))
+
+    def plain_count(self, graph: Graph) -> int:
+        """Exact k-star count of a clear graph."""
+        return count_k_stars_exact(graph.degrees(), self._k)
+
+    def projected_count(self, projected_rows: np.ndarray) -> int:
+        """``sum_i C(row-degree_i, k)`` on the users' projected rows."""
+        rows = validate_projected_rows(projected_rows)
+        return count_k_stars_exact([int(d) for d in rows.sum(axis=1)], self._k)
+
+    def secure_count(
+        self,
+        projected_rows: np.ndarray,
+        config,
+        share_rng: RandomState = None,
+        dealer_rng: RandomState = None,
+        views: Optional[ViewRecorder] = None,
+        runtime: Optional[TwoServerRuntime] = None,
+    ) -> CountResult:
+        """Additive aggregation of locally computed contributions.
+
+        Each user's share mask comes from her own spawned generator (the
+        same non-coordinating pattern as
+        :func:`~repro.core.backends.base.share_adjacency_rows`); the servers
+        only ever see uniformly masked values and their local sums.  The
+        dealer substream is accepted for interface uniformity but unused —
+        there is no multiplication to provision for.
+        """
+        ring: Ring = config.ring
+        rows = validate_projected_rows(projected_rows)
+        num_users = rows.shape[0]
+        # Contributions are arbitrary-precision Python ints reduced into the
+        # ring individually (C(d, k) can exceed 64 bits for large stars).
+        encoded = np.fromiter(
+            (math.comb(int(d), self._k) & ring.mask for d in rows.sum(axis=1)),
+            dtype=ring.dtype,
+            count=num_users,
+        )
+        masks = np.empty((num_users,), dtype=ring.dtype)
+        user_rngs = spawn_rngs(share_rng if share_rng is not None else derive_rng(None), num_users)
+        for user, user_rng in enumerate(user_rngs):
+            masks[user] = ring.random_element(user_rng)
+        share1 = masks
+        share2 = ring.sub(encoded, masks)
+        if runtime is not None:
+            runtime.users_to_server(1, "statistic_share", share1)
+            runtime.users_to_server(2, "statistic_share", share2)
+        if views is not None:
+            views.observe(1, "statistic_share", share1)
+            views.observe(2, "statistic_share", share2)
+        return CountResult(
+            share1=int(ring.sum(share1)),
+            share2=int(ring.sum(share2)),
+            num_triples_processed=num_users,
+            opening_rounds=0,
+        )
+
+    def statistic_sensitivity(self, degree_bound: float) -> float:
+        """Edge-DP sensitivity ``2 · C(θ-1, k-1)`` after projection to θ."""
+        return k_star_sensitivity_bounded(degree_bound, self._k)
+
+    def node_sensitivity(self, degree_bound: float) -> float:
+        """Node-DP bound: own stars ``C(θ, k)`` plus θ neighbour shifts."""
+        bound = max(int(degree_bound), 0)
+        own = math.comb(bound, self._k)
+        neighbours = bound * math.comb(max(bound - 1, 0), self._k - 1)
+        return max(float(own + neighbours), 1.0)
+
+    def num_candidates(self, num_users: int) -> int:
+        """``n`` per-user contributions — the degree-local geometry."""
+        return max(int(num_users), 0)
+
+
+@register_statistic("wedges")
+def _build_wedge_statistic(config=None) -> KStarStatistic:
+    """The 2-star (wedge) statistic: the k-star kernel pinned at ``k = 2``."""
+    return KStarStatistic(k=2)

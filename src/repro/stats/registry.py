@@ -1,0 +1,133 @@
+"""Name-based registry of subgraph statistics, parallel to the backend registry.
+
+The orchestrator never instantiates a concrete statistic itself; it asks this
+registry to build whichever statistic the configuration names.  Built-in
+statistics self-register at import time (importing :mod:`repro.stats` is
+enough); third-party code registers its own with the same decorator::
+
+    from repro.stats import SubgraphStatistic, register_statistic
+
+    @register_statistic("5-cliques")
+    class FiveCliqueStatistic(SubgraphStatistic):
+        @classmethod
+        def from_config(cls, config):
+            return cls()
+        ...
+
+    CargoConfig(statistic="5-cliques")  # now resolves
+
+A registration can be either a :class:`~repro.stats.base.SubgraphStatistic`
+subclass (built via its ``from_config`` classmethod) or a plain factory
+callable with the signature ``factory(config)``; the latter lets one class
+serve several named statistics (``kstars`` and ``wedges`` share the k-star
+kernel).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Union
+
+from repro.exceptions import ConfigurationError
+from repro.stats.base import SubgraphStatistic
+
+__all__ = [
+    "register_statistic",
+    "unregister_statistic",
+    "resolve_statistic_name",
+    "statistic_registered",
+    "available_statistics",
+    "get_statistic_factory",
+    "create_statistic",
+]
+
+#: A registered entry: a statistic class or a ``factory(config)`` callable.
+StatisticFactory = Callable[..., SubgraphStatistic]
+
+_REGISTRY: Dict[str, StatisticFactory] = {}
+
+
+def register_statistic(name: str) -> Callable[[StatisticFactory], StatisticFactory]:
+    """Class/function decorator registering a subgraph statistic under *name*.
+
+    The decorated object is returned unchanged.  Registering a name twice is
+    an error (it would silently shadow an existing statistic).
+    """
+    key = str(name).lower()
+    if not key:
+        raise ConfigurationError("statistic name must be a non-empty string")
+
+    def decorator(factory: StatisticFactory) -> StatisticFactory:
+        if key in _REGISTRY:
+            raise ConfigurationError(f"statistic {key!r} is already registered")
+        if isinstance(factory, type) and not issubclass(factory, SubgraphStatistic):
+            raise ConfigurationError(
+                f"statistic class {factory.__name__} must subclass SubgraphStatistic"
+            )
+        _REGISTRY[key] = factory
+        return factory
+
+    return decorator
+
+
+def unregister_statistic(name: str) -> None:
+    """Remove a registered statistic (primarily for tests of the registry itself)."""
+    _REGISTRY.pop(resolve_statistic_name(name), None)
+
+
+def resolve_statistic_name(name: Union[str, enum.Enum]) -> str:
+    """Normalise an enum member or string to the registry's lower-case key."""
+    if isinstance(name, enum.Enum):
+        name = name.value
+    return str(name).lower()
+
+
+def statistic_registered(name: Union[str, enum.Enum]) -> bool:
+    """Whether *name* resolves to a registered statistic.
+
+    Examples
+    --------
+    >>> import repro.stats
+    >>> statistic_registered("triangles")
+    True
+    >>> statistic_registered("5-cliques")
+    False
+    """
+    return resolve_statistic_name(name) in _REGISTRY
+
+
+def available_statistics() -> List[str]:
+    """Registered statistic names, sorted for stable presentation.
+
+    Examples
+    --------
+    >>> import repro.stats
+    >>> available_statistics()
+    ['4cycles', 'kstars', 'triangles', 'wedges']
+    """
+    return sorted(_REGISTRY)
+
+
+def get_statistic_factory(name: Union[str, enum.Enum]) -> StatisticFactory:
+    """Look up the factory registered under *name*."""
+    key = resolve_statistic_name(name)
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown statistic {key!r}; registered: {', '.join(available_statistics())}"
+        )
+    return _REGISTRY[key]
+
+
+def create_statistic(name: Union[str, enum.Enum], config=None) -> SubgraphStatistic:
+    """Instantiate the statistic registered under *name* for *config*.
+
+    *config* is passed through to the statistic's factory (duck-typed —
+    only attributes the statistic reads, such as ``star_k``, are accessed),
+    so :class:`~repro.core.config.CargoConfig`,
+    :class:`~repro.stream.orchestrator.StreamingConfig`, and plain
+    namespaces all work; ``None`` builds the statistic with its defaults.
+    """
+    factory = get_statistic_factory(name)
+    if isinstance(factory, type):
+        return factory.from_config(config)
+    return factory(config)

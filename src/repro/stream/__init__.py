@@ -7,9 +7,10 @@ subpackage serves a *stream* of edge additions and removals:
   :class:`EdgeStream`) and stream generators that replay any
   ``repro.graph`` dataset as a randomized arrival sequence or synthesise
   add/remove churn,
-* :mod:`repro.stream.delta` — an incremental maintainer that updates the
-  exact triangle count per event in ``O(min degree)`` via neighbourhood
-  intersection,
+* :mod:`repro.stream.delta` — incremental maintainers that update the exact
+  statistic per event (triangles in ``O(min degree)`` via neighbourhood
+  intersection, k-stars in ``O(1)``, 4-cycles via length-3 path counting),
+  dispatched from any registered statistic by :func:`make_maintainer`,
 * :mod:`repro.stream.release` — the binary-tree continual-observation DP
   mechanism (``T`` releases under one total ε with ``O(log T)`` ledger
   entries) plus pluggable release policies,
@@ -26,7 +27,13 @@ from repro.stream.events import (
     replay_dataset,
     replay_stream,
 )
-from repro.stream.delta import IncrementalTriangleMaintainer
+from repro.stream.delta import (
+    IncrementalFourCycleMaintainer,
+    IncrementalKStarMaintainer,
+    IncrementalTriangleMaintainer,
+    RecountingMaintainer,
+    make_maintainer,
+)
 from repro.stream.release import (
     BinaryTreeRelease,
     EveryKEventsPolicy,
@@ -49,6 +56,10 @@ __all__ = [
     "replay_dataset",
     "replay_stream",
     "IncrementalTriangleMaintainer",
+    "IncrementalKStarMaintainer",
+    "IncrementalFourCycleMaintainer",
+    "RecountingMaintainer",
+    "make_maintainer",
     "BinaryTreeRelease",
     "EveryKEventsPolicy",
     "FixedIntervalPolicy",

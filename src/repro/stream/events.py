@@ -151,6 +151,13 @@ def replay_stream(graph: Graph, rng: RandomState = None, rate: float = 1.0) -> E
     The edge set is shuffled with *rng* and each edge becomes one ``add``
     event; applying the whole stream to an empty graph reconstructs *graph*
     exactly.  Inter-arrival times are exponential with mean ``1 / rate``.
+
+    Examples
+    --------
+    >>> from repro.graph.graph import Graph
+    >>> stream = replay_stream(Graph(3, edges=[(0, 1), (1, 2)]), rng=0)
+    >>> len(stream), stream.additions(), stream.removals()
+    (2, 2, 0)
     """
     generator = derive_rng(rng)
     edges = graph.edge_list()

@@ -1,19 +1,19 @@
-"""Continual private triangle counting over an edge stream.
+"""Continual private subgraph-statistic release over an edge stream.
 
 :class:`StreamingCargo` turns the one-shot CARGO pipeline into a continual-
-release system:
+release system for any registered statistic (triangles by default):
 
-1. an :class:`~repro.stream.delta.IncrementalTriangleMaintainer` tracks the
-   exact count per edge event in ``O(min degree)``,
+1. an incremental maintainer (:func:`~repro.stream.delta.make_maintainer`)
+   tracks the exact count per edge event — ``O(min degree)`` for triangles,
+   ``O(1)`` for k-stars, a length-3 path count for 4-cycles,
 2. a release policy (every-``k``-events or a fixed stream-time cadence)
    decides *when* an estimate is published,
 3. a :class:`~repro.stream.release.BinaryTreeRelease` turns the per-release
    deltas into noisy prefix sums, so ``T`` releases cost a single total ε
    with only ``O(log T)`` accountant ledger entries, and
-4. optionally, every *anchor_every*-th release re-runs the secure `Count`
-   phase through any registered
-   :class:`~repro.core.backends.TriangleCounterBackend` to obtain a fresh,
-   independently perturbed absolute count.  The anchor is *blended* with the
+4. optionally, every *anchor_every*-th release re-runs the statistic's
+   secure `Count` kernel (through any registered counting backend) to
+   obtain a fresh, independently perturbed absolute count.  The anchor is *blended* with the
    continual estimate by inverse-variance weighting (the continual side uses
    a conservative upper bound on its variance), so a noisy anchor is
    discounted instead of replacing the estimate outright and
@@ -26,11 +26,14 @@ when configured; otherwise each anchor spends a
 :data:`~repro.dp.budget.DEFAULT_MAX_DEGREE_FRACTION` slice of its own budget
 on a private maximum-degree estimate (one-shot CARGO's `Max` step).  Either
 way the snapshot is *projected* to the bound before the secure count — a
-degree bound is only a valid triangle-count sensitivity for the projected
-graph — so each anchor is a faithful mini-CARGO pass and ε-DP end to end.  The tree mechanism's noise is scaled by ``delta_sensitivity``, whose
-default of 1.0 bounds the edge-event count rather than the triangle delta
-(one edge closes up to ``d_max`` triangles); production deployments should
-supply the degree bound their projection enforces, as one-shot CARGO does.
+degree bound is only a valid statistic sensitivity for the projected
+graph — so each anchor is a faithful mini-CARGO pass and ε-DP end to end.
+The tree mechanism's noise is scaled by ``delta_sensitivity``, whose
+default of 1.0 bounds the edge-event count rather than the statistic delta
+(one edge closes up to ``d_max`` triangles and up to ``(d_max-1)²``
+4-cycles); production deployments should supply the configured statistic's
+sensitivity at their projection's degree bound
+(``statistic.statistic_sensitivity(θ)``), mirroring the anchor path.
 """
 
 from __future__ import annotations
@@ -38,7 +41,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
-from repro.core.backends import create_backend
 from repro.core.config import CountingBackend
 from repro.core.backends.registry import (
     available_backends,
@@ -53,7 +55,13 @@ from repro.dp.budget import DEFAULT_MAX_DEGREE_FRACTION
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.exceptions import ConfigurationError, StreamError
 from repro.graph.graph import Graph
-from repro.stream.delta import IncrementalTriangleMaintainer
+from repro.stats import (
+    available_statistics,
+    create_statistic,
+    resolve_statistic_name,
+    statistic_registered,
+)
+from repro.stream.delta import make_maintainer
 from repro.stream.events import EdgeStream
 from repro.stream.release import (
     BinaryTreeRelease,
@@ -123,13 +131,16 @@ class StreamingConfig:
         L1 sensitivity of one release's aggregated delta — how much the
         protected unit (one edge, under Edge-DP) can change the sum of deltas
         inside a single release window.  **The ε guarantee is only as honest
-        as this bound**: one edge supports up to ``d_max`` triangles, so the
-        default of 1.0 protects the *edge-event count* but understates the
-        triangle-delta sensitivity by up to a max-degree factor.  Deployments
-        must set it to the degree bound their projection enforces (the
-        ``d'_max`` role in one-shot CARGO); the evaluation experiments keep
-        the default because they report accuracy trajectories, not a formal
-        guarantee.
+        as this bound**, and the bound is *per statistic*: one edge flip
+        moves the count by up to ``θ`` for triangles, ``2·C(θ-1, k-1)`` for
+        k-stars, and ``(θ-1)²`` for 4-cycles on a θ-degree-bounded graph —
+        exactly ``statistic.statistic_sensitivity(θ)``, the same bound the
+        anchor path applies.  The default of 1.0 protects only the
+        *edge-event count* and understates every statistic's delta.
+        Deployments must set it to the configured statistic's sensitivity at
+        the degree bound their projection enforces; the evaluation
+        experiments keep the default because they report accuracy
+        trajectories, not a formal guarantee.
     anchor_sensitivity:
         Public sensitivity bound for the anchor perturbation.  ``None`` (the
         default) makes each anchor privately estimate the maximum degree
@@ -139,6 +150,14 @@ class StreamingConfig:
     counting_backend:
         Registered name (or :class:`~repro.core.config.CountingBackend`
         member) of the secure backend anchors run through.
+    statistic:
+        Registered name of the subgraph statistic the stream maintains and
+        anchors (default ``triangles``; any
+        :func:`repro.stats.register_statistic` name works — built-ins get a
+        bespoke incremental maintainer, others fall back to exact
+        recounting per event).
+    star_k:
+        Star size for the ``kstars`` statistic; ignored by other statistics.
     ring / block_size / batch_size:
         Backend construction parameters, mirroring
         :class:`~repro.core.config.CargoConfig`.
@@ -159,6 +178,8 @@ class StreamingConfig:
     delta_sensitivity: float = 1.0
     anchor_sensitivity: Optional[float] = None
     counting_backend: Union[CountingBackend, str] = CountingBackend.MATRIX
+    statistic: str = "triangles"
+    star_k: int = 2
     ring: Ring = DEFAULT_RING
     block_size: int = 128
     batch_size: int = 4096
@@ -196,13 +217,23 @@ class StreamingConfig:
             raise ConfigurationError(
                 f"anchor_sensitivity must be positive, got {self.anchor_sensitivity}"
             )
-        # Validate the backend name eagerly (mirroring CargoConfig) so a typo
-        # fails at construction rather than thousands of events into the run.
+        # Validate the backend and statistic names eagerly (mirroring
+        # CargoConfig) so a typo fails at construction rather than thousands
+        # of events into the run.
         if not backend_registered(self.counting_backend):
             raise ConfigurationError(
                 f"unknown counting backend {self.counting_backend!r}; "
                 f"registered: {', '.join(available_backends())}"
             )
+        if self.star_k < 1:
+            raise ConfigurationError(f"star_k must be at least 1, got {self.star_k}")
+        statistic_name = resolve_statistic_name(self.statistic)
+        if not statistic_registered(statistic_name):
+            raise ConfigurationError(
+                f"unknown statistic {self.statistic!r}; "
+                f"registered: {', '.join(available_statistics())}"
+            )
+        object.__setattr__(self, "statistic", statistic_name)
 
     @property
     def backend_name(self) -> str:
@@ -301,6 +332,7 @@ class StreamingResult:
     epsilon_spent: float = 0.0
     ledger: List[tuple] = field(default_factory=list)
     backend: str = "matrix"
+    statistic: str = "triangles"
     timings: dict = field(default_factory=dict)
     capacity: int = 0
 
@@ -362,6 +394,7 @@ class StreamingCargo:
                 f"initial graph has {initial_graph.num_nodes} nodes but the "
                 f"stream covers {stream.num_nodes}"
             )
+        statistic = create_statistic(config.statistic, config)
         timers = TimerRegistry()
         master_rng = derive_rng(config.seed)
         tree_rng, anchor_rng, share_rng, dealer_rng = spawn_rngs(master_rng, 4)
@@ -410,16 +443,20 @@ class StreamingCargo:
             rng=tree_rng,
         )
         policy = config.release_policy()
-        maintainer = IncrementalTriangleMaintainer(
-            num_nodes=stream.num_nodes, initial_graph=initial_graph
+        maintainer = make_maintainer(
+            statistic, num_nodes=stream.num_nodes, initial_graph=initial_graph
         )
 
-        result = StreamingResult(backend=config.backend_name, capacity=capacity)
+        result = StreamingResult(
+            backend=config.backend_name,
+            statistic=config.statistic,
+            capacity=capacity,
+        )
         # The continual estimate is served relative to the latest anchor:
         # estimate = anchor_base + (noisy prefix now - noisy prefix at anchor).
         # base_var / diff_var track the noise variance of the two terms so an
         # anchor can be blended by inverse-variance weighting below.
-        anchor_base = float(maintainer.triangle_count)
+        anchor_base = float(maintainer.count)
         prefix_at_anchor = 0.0
         base_var = 0.0
         # Upper bound on Var(prefix_t - prefix_anchor): each prefix reads at
@@ -432,7 +469,7 @@ class StreamingCargo:
             # anchor's budget.
             with timers.measure("anchor"):
                 anchor_base, base_var = self._run_anchor(
-                    maintainer, accountant, epsilon_anchor,
+                    statistic, maintainer, accountant, epsilon_anchor,
                     anchor_rng, share_rng, dealer_rng,
                 )
             result.anchors_run += 1
@@ -459,7 +496,7 @@ class StreamingCargo:
                 if is_anchor:
                     with timers.measure("anchor"):
                         anchored, anchored_var = self._run_anchor(
-                            maintainer, accountant, epsilon_anchor,
+                            statistic, maintainer, accountant, epsilon_anchor,
                             anchor_rng, share_rng, dealer_rng,
                         )
                     # Precision-weighted blend of the fresh anchor and the
@@ -482,7 +519,7 @@ class StreamingCargo:
                         event_index=event_index,
                         time=event.time,
                         estimate=float(estimate),
-                        true_count=maintainer.triangle_count,
+                        true_count=maintainer.count,
                         is_anchor=is_anchor,
                         epsilon_spent=accountant.spent,
                         ledger_entries=len(accountant.ledger()),
@@ -498,25 +535,29 @@ class StreamingCargo:
     # Internals
     # ------------------------------------------------------------------ #
     def _run_anchor(
-        self, maintainer, accountant, epsilon_anchor, anchor_rng, share_rng, dealer_rng
+        self, statistic, maintainer, accountant, epsilon_anchor,
+        anchor_rng, share_rng, dealer_rng,
     ):
         """One mini-CARGO pass over the current graph: Max → Project → Count → noise.
 
-        The degree bound used as the Laplace sensitivity is *enforced* by
+        The degree bound used for the Laplace sensitivity is *enforced* by
         projecting the snapshot before the secure count (exactly as
         Algorithm 1 does — a noisy ``d'_max`` is only a valid sensitivity
         bound for the projected graph), so the anchor is ε-DP whether the
         bound is the configured public ``anchor_sensitivity`` or the private
-        `Max` estimate bought with a slice of this anchor's budget.
+        `Max` estimate bought with a slice of this anchor's budget.  The
+        secure count runs the configured statistic's share kernel and the
+        noise scale is that statistic's post-projection sensitivity at the
+        bound.
 
         Returns ``(noisy_count, noise_variance)`` so the caller can blend the
         anchor with the continual estimate by inverse-variance weighting.
         """
         config = self._config
-        sensitivity = config.anchor_sensitivity
+        degree_bound = config.anchor_sensitivity
         epsilon_count = epsilon_anchor
         noisy_degrees = None
-        if sensitivity is None:
+        if degree_bound is None:
             # No public bound configured: privately estimate the maximum
             # degree with a slice of this anchor's budget, exactly as
             # one-shot CARGO's `Max` step does.
@@ -524,21 +565,26 @@ class StreamingCargo:
             epsilon_count = epsilon_anchor - epsilon_degree
             estimator = MaxDegreeEstimator(epsilon_degree)
             max_result = estimator.run(maintainer.graph.degrees(), rng=anchor_rng)
-            sensitivity = max_result.noisy_max_degree
+            degree_bound = max_result.noisy_max_degree
             noisy_degrees = max_result.noisy_degrees
             accountant.spend(epsilon_degree, label="anchor/max-degree")
         # Projection is a local per-user operation; with a configured public
         # bound the similarity reference falls back to the users' own degree
         # knowledge (project_graph's default).
-        projection = SimilarityProjection(sensitivity)
+        projection = SimilarityProjection(degree_bound)
         projection_result = projection.project_graph(
             maintainer.graph, noisy_degrees=noisy_degrees
         )
-        counter = create_backend(
-            config.counting_backend, config=config, dealer_rng=dealer_rng
+        count_result = statistic.secure_count(
+            projection_result.projected_rows,
+            config=config,
+            share_rng=share_rng,
+            dealer_rng=dealer_rng,
         )
-        count_result = counter.count(projection_result.projected_rows, rng=share_rng)
-        exact = count_result.reconstruct(config.ring)
-        mechanism = LaplaceMechanism(epsilon=epsilon_count, sensitivity=sensitivity)
+        exact = statistic.finalise(float(count_result.reconstruct(config.ring)))
+        mechanism = LaplaceMechanism(
+            epsilon=epsilon_count,
+            sensitivity=statistic.statistic_sensitivity(degree_bound),
+        )
         accountant.spend(epsilon_count, label="anchor")
-        return float(exact) + mechanism.sample_noise(anchor_rng), mechanism.variance
+        return exact + mechanism.sample_noise(anchor_rng), mechanism.variance

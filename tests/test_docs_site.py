@@ -1,0 +1,131 @@
+"""Integrity checks for the documentation site.
+
+``mkdocs`` itself is only installed in the CI docs job (it is not a library
+dependency), so these tests validate everything a strict build depends on
+that *can* be checked without it: the nav resolves, the API generator runs
+and produces the pages the nav references, internal links in the
+hand-written pages point at files that exist, and the generated reference
+actually contains the public symbols.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+import yaml
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+
+def _load_gen_api():
+    sys.path.insert(0, str(DOCS_DIR))
+    try:
+        import gen_api
+    finally:
+        sys.path.pop(0)
+    return gen_api
+
+
+def _nav_paths(node) -> list:
+    """Flatten mkdocs' nested nav structure into page paths."""
+    paths = []
+    if isinstance(node, str):
+        paths.append(node)
+    elif isinstance(node, list):
+        for item in node:
+            paths.extend(_nav_paths(item))
+    elif isinstance(node, dict):
+        for value in node.values():
+            paths.extend(_nav_paths(value))
+    return paths
+
+
+@pytest.fixture(scope="module")
+def config() -> dict:
+    # mkdocs.yml may use python-specific tags in exotic setups; ours is plain.
+    return yaml.safe_load(MKDOCS_YML.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def generated_api(tmp_path_factory) -> Path:
+    gen_api = _load_gen_api()
+    out = tmp_path_factory.mktemp("api")
+    gen_api.generate(out)
+    return out
+
+
+class TestNav:
+    def test_yaml_parses_and_has_nav(self, config):
+        assert config["site_name"]
+        assert config["nav"]
+
+    def test_every_nav_page_exists_or_is_generated(self, config, generated_api):
+        for path in _nav_paths(config["nav"]):
+            if path.startswith("api/"):
+                assert (generated_api / Path(path).name).is_file(), (
+                    f"nav references {path} but docs/gen_api.py does not generate it"
+                )
+            else:
+                assert (DOCS_DIR / path).is_file(), f"nav references missing {path}"
+
+    def test_every_handwritten_page_is_in_nav(self, config):
+        in_nav = set(_nav_paths(config["nav"]))
+        on_disk = {
+            str(page.relative_to(DOCS_DIR))
+            for page in DOCS_DIR.glob("*.md")
+        }
+        assert on_disk <= in_nav, f"pages missing from nav: {sorted(on_disk - in_nav)}"
+
+
+class TestInternalLinks:
+    LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)]*)?\)")
+
+    def test_relative_links_resolve(self, generated_api):
+        # README participates too: it links into the docs site.
+        pages = list(DOCS_DIR.glob("*.md")) + [REPO_ROOT / "README.md"]
+        for page in pages:
+            base = page.parent
+            for match in self.LINK.finditer(page.read_text(encoding="utf-8")):
+                target = match.group(1)
+                if "://" in target or target.startswith("mailto:"):
+                    continue
+                resolved = (base / target).resolve()
+                if "api/" in target:
+                    assert (generated_api / Path(target).name).is_file(), (
+                        f"{page.name} links to ungenerated API page {target}"
+                    )
+                else:
+                    assert resolved.exists(), f"{page.name} links to missing {target}"
+
+
+class TestGeneratedReference:
+    @pytest.mark.parametrize(
+        "page, symbol",
+        [
+            ("stats.md", "SubgraphStatistic"),
+            ("stats.md", "register_statistic"),
+            ("stats.md", "ClusteringCoefficientRelease"),
+            ("core.md", "class Cargo"),
+            ("backends.md", "TriangleCounterBackend"),
+            ("crypto.md", "secure_multiply_triple"),
+            ("stream.md", "StreamingCargo"),
+            ("analysis.md", "count_four_cycles"),
+        ],
+    )
+    def test_public_symbols_rendered(self, generated_api, page, symbol):
+        assert symbol in (generated_api / page).read_text(encoding="utf-8")
+
+    def test_doctest_examples_are_fenced(self, generated_api):
+        stats = (generated_api / "stats.md").read_text(encoding="utf-8")
+        assert "```python\n>>> " in stats
+
+    def test_pages_nontrivial(self, generated_api):
+        for page in generated_api.glob("*.md"):
+            assert len(page.read_text(encoding="utf-8")) > 1000, (
+                f"generated page {page.name} is suspiciously empty"
+            )

@@ -1,0 +1,118 @@
+"""The statistic registry and its wiring into the configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CargoConfig
+from repro.exceptions import ConfigurationError
+from repro.stats import (
+    FourCycleStatistic,
+    KStarStatistic,
+    SubgraphStatistic,
+    TriangleStatistic,
+    available_statistics,
+    create_statistic,
+    get_statistic_factory,
+    register_statistic,
+    resolve_statistic_name,
+    statistic_registered,
+    unregister_statistic,
+)
+from repro.stream.orchestrator import StreamingConfig
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_statistics() == ["4cycles", "kstars", "triangles", "wedges"]
+
+    def test_create_builtin_instances(self):
+        assert isinstance(create_statistic("triangles"), TriangleStatistic)
+        assert isinstance(create_statistic("4cycles"), FourCycleStatistic)
+        kstars = create_statistic("kstars")
+        assert isinstance(kstars, KStarStatistic) and kstars.k == 2
+
+    def test_wedges_alias_is_two_star(self):
+        wedges = create_statistic("wedges")
+        assert isinstance(wedges, KStarStatistic)
+        assert wedges.k == 2
+
+    def test_star_k_flows_from_config(self):
+        config = CargoConfig(statistic="kstars", star_k=4)
+        statistic = create_statistic(config.statistic, config)
+        assert statistic.k == 4
+
+    def test_resolve_normalises_case(self):
+        assert resolve_statistic_name("TRIANGLES") == "triangles"
+        assert statistic_registered("Triangles")
+
+    def test_unknown_statistic_raises_with_listing(self):
+        with pytest.raises(ConfigurationError, match="registered:"):
+            get_statistic_factory("5-cliques")
+
+    def test_register_and_unregister_custom(self):
+        @register_statistic("test-custom-stat")
+        class _Custom(TriangleStatistic):
+            name = "test-custom-stat"
+
+        try:
+            assert statistic_registered("test-custom-stat")
+            assert isinstance(create_statistic("test-custom-stat"), _Custom)
+        finally:
+            unregister_statistic("test-custom-stat")
+        assert not statistic_registered("test-custom-stat")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_statistic("triangles")(TriangleStatistic)
+
+    def test_non_statistic_class_rejected(self):
+        with pytest.raises(ConfigurationError, match="must subclass"):
+            register_statistic("test-bogus")(dict)
+        assert not statistic_registered("test-bogus")
+
+
+class TestConfigWiring:
+    def test_default_statistic_is_triangles(self):
+        assert CargoConfig().statistic == "triangles"
+        assert StreamingConfig().statistic == "triangles"
+
+    def test_statistic_name_normalised(self):
+        assert CargoConfig(statistic="Wedges").statistic == "wedges"
+        assert StreamingConfig(statistic="4Cycles").statistic == "4cycles"
+
+    def test_unknown_statistic_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError, match="unknown statistic"):
+            CargoConfig(statistic="pentagons")
+        with pytest.raises(ConfigurationError, match="unknown statistic"):
+            StreamingConfig(statistic="pentagons")
+
+    def test_invalid_star_k_rejected(self):
+        with pytest.raises(ConfigurationError, match="star_k"):
+            CargoConfig(star_k=0)
+        with pytest.raises(ConfigurationError, match="star_k"):
+            StreamingConfig(star_k=-1)
+
+
+class TestAbstraction:
+    def test_release_scale_and_finalise(self):
+        assert TriangleStatistic().finalise(10.0) == 10.0
+        assert FourCycleStatistic().finalise(10.0) == 2.5
+
+    def test_secure_output_sensitivity_scales(self):
+        stat = FourCycleStatistic()
+        assert stat.secure_output_sensitivity(5.0) == 4 * stat.statistic_sensitivity(5.0)
+
+    def test_candidate_geometry(self):
+        assert TriangleStatistic().num_candidates(6) == 20
+        assert FourCycleStatistic().num_candidates(6) == 15
+        assert KStarStatistic().num_candidates(6) == 6
+        assert TriangleStatistic().num_candidates(2) == 0
+        assert FourCycleStatistic().num_candidates(1) == 0
+
+    def test_abstract_base_rejects_partial_subclass(self):
+        class _Partial(SubgraphStatistic):
+            pass
+
+        with pytest.raises(TypeError):
+            _Partial()
