@@ -22,6 +22,7 @@ import time
 from pathlib import Path
 
 from repro.graph.datasets import load_dataset
+from repro.graph.generators import erdos_renyi_graph
 from repro.graph.triangles import count_triangles
 from repro.stream import (
     IncrementalTriangleMaintainer,
@@ -34,6 +35,47 @@ DEFAULT_USER_COUNTS = (100, 200, 300)
 QUICK_USER_COUNTS = (60, 100)
 RELEASE_EVERY = 50
 ANCHOR_EVERY = 8
+#: Dense graph used for the block-ingest row: the batched popcount path of
+#: ``apply_all`` engages above its density gate, where per-event set
+#: intersections are the slow side.
+DENSE_BLOCK_NODES = 500
+DENSE_BLOCK_P = 0.5
+
+
+def run_block_ingest(num_nodes: int = DENSE_BLOCK_NODES, p: float = DENSE_BLOCK_P):
+    """The ``events/sec (block)`` row: array-native vs per-event ingest.
+
+    Replays a dense random graph (average degree above the block path's
+    density gate) through the triangle maintainer twice — once event by
+    event, once through the batched ``apply_all`` — and reports both rates.
+    The two runs end in bit-identical state; the ratio is the block path's
+    win on neighbourhood-heavy streams.
+    """
+    graph = erdos_renyi_graph(num_nodes, p, seed=1)
+    events = list(replay_stream(graph, rng=num_nodes))
+
+    per_event = IncrementalTriangleMaintainer(num_nodes=num_nodes)
+    start = time.perf_counter()
+    for event in events:
+        per_event.apply(event)
+    per_event_seconds = time.perf_counter() - start
+
+    block = IncrementalTriangleMaintainer(num_nodes=num_nodes)
+    start = time.perf_counter()
+    block.apply_all(events)
+    block_seconds = time.perf_counter() - start
+
+    assert block.count == per_event.count == count_triangles(graph)
+    assert block.graph == per_event.graph
+    return {
+        "row": "block_ingest",
+        "num_users": num_nodes,
+        "edge_probability": p,
+        "num_events": len(events),
+        "ingest_events_per_sec": len(events) / max(per_event_seconds, 1e-9),
+        "ingest_block_events_per_sec": len(events) / max(block_seconds, 1e-9),
+        "block_speedup": per_event_seconds / max(block_seconds, 1e-9),
+    }
 
 
 def run_stream_throughput(user_counts=None, release_every: int = RELEASE_EVERY):
@@ -89,6 +131,7 @@ def run_stream_throughput(user_counts=None, release_every: int = RELEASE_EVERY):
                 "ledger_entries": len(result.ledger),
             }
         )
+    rows.append(run_block_ingest())
     return rows
 
 
@@ -111,6 +154,14 @@ def test_stream_throughput(benchmark):
     output = write_json(rows)
     print(f"\n  wrote {output}")
     for row in rows:
+        if row.get("row") == "block_ingest":
+            print(
+                "  block-ingest n={num_users:<5} events={num_events:<6} "
+                "per-event={ingest_events_per_sec:>10.0f} ev/s "
+                "block={ingest_block_events_per_sec:>10.0f} ev/s "
+                "({block_speedup:.2f}x)".format(**row)
+            )
+            continue
         print(
             "  n={num_users:<5} events={num_events:<6} "
             "ingest={ingest_events_per_sec:>10.0f} ev/s "
@@ -118,6 +169,9 @@ def test_stream_throughput(benchmark):
             "release={per_release_seconds:.6f}s anchor={per_anchor_seconds:.4f}s".format(**row)
         )
     for row in rows:
+        if row.get("row") == "block_ingest":
+            assert row["ingest_block_events_per_sec"] > 0
+            continue
         assert row["ingest_events_per_sec"] > 0
         assert row["num_releases"] > 0
         assert row["num_anchors"] > 0

@@ -1,10 +1,11 @@
 """CI perf-smoke gate: quick benchmarks vs the committed baseline.
 
-Runs the small-n backend-scaling sweep plus the crypto-primitive timings,
-writes the fresh rows to ``benchmarks/results/perf_smoke.json`` (the CI
-artifact), and compares each timed row against ``BENCH_baseline.json`` at the
-repository root.  Two conditions fail the gate, each with the ``TOLERANCE``
-factor (3x):
+Runs the small-n backend-scaling sweep, the crypto-primitive timings, and
+the n=256 blocked/matrix rows of the tile-parallel engine (serial plus a
+``--workers N`` parallel variant, default 2), writes the fresh rows to
+``benchmarks/results/perf_smoke.json`` (the CI artifact), and compares each
+timed row against ``BENCH_baseline.json`` at the repository root.  Two
+conditions fail the gate, each with the ``TOLERANCE`` factor (3x):
 
 * the **median** current/baseline ratio across all rows exceeds it — an
   across-the-board slowdown that no host difference explains, or
@@ -19,12 +20,14 @@ regressions, not scheduler noise.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf_smoke.py            # gate (exit 1 on regression)
-    PYTHONPATH=src python benchmarks/perf_smoke.py --rebase   # rewrite the baseline
+    PYTHONPATH=src python benchmarks/perf_smoke.py               # gate (exit 1 on regression)
+    PYTHONPATH=src python benchmarks/perf_smoke.py --workers 2   # explicit parallel-row workers
+    PYTHONPATH=src python benchmarks/perf_smoke.py --rebase      # rewrite the baseline
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
@@ -32,38 +35,72 @@ from pathlib import Path
 
 from bench_backend_scaling import QUICK_USER_COUNTS, run_backend_scaling
 from bench_crypto_primitives import run_crypto_primitives
+from bench_parallel_engine import run_parallel_engine
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
 OUTPUT_PATH = Path(__file__).resolve().parent / "results" / "perf_smoke.json"
 TOLERANCE = 3.0
+#: n for the engine rows; serial (workers=1) plus one parallel variant.
+ENGINE_USERS = 256
+DEFAULT_ENGINE_WORKERS = 2
 
 
 def _key(row: dict) -> str:
+    if "workers" in row:
+        return (
+            f"parallel_engine/{row['backend']}/n={row['num_users']}"
+            f"/workers={row['workers']}"
+        )
     if "backend" in row:
         return f"backend_scaling/{row['backend']}/n={row['num_users']}"
     return f"crypto_primitives/{row['name']}"
 
 
-def collect_rows() -> dict:
-    """Run the quick benchmarks and index the timed rows by comparison key."""
+def collect_rows(engine_workers: int = DEFAULT_ENGINE_WORKERS) -> dict:
+    """Run the quick benchmarks and index the timed rows by comparison key.
+
+    The gated engine rows always cover workers ∈ {1, DEFAULT}, matching the
+    committed baseline keys; a different *engine_workers* adds an extra
+    exploratory row (ignored by the gate, which only iterates baseline keys).
+    """
     rows = {}
     for row in run_backend_scaling(user_counts=QUICK_USER_COUNTS):
         rows[_key(row)] = row
     for row in run_crypto_primitives():
         rows[_key(row)] = row
+    worker_counts = tuple(sorted({1, DEFAULT_ENGINE_WORKERS, engine_workers}))
+    for row in run_parallel_engine(
+        user_counts=(ENGINE_USERS,), worker_counts=worker_counts
+    ):
+        if "workers" in row:  # the offline cold/warm row is not a gated timing
+            rows[_key(row)] = row
     return rows
 
 
 def main(argv: list[str]) -> int:
-    rows = collect_rows()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--rebase", action="store_true", help="rewrite BENCH_baseline.json from this run"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_ENGINE_WORKERS,
+        help="worker count for the parallel engine rows (workers=1 and the "
+        f"default {DEFAULT_ENGINE_WORKERS} are always measured for the gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error(f"--workers must be at least 1, got {args.workers}")
+    rows = collect_rows(args.workers)
     OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUTPUT_PATH.write_text(
         json.dumps({"benchmark": "perf_smoke", "rows": list(rows.values())}, indent=2)
     )
     print(f"wrote {OUTPUT_PATH}")
 
-    if "--rebase" in argv:
+    if args.rebase:
         baseline = {
             "note": (
                 "Committed perf baseline for the CI perf-smoke gate "

@@ -116,6 +116,13 @@ API_PAGES = {
             "repro.experiments.paper_scale",
         ),
     ),
+    "parallel": (
+        "repro.parallel — worker pool and triple store",
+        (
+            "repro.parallel.pool",
+            "repro.parallel.store",
+        ),
+    ),
 }
 
 

@@ -47,6 +47,7 @@ from repro.core import (
 from repro.dp import LaplaceMechanism, PrivacyBudget, RandomizedResponse
 from repro.graph import Graph, available_datasets, count_triangles, load_dataset
 from repro.metrics import l2_loss, relative_error
+from repro.parallel import TripleStore, WorkerPool
 from repro.stats import (
     ClusteringCoefficientRelease,
     SubgraphStatistic,
@@ -85,6 +86,8 @@ __all__ = [
     "count_triangles",
     "l2_loss",
     "relative_error",
+    "TripleStore",
+    "WorkerPool",
     "SubgraphStatistic",
     "register_statistic",
     "available_statistics",

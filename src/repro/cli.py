@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         "identical rows to a serial run)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker threads for each secure count's tile-parallel engine "
+        "(CargoConfig/StreamingConfig workers; transcripts are bit-identical "
+        "for any count, so this is purely a wall-clock knob)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the result rows as JSON instead of a table"
     )
     return parser
@@ -113,6 +121,8 @@ def _collect_overrides(args: argparse.Namespace, runner) -> dict:
         overrides["star_k"] = args.star_k
     if args.max_workers is not None and "max_workers" in accepted:
         overrides["max_workers"] = args.max_workers
+    if args.workers is not None and "workers" in accepted:
+        overrides["workers"] = args.workers
     if args.release_every is not None and "release_every" in accepted:
         overrides["release_every"] = args.release_every
     if args.anchor_every is not None and "anchor_every" in accepted:

@@ -43,6 +43,7 @@ from repro.crypto.beaver import BeaverTripleDealer
 from repro.crypto.ring import DEFAULT_RING, Ring
 from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_pair
 from repro.crypto.views import ViewRecorder
+from repro.parallel import TripleSignature, WorkerPool, resolve_workers
 from repro.utils.rng import RandomState
 
 
@@ -59,6 +60,15 @@ class MatrixTriangleCounter(TriangleCounterBackend):
         fresh one is created when not supplied.
     views:
         Optional view recorder for the security tests.
+    workers:
+        ``0`` keeps the serial path; ``>= 1`` computes the local ``n x n``
+        matrix products (the dealer's ``Z = X @ Y`` and the servers' online
+        combination) in parallel row strips.  Row striping is bit-identical
+        to the serial product, so the transcript never depends on the worker
+        count — for this backend it is identical to the legacy path too.
+    triple_store:
+        Optional :class:`~repro.parallel.store.TripleStore` memoising the
+        monolithic matrix and element-wise triples (engine path only).
     """
 
     def __init__(
@@ -66,9 +76,17 @@ class MatrixTriangleCounter(TriangleCounterBackend):
         ring: Ring = DEFAULT_RING,
         dealer: Optional[BeaverTripleDealer] = None,
         views: Optional[ViewRecorder] = None,
+        workers: int = 0,
+        triple_store=None,
     ) -> None:
         super().__init__(ring=ring, views=views)
         self._dealer = dealer if dealer is not None else BeaverTripleDealer(ring=ring)
+        self._workers = int(workers)
+        self._store = triple_store
+        self._pool = WorkerPool(self._workers) if self._workers else None
+        if self._pool is not None and self._dealer.matmul is None:
+            # Parallelise the dealer's Z = X @ Y (bit-identical row strips).
+            self._dealer.matmul = self._pool.ring_matmul(ring)
 
     @classmethod
     def from_config(
@@ -78,7 +96,47 @@ class MatrixTriangleCounter(TriangleCounterBackend):
         views: Optional[ViewRecorder] = None,
     ) -> "MatrixTriangleCounter":
         dealer = BeaverTripleDealer(ring=config.ring, seed=dealer_rng)
-        return cls(ring=config.ring, dealer=dealer, views=views)
+        return cls(
+            ring=config.ring,
+            dealer=dealer,
+            views=views,
+            workers=resolve_workers(config),
+            triple_store=getattr(config, "triple_store", None),
+        )
+
+    def _dealt_triples(self, n: int):
+        """The run's two triples: via the triple store when one is configured."""
+        if self._store is None:
+            return self._dealer.matrix_triple((n, n), (n, n)), self._dealer.vector_triple((n, n))
+        signature = TripleSignature(
+            statistic="triangles",
+            backend="matrix",
+            num_users=n,
+            geometry=(("layout", "monolithic"),),
+            ring_bits=self._ring.bits,
+            dealer_key=self._dealer.fingerprint(),
+        )
+        stored = self._store.get(signature)
+        if stored is not None:
+            self._dealer.absorb_accounting(*stored["accounting"])
+            return stored["matrix"], stored["elementwise"]
+        before = self._dealer.accounting()
+        matrix_triple = self._dealer.matrix_triple((n, n), (n, n))
+        elementwise_triple = self._dealer.vector_triple((n, n))
+        after = self._dealer.accounting()
+        self._store.put(
+            signature,
+            {
+                "matrix": matrix_triple,
+                "elementwise": elementwise_triple,
+                "accounting": (
+                    after[0] - before[0],
+                    after[1] - before[1],
+                    max(after[2], before[2]),
+                ),
+            },
+        )
+        return matrix_triple, elementwise_triple
 
     def count_from_shares(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
         """Run the secure count given each server's share matrix."""
@@ -96,14 +154,15 @@ class MatrixTriangleCounter(TriangleCounterBackend):
         c2 = ring.mul(share2, upper_mask)
 
         # Step 2 — shares of M = C^T @ C via one matrix Beaver triple.
-        matrix_triple = self._dealer.matrix_triple((n, n), (n, n))
+        matrix_triple, elementwise_triple = self._dealt_triples(n)
+        matmul = self._pool.ring_matmul(ring) if self._pool is not None else None
         m1, m2 = secure_matrix_multiply(
-            (c1.T.copy(), c2.T.copy()), (c1, c2), matrix_triple, ring=ring, views=self._views
+            (c1.T.copy(), c2.T.copy()), (c1, c2), matrix_triple,
+            ring=ring, views=self._views, matmul=matmul,
         )
 
         # Step 3 — shares of C ⊙ M over the upper triangle via one
         # element-wise Beaver triple, then a local sum.
-        elementwise_triple = self._dealer.vector_triple((n, n))
         prod1, prod2 = secure_multiply_pair(
             (c1, c2), (ring.mul(m1, upper_mask), ring.mul(m2, upper_mask)),
             elementwise_triple, ring=ring, views=self._views,

@@ -80,6 +80,11 @@ class Cargo:
         # Independent sub-streams: users' degree noise, users' share masks,
         # users' distributed noise, and the offline dealer.
         max_rng, share_rng, noise_rng, dealer_rng = spawn_rngs(master_rng, 4)
+        if config.offline_seed is not None:
+            # Pinned offline randomness: identical dealt material across
+            # runs, which is what lets a TripleStore serve sweep cells and
+            # reruns warm.  Evaluation-only — see docs/performance.md.
+            dealer_rng = derive_rng(config.offline_seed)
 
         runtime: Optional[TwoServerRuntime] = (
             TwoServerRuntime(graph.num_nodes) if config.track_communication else None

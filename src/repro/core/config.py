@@ -85,6 +85,25 @@ class CargoConfig:
     block_size:
         Tile width of the blocked backend; peak memory per opening round is
         ``O(block_size^2)``.
+    workers:
+        ``None`` (default) runs the exact legacy serial path.  Any integer
+        ``>= 1`` engages the tile-parallel engine
+        (:mod:`repro.parallel`) with that many worker threads; transcripts,
+        ledgers, and released counts are bit-identical for every value
+        ``>= 1``, so the knob is purely a wall-clock lever.
+    triple_store:
+        Optional :class:`~repro.parallel.store.TripleStore` the engine uses
+        to memoise (and optionally persist) the offline phase's correlated
+        randomness, so repeated runs with the same dealer randomness skip
+        re-dealing.  Setting a store engages the engine even when *workers*
+        is unset (it then runs with one worker).
+    offline_seed:
+        When set, the offline dealer draws from ``derive_rng(offline_seed)``
+        instead of the run's spawned dealer substream, making the dealt
+        material identical across runs (and therefore triple-store-reusable
+        across different master seeds).  Benchmarking/evaluation aid: it
+        deliberately reuses masks across runs, which a deployment must not
+        do — see ``docs/performance.md``.
     seed:
         Master seed for the run; all users, servers, and the dealer derive
         independent substreams from it.
@@ -116,6 +135,9 @@ class CargoConfig:
     fixed_point_bits: int = 16
     batch_size: int = 4096
     block_size: int = 128
+    workers: Optional[int] = None
+    triple_store: Optional[object] = field(default=None, compare=False, repr=False)
+    offline_seed: Optional[int] = None
     seed: Optional[int] = None
     record_views: bool = False
     track_communication: bool = False
@@ -123,6 +145,11 @@ class CargoConfig:
     def __post_init__(self) -> None:
         if self.budget is None and self.epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be at least 1 (or None for the serial path), "
+                f"got {self.workers}"
+            )
         if not (0 < self.max_degree_fraction < 1):
             raise ConfigurationError(
                 f"max_degree_fraction must be in (0, 1), got {self.max_degree_fraction}"

@@ -90,6 +90,10 @@ class NodeDpCargo:
         timers = TimerRegistry()
         master_rng = derive_rng(config.seed)
         max_rng, share_rng, noise_rng, dealer_rng = spawn_rngs(master_rng, 4)
+        if config.offline_seed is not None:
+            # Same pinned-offline-randomness semantics as the Edge-DP
+            # orchestrator (evaluation-only; enables triple-store reuse).
+            dealer_rng = derive_rng(config.offline_seed)
 
         with timers.measure("total"):
             with timers.measure("max"):

@@ -73,6 +73,8 @@ class BeaverTripleDealer:
 
     def __init__(self, ring: Ring = DEFAULT_RING, seed: RandomState = None) -> None:
         self._ring = ring
+        self._fingerprint: str | None = None
+        self._seed = seed
         self._rng = derive_rng(seed)
         self._issued = 0
         self._largest_triple_elements = 0
@@ -83,6 +85,11 @@ class BeaverTripleDealer:
         self._vector_pool_size = 0
         self._vector_pool_cursor = 0
         self._matrix_pools: dict = {}
+        #: Optional hook computing the ``Z = X @ Y`` product of a fresh
+        #: matrix triple.  The parallel engine installs a row-striped pool
+        #: matmul here; the hook must be bit-identical to ``ring.matmul``
+        #: (row strips are), so installing it never changes a dealt value.
+        self.matmul = None
 
     @property
     def ring(self) -> Ring:
@@ -116,6 +123,61 @@ class BeaverTripleDealer:
         self._total_triple_elements += elements
         if elements > self._largest_triple_elements:
             self._largest_triple_elements = elements
+
+    def fingerprint(self) -> str:
+        """Stable token of the randomness this dealer *started* from.
+
+        Captured lazily but pinned on first use, so the token identifies the
+        dealer's whole output stream regardless of how much has been drawn
+        since.  This is the ``dealer_key`` of a
+        :class:`~repro.parallel.store.TripleSignature`: equal fingerprints
+        (plus equal geometry) guarantee byte-identical material.
+        """
+        if self._fingerprint is None:
+            from repro.parallel.store import dealer_fingerprint
+
+            self._fingerprint = dealer_fingerprint(
+                self._seed if self._seed is not None else None
+            )
+        return self._fingerprint
+
+    def absorb_accounting(self, issued: int, total_elements: int, largest_elements: int) -> None:
+        """Fold a sub-dealer's (or a warm store batch's) tallies into this dealer.
+
+        The parallel engine deals tile material through per-tile sub-dealers
+        (and skips dealing entirely on a warm store hit); either way the
+        run-level accounting must read exactly as if this dealer had issued
+        every triple itself.
+        """
+        if issued < 0 or total_elements < 0 or largest_elements < 0:
+            raise DealerError("absorbed accounting tallies must be non-negative")
+        self._issued += int(issued)
+        self._total_triple_elements += int(total_elements)
+        if largest_elements > self._largest_triple_elements:
+            self._largest_triple_elements = int(largest_elements)
+
+    def accounting(self) -> Tuple[int, int, int]:
+        """The ``(issued, total_elements, largest_elements)`` tallies so far."""
+        return (self._issued, self._total_triple_elements, self._largest_triple_elements)
+
+    def spawn_subdealers(self, count: int) -> list:
+        """*count* dealers with independent substreams of this dealer's seed.
+
+        The tile-parallel engine gives every schedule unit its own
+        sub-dealer so tiles can be dealt concurrently, with each tile's
+        correlated randomness a deterministic function of (dealer seed, tile
+        index) — never of worker interleaving.  The spawn consumes no draws
+        from this dealer's own stream.
+        """
+        if count < 0:
+            raise DealerError(f"count must be non-negative, got {count}")
+        self.fingerprint()  # pin the key before the seed sequence spawns
+        from repro.utils.rng import spawn_rngs
+
+        return [
+            BeaverTripleDealer(ring=self._ring, seed=rng)
+            for rng in spawn_rngs(self._rng, count)
+        ]
 
     def scalar_triple(self) -> BeaverTriplePair:
         """Sample one scalar triple and share it between the two servers."""
@@ -285,7 +347,10 @@ class BeaverTripleDealer:
         ring = self._ring
         x = ring.random_array(left_shape, self._rng)
         y = ring.random_array(right_shape, self._rng)
-        z = ring.matmul(x, y)
+        # The derived product may be computed by the (bit-identical) parallel
+        # matmul hook; the masks themselves always come from this dealer's
+        # stream, so the dealt bytes are hook-independent.
+        z = (self.matmul or ring.matmul)(x, y)
         x_pair = share_vector(x, ring=ring, rng=self._rng)
         y_pair = share_vector(y, ring=ring, rng=self._rng)
         z_pair = share_vector(z, ring=ring, rng=self._rng)

@@ -68,8 +68,11 @@ class MultiplicationGroupPair:
         )
 
 
-#: Field names of a multiplication group in dealing order.
-_MG_FIELDS = ("x", "y", "z", "w", "o", "p", "q")
+#: Field names of a multiplication group in dealing order.  Public because
+#: size estimates elsewhere (e.g. the faithful engine's triple-store gate)
+#: are proportional to the field count.
+MG_FIELDS = ("x", "y", "z", "w", "o", "p", "q")
+_MG_FIELDS = MG_FIELDS
 
 
 class MultiplicationGroupDealer:
@@ -97,6 +100,8 @@ class MultiplicationGroupDealer:
 
     def __init__(self, ring: Ring = DEFAULT_RING, seed: RandomState = None) -> None:
         self._ring = ring
+        self._fingerprint: str | None = None
+        self._seed = seed
         self._rng = derive_rng(seed)
         self._issued = 0
         # FIFO of provisioned blocks: (server1 fields, server2 fields, size),
@@ -120,6 +125,59 @@ class MultiplicationGroupDealer:
     def provisioned_remaining(self) -> int:
         """Element-wise groups still available in the provisioned pool."""
         return self._pool_remaining
+
+    def fingerprint(self) -> str:
+        """Stable token of the randomness this dealer *started* from.
+
+        Pinned on first use (read it before any dealing); equal fingerprints
+        plus equal provisioning schedules guarantee byte-identical group
+        streams, which is what lets a
+        :class:`~repro.parallel.store.TripleStore` memoise them.
+        """
+        if self._fingerprint is None:
+            from repro.parallel.store import dealer_fingerprint
+
+            self._fingerprint = dealer_fingerprint(
+                self._seed if self._seed is not None else None
+            )
+        return self._fingerprint
+
+    def export_pool(self) -> list:
+        """Snapshot the provisioned (not yet served) stream for a triple store.
+
+        Must be taken right after provisioning and before any serving (the
+        cursor must be at the stream head), so the snapshot is exactly the
+        material a warm run needs.  The block arrays are shared by
+        reference — serving only slices them, never mutates.
+        """
+        if self._pool_cursor != 0:
+            raise DealerError("export_pool requires an unserved pool (cursor at 0)")
+        return [(dict(s1), dict(s2), size) for s1, s2, size in self._pool_blocks]
+
+    def import_pool(self, blocks: list) -> None:
+        """Load a previously exported provisioned stream (warm offline phase).
+
+        Replaces the provisioning draws entirely: subsequent
+        :meth:`vector_group` calls serve the imported stream with unchanged
+        accounting.  Importing over a non-empty pool is an error — it would
+        interleave two streams.
+        """
+        if self._pool_remaining:
+            raise DealerError(
+                f"{self._pool_remaining} provisioned groups are still unserved; "
+                "refusing to interleave an imported stream"
+            )
+        total = 0
+        for block in blocks:
+            try:
+                s1, s2, size = block
+            except (TypeError, ValueError):
+                raise DealerError("imported pool block must be (server1, server2, size)") from None
+            if set(s1) != set(_MG_FIELDS) or set(s2) != set(_MG_FIELDS):
+                raise DealerError("imported pool block is missing multiplication-group fields")
+            self._pool_blocks.append((dict(s1), dict(s2), int(size)))
+            total += int(size)
+        self._pool_remaining += total
 
     def provision(self, count: int) -> None:
         """Pre-provision *count* element-wise groups in one bulk draw.

@@ -21,6 +21,7 @@ speak to the paper's overhead discussion.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
@@ -69,12 +70,20 @@ class CommunicationLedger:
     send time, so experiments can split, say, the adjacency-share upload from
     the noise-share upload exactly rather than reverse-engineering the split
     from message sizes.
+
+    Appends are serialised with a lock so concurrent senders (worker threads
+    of the tile-parallel engine, parallel sweep trials sharing a runtime)
+    cannot lose counter increments; totals are therefore exact for any
+    worker count.
     """
 
     messages: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_sent: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     phase_messages: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     phase_bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(
         self,
@@ -99,11 +108,12 @@ class CommunicationLedger:
         if messages < 0:
             raise ProtocolError(f"messages must be non-negative, got {messages}")
         size = total_bytes if total_bytes is not None else estimate_message_bytes(payload)
-        self.messages[label] += messages
-        self.bytes_sent[label] += size
         phase_key = phase if phase is not None else "unlabelled"
-        self.phase_messages[phase_key] += messages
-        self.phase_bytes[phase_key] += size
+        with self._lock:
+            self.messages[label] += messages
+            self.bytes_sent[label] += size
+            self.phase_messages[phase_key] += messages
+            self.phase_bytes[phase_key] += size
 
     @property
     def total_messages(self) -> int:

@@ -185,12 +185,18 @@ def secure_matrix_multiply(
     triple: BeaverTriplePair,
     ring: Ring = DEFAULT_RING,
     views: Optional[ViewRecorder] = None,
+    matmul=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Multiply two secret-shared matrices with a matrix Beaver triple.
 
     With a triple ``Z = X @ Y`` the servers open ``E = A - X`` and
     ``F = B - Y`` and compute shares of ``A @ B`` as
     ``<Z> + E @ <Y> + <X> @ F + (i - 1) E @ F``.
+
+    *matmul* optionally overrides how the servers evaluate their *local*
+    matrix products (the parallel engine passes a row-striped pool matmul);
+    it must be bit-identical to ``ring.matmul``, so the openings — the only
+    values that cross the wire — are unaffected.
     """
     a1, a2 = (np.asarray(s, dtype=ring.dtype) for s in a_shares)
     b1, b2 = (np.asarray(s, dtype=ring.dtype) for s in b_shares)
@@ -200,20 +206,22 @@ def secure_matrix_multiply(
             "matrix triple shape does not match the operands: "
             f"triple {np.shape(t1.x)}@{np.shape(t1.y)}, operands {a1.shape}@{b1.shape}"
         )
+    if matmul is None:
+        matmul = ring.matmul
     e = ring.add(ring.sub(a1, t1.x), ring.sub(a2, t2.x))
     f = ring.add(ring.sub(b1, t1.y), ring.sub(b2, t2.y))
     if views is not None:
         views.observe(1, "matrix_beaver_opening", (e, f))
         views.observe(2, "matrix_beaver_opening", (e, f))
     share1 = ring.add(
-        ring.add(t1.z, ring.matmul(e, np.asarray(t1.y, dtype=ring.dtype))),
-        ring.matmul(np.asarray(t1.x, dtype=ring.dtype), f),
+        ring.add(t1.z, matmul(e, np.asarray(t1.y, dtype=ring.dtype))),
+        matmul(np.asarray(t1.x, dtype=ring.dtype), f),
     )
     share2 = ring.add(
         ring.add(
-            ring.add(t2.z, ring.matmul(e, np.asarray(t2.y, dtype=ring.dtype))),
-            ring.matmul(np.asarray(t2.x, dtype=ring.dtype), f),
+            ring.add(t2.z, matmul(e, np.asarray(t2.y, dtype=ring.dtype))),
+            matmul(np.asarray(t2.x, dtype=ring.dtype), f),
         ),
-        ring.matmul(e, f),
+        matmul(e, f),
     )
     return share1, share2

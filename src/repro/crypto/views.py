@@ -17,6 +17,7 @@ each server observed; it is inert (and free) when not supplied.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
@@ -52,21 +53,43 @@ class ProtocolView:
 
 
 class ViewRecorder:
-    """Collects the views of both servers for one protocol execution."""
+    """Collects the views of both servers for one protocol execution.
+
+    Appends are serialised with a lock so concurrent protocol stages (the
+    tile-parallel engine, parallel sweep trials sharing a recorder) cannot
+    corrupt the entry lists.  A lock alone cannot make the *order* of
+    concurrent appends deterministic, so the parallel engine records each
+    unit of work into its own shard and merges the shards in canonical
+    schedule order via :meth:`merge_from` — which is what keeps recorded
+    transcripts bit-identical for any worker count.
+    """
 
     def __init__(self) -> None:
         self._views: Dict[int, ProtocolView] = {
             1: ProtocolView(server_index=1),
             2: ProtocolView(server_index=2),
         }
+        self._lock = threading.Lock()
 
     def observe(self, server_index: int, label: str, value: Any) -> None:
         """Record that server *server_index* observed *value* under *label*."""
         if server_index not in self._views:
             raise ProtocolError(f"server index must be 1 or 2, got {server_index}")
-        self._views[server_index].entries.append(
-            ViewEntry(server_index=server_index, label=label, value=value)
-        )
+        entry = ViewEntry(server_index=server_index, label=label, value=value)
+        with self._lock:
+            self._views[server_index].entries.append(entry)
+
+    def merge_from(self, shard: "ViewRecorder") -> None:
+        """Append every entry of *shard* (both servers), preserving its order.
+
+        The parallel engine calls this once per unit of work, in canonical
+        schedule order, after all workers have finished — so the merged
+        recorder is indistinguishable from one written by a serial run of
+        the same schedule.
+        """
+        with self._lock:
+            for server_index, view in self._views.items():
+                view.entries.extend(shard._views[server_index].entries)
 
     def view(self, server_index: int) -> ProtocolView:
         """The full view of server *server_index*."""

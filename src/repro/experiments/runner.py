@@ -21,7 +21,7 @@ a serial one.
 from __future__ import annotations
 
 import inspect
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -74,19 +74,57 @@ ProtocolFactory = Callable[[float, int], Any]
 
 
 def default_protocols(
-    epsilon: float, counting_backend: Optional[Any] = None
+    epsilon: float,
+    counting_backend: Optional[Any] = None,
+    cargo_overrides: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, ProtocolFactory]:
     """The three protocols compared throughout the evaluation section.
 
     *counting_backend* (an enum member or registered name) selects CARGO's
     secure counting backend; ``None`` keeps the config default.
+    *cargo_overrides* passes additional :class:`CargoConfig` fields through
+    to the CARGO runs only (``workers``, ``offline_seed``, ``triple_store``,
+    …); the baselines have no secure phase to tune.
     """
     cargo_kwargs = {} if counting_backend is None else {"counting_backend": counting_backend}
+    if cargo_overrides:
+        cargo_kwargs.update(cargo_overrides)
     return {
         "Local2Rounds": lambda eps, seed: LocalTwoRoundsTriangleCounting(epsilon=eps),
         "Cargo": lambda eps, seed: Cargo(CargoConfig(epsilon=eps, seed=seed, **cargo_kwargs)),
         "CentralLap": lambda eps, seed: CentralLaplaceTriangleCounting(epsilon=eps),
     }
+
+
+def _execute_cell_payload(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Process-pool entry point: rebuild one sweep cell from plain data.
+
+    Lives at module level (and consumes only picklable payloads) so a
+    :class:`~concurrent.futures.ProcessPoolExecutor` can ship it to worker
+    processes.  The graph is reloaded by dataset name inside the worker —
+    datasets are deterministic synthetic graphs, so every process sees the
+    identical cell the thread path would run.
+    """
+    from repro.parallel import TripleStore
+
+    overrides = dict(payload["cargo_overrides"] or {})
+    cache_dir = overrides.pop("triple_store_cache_dir", None)
+    if cache_dir is not None:
+        # In-memory stores cannot cross a process boundary; a disk-backed
+        # store is rebuilt on its cache directory so cells still share
+        # dealt material through the filesystem.
+        overrides["triple_store"] = TripleStore(cache_dir=cache_dir)
+    factories = default_protocols(
+        payload["epsilon"], payload["counting_backend"], overrides
+    )
+    graph = load_dataset(payload["dataset"], num_nodes=payload["num_nodes"])
+    return _execute_trials(
+        factories[payload["protocol"]],
+        graph,
+        payload["epsilon"],
+        payload["num_trials"],
+        payload["base_seed"],
+    )
 
 
 def _accepts_rng(protocol: Any) -> bool:
@@ -192,11 +230,31 @@ class ProtocolSweep:
         docstring for the exact scheme).
     max_workers:
         When greater than 1, sweep cells execute concurrently on a thread
-        pool.  Every cell derives its own seed from its labels, so the report
-        is row-for-row identical to a serial run.
+        pool (or a process pool with *use_processes*).  Every cell derives
+        its own seed from its labels, so the report is row-for-row identical
+        to a serial run.
+    use_processes:
+        Run the concurrent cells on a :class:`ProcessPoolExecutor` instead
+        of threads — sidesteps the GIL entirely for the Python-level parts
+        of a cell at the cost of reloading each cell's (deterministic)
+        dataset in the worker process.  Rows remain identical to a serial
+        run; an in-memory *triple_store* cannot cross process boundaries
+        (use a disk-backed one to share dealt material between processes).
     counting_backend:
         Secure counting backend for the CARGO runs in the sweep (enum member
         or registered name); ``None`` keeps the config default.
+    workers:
+        Per-run worker threads for each CARGO cell's secure count
+        (``CargoConfig(workers=...)``); ``None`` keeps the serial path.
+    offline_seed:
+        Pins the offline dealer randomness of every CARGO cell to one
+        stream, which makes the dealt material identical across cells —
+        combined with *triple_store* the sweep deals once and every further
+        cell of the same geometry starts warm.  Evaluation-only mask reuse;
+        see ``docs/performance.md``.
+    triple_store:
+        Optional :class:`~repro.parallel.store.TripleStore` shared by every
+        CARGO cell.
     """
 
     datasets: Sequence[str]
@@ -204,7 +262,11 @@ class ProtocolSweep:
     num_trials: int = 3
     seed: int = 0
     max_workers: Optional[int] = None
+    use_processes: bool = False
     counting_backend: Optional[Any] = None
+    workers: Optional[int] = None
+    offline_seed: Optional[int] = None
+    triple_store: Optional[Any] = None
     _graph_cache: Dict[Tuple[str, int], Graph] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -228,7 +290,7 @@ class ProtocolSweep:
             )
             for dataset in self.datasets
             for epsilon in epsilons
-            for label, factory in default_protocols(epsilon, self.counting_backend).items()
+            for label, factory in self._protocol_factories(epsilon).items()
         ]
         for cell, metrics in zip(cells, self._execute_cells(cells)):
             report.add_row(
@@ -259,7 +321,7 @@ class ProtocolSweep:
             )
             for dataset in self.datasets
             for num_users in user_counts
-            for label, factory in default_protocols(epsilon, self.counting_backend).items()
+            for label, factory in self._protocol_factories(epsilon).items()
         ]
         for cell, metrics in zip(cells, self._execute_cells(cells)):
             report.add_row(
@@ -288,6 +350,25 @@ class ProtocolSweep:
             self._graph_cache[key] = graph
         return self._graph_cache[key]
 
+    def _cargo_overrides(self, for_process: bool = False) -> Dict[str, Any]:
+        """Extra :class:`CargoConfig` fields the sweep applies to CARGO cells."""
+        overrides: Dict[str, Any] = {}
+        if self.workers is not None:
+            overrides["workers"] = self.workers
+        if self.offline_seed is not None:
+            overrides["offline_seed"] = self.offline_seed
+        if self.triple_store is not None:
+            if for_process:
+                cache_dir = getattr(self.triple_store, "cache_dir", None)
+                if cache_dir is not None:
+                    overrides["triple_store_cache_dir"] = cache_dir
+            else:
+                overrides["triple_store"] = self.triple_store
+        return overrides
+
+    def _protocol_factories(self, epsilon: float) -> Dict[str, ProtocolFactory]:
+        return default_protocols(epsilon, self.counting_backend, self._cargo_overrides())
+
     def _cell_seed(self, cell: _SweepCell) -> int:
         """Deterministic, order-independent base seed for one sweep cell."""
         label = (
@@ -298,7 +379,7 @@ class ProtocolSweep:
         return stable_seed_from_name(label, base_seed=self.seed) % (1 << 31)
 
     def _execute_cells(self, cells: Sequence[_SweepCell]) -> List[Dict[str, float]]:
-        """Run every cell's trial loop, serially or on a thread pool."""
+        """Run every cell's trial loop: serially, on threads, or on processes."""
 
         def run_cell(cell: _SweepCell) -> Dict[str, float]:
             return _execute_trials(
@@ -307,5 +388,25 @@ class ProtocolSweep:
 
         if self.max_workers is None or self.max_workers <= 1 or len(cells) <= 1:
             return [run_cell(cell) for cell in cells]
+        if self.use_processes:
+            payloads = [
+                {
+                    "dataset": cell.dataset,
+                    "num_nodes": cell.graph.num_nodes,
+                    "protocol": cell.protocol,
+                    "epsilon": cell.epsilon,
+                    "num_trials": self.num_trials,
+                    "base_seed": self._cell_seed(cell),
+                    "counting_backend": (
+                        None
+                        if self.counting_backend is None
+                        else getattr(self.counting_backend, "value", self.counting_backend)
+                    ),
+                    "cargo_overrides": self._cargo_overrides(for_process=True),
+                }
+                for cell in cells
+            ]
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(_execute_cell_payload, payloads))
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(run_cell, cells))

@@ -30,6 +30,7 @@ def streaming_accuracy_over_time(
     counting_backend: Optional[str] = None,
     statistic: Optional[str] = None,
     star_k: Optional[int] = None,
+    workers: Optional[int] = None,
     seed: int = 0,
 ) -> ExperimentReport:
     """Continual-release accuracy as a dataset's edges arrive over time.
@@ -49,6 +50,7 @@ def streaming_accuracy_over_time(
         **({} if counting_backend is None else {"counting_backend": counting_backend}),
         **({} if statistic is None else {"statistic": statistic}),
         **({} if star_k is None else {"star_k": star_k}),
+        **({} if workers is None else {"workers": workers}),
     )
     result = StreamingCargo(config).run(stream)
     report = ExperimentReport(

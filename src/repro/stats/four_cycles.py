@@ -54,6 +54,7 @@ from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_pair
 from repro.crypto.views import ViewRecorder
 from repro.exceptions import ProtocolError
 from repro.graph.graph import Graph
+from repro.parallel import WorkerPool, resolve_workers
 from repro.stats.base import SubgraphStatistic, validate_projected_rows
 from repro.stats.registry import register_statistic
 from repro.utils.rng import RandomState
@@ -206,12 +207,23 @@ class FourCycleStatistic(SubgraphStatistic):
             return CountResult(share1=0, share2=0, num_triples_processed=0, opening_rounds=0)
 
         dealer = BeaverTripleDealer(ring=ring, seed=dealer_rng)
+        # Worker-count neutrality: with workers configured, the dealer's
+        # Z = X @ Y products and the servers' local matrix products run as
+        # row-striped pool matmuls.  Row strips are bit-identical to the
+        # serial product and the dealing order is unchanged, so the
+        # transcript is the same for every worker count (including none).
+        workers = resolve_workers(config)
+        matmul = None
+        if workers:
+            pool = WorkerPool(workers)
+            matmul = pool.ring_matmul(ring)
+            dealer.matmul = matmul
         backend = resolve_backend_name(getattr(config, "counting_backend", "matrix"))
         if backend in ("faithful", "batched"):
             batch = 1 if backend == "faithful" else int(getattr(config, "batch_size", 4096))
             return self._count_pair_stream(share1, share2, ring, dealer, batch, views)
         tile = int(getattr(config, "block_size", n)) if backend == "blocked" else n
-        return self._count_matrix(share1, share2, ring, dealer, tile, views)
+        return self._count_matrix(share1, share2, ring, dealer, tile, views, matmul=matmul)
 
     def _mutual_upper_shares(self, share1, share2, ring, dealer, tile, views):
         """Shares of the strict-upper mutual-edge matrix ``B_uv = â_uv · â_vu``.
@@ -249,7 +261,7 @@ class FourCycleStatistic(SubgraphStatistic):
                 rounds += 1
         return m1, m2, rounds
 
-    def _count_matrix(self, share1, share2, ring, dealer, tile, views) -> CountResult:
+    def _count_matrix(self, share1, share2, ring, dealer, tile, views, matmul=None) -> CountResult:
         """Matrix-formulation path: ``W = A @ A`` then ``W ⊙ (W - 1)`` upper-summed."""
         n = share1.shape[0]
         m1, m2, rounds = self._mutual_upper_shares(share1, share2, ring, dealer, tile, views)
@@ -260,7 +272,9 @@ class FourCycleStatistic(SubgraphStatistic):
         w2 = np.zeros((n, n), dtype=ring.dtype)
         if tile >= n:
             triple = dealer.matrix_triple((n, n), (n, n))
-            w1, w2 = secure_matrix_multiply((a1, a2), (a1, a2), triple, ring=ring, views=views)
+            w1, w2 = secure_matrix_multiply(
+                (a1, a2), (a1, a2), triple, ring=ring, views=views, matmul=matmul
+            )
             rounds += 1
         else:
             # Tiled A @ A: one small matrix triple per (J, I, K) tile, the
@@ -285,7 +299,7 @@ class FourCycleStatistic(SubgraphStatistic):
                         )
                         triple = dealer.matrix_triple((j1 - j0, i1 - i0), (i1 - i0, k1 - k0))
                         partial1, partial2 = secure_matrix_multiply(
-                            left, right, triple, ring=ring, views=views
+                            left, right, triple, ring=ring, views=views, matmul=matmul
                         )
                         acc1 = ring.add(acc1, partial1)
                         acc2 = ring.add(acc2, partial2)

@@ -161,6 +161,21 @@ class StreamingConfig:
     ring / block_size / batch_size:
         Backend construction parameters, mirroring
         :class:`~repro.core.config.CargoConfig`.
+    workers:
+        ``None`` keeps the serial anchor path; ``>= 1`` runs each anchor's
+        secure count through the tile-parallel engine with that many worker
+        threads (released estimates are identical either way).
+    triple_store:
+        Optional :class:`~repro.parallel.store.TripleStore`.  When set, the
+        offline dealer randomness is pinned per run (one fixed substream
+        reused by every anchor) so all anchors after the first fetch their
+        correlated randomness warm instead of re-dealing.  Like
+        ``offline_seed``, this reuses masks across anchor snapshots —
+        evaluation-only; see ``docs/performance.md``.
+    offline_seed:
+        When set, anchors deal from ``derive_rng(offline_seed)`` (shared
+        with any other run pinning the same value), making the dealt
+        material reusable across whole runs, not just within one.
     seed:
         Master seed; the tree noise, the anchor noise, the share masks and
         the dealer all derive independent substreams from it.
@@ -183,12 +198,20 @@ class StreamingConfig:
     ring: Ring = DEFAULT_RING
     block_size: int = 128
     batch_size: int = 4096
+    workers: Optional[int] = None
+    triple_store: Optional[object] = field(default=None, compare=False, repr=False)
+    offline_seed: Optional[int] = None
     seed: Optional[int] = None
     final_release: bool = True
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be at least 1 (or None for the serial path), "
+                f"got {self.workers}"
+            )
         if self.release_every <= 0:
             raise ConfigurationError(
                 f"release_every must be positive, got {self.release_every}"
@@ -398,6 +421,21 @@ class StreamingCargo:
         timers = TimerRegistry()
         master_rng = derive_rng(config.seed)
         tree_rng, anchor_rng, share_rng, dealer_rng = spawn_rngs(master_rng, 4)
+        # With a triple store (or an explicit offline seed) every anchor
+        # deals from the same pinned substream: the dealt material becomes a
+        # pure function of (seed, anchor geometry), so anchors after the
+        # first fetch it warm instead of re-dealing.  Released estimates are
+        # unaffected — the secure count is exact regardless of the masks.
+        anchor_offline_seed: Optional[int] = None
+        if config.offline_seed is not None:
+            anchor_offline_seed = int(config.offline_seed)
+        elif config.triple_store is not None:
+            anchor_offline_seed = int(dealer_rng.integers(0, 1 << 63))
+
+        def anchor_dealer_rng():
+            if anchor_offline_seed is not None:
+                return derive_rng(anchor_offline_seed)
+            return dealer_rng
 
         # Size the tree from the stream unless the caller pinned a capacity,
         # and divide the anchor budget among the anchors this stream can
@@ -470,7 +508,7 @@ class StreamingCargo:
             with timers.measure("anchor"):
                 anchor_base, base_var = self._run_anchor(
                     statistic, maintainer, accountant, epsilon_anchor,
-                    anchor_rng, share_rng, dealer_rng,
+                    anchor_rng, share_rng, anchor_dealer_rng(),
                 )
             result.anchors_run += 1
         pending_delta = 0
@@ -497,7 +535,7 @@ class StreamingCargo:
                     with timers.measure("anchor"):
                         anchored, anchored_var = self._run_anchor(
                             statistic, maintainer, accountant, epsilon_anchor,
-                            anchor_rng, share_rng, dealer_rng,
+                            anchor_rng, share_rng, anchor_dealer_rng(),
                         )
                     # Precision-weighted blend of the fresh anchor and the
                     # continual estimate; estimate_var is a conservative

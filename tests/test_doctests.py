@@ -33,6 +33,8 @@ DOCTEST_MODULES = (
     "repro.stats.kstars",
     "repro.stats.four_cycles",
     "repro.stats.derived",
+    "repro.parallel.pool",
+    "repro.parallel.store",
     "repro.experiments.paper_scale",
 )
 

@@ -1,0 +1,199 @@
+"""Unit tests for the reusable offline phase (:mod:`repro.parallel.store`).
+
+The store's contract is narrow but load-bearing: a warm hit must return
+exactly the bytes a cold re-deal from the same dealer seed would produce,
+mismatched or truncated material must fail loudly rather than serve, and the
+cache must stay inside its memory budget.  Dealer-level export/import and
+fingerprinting are covered here too, because they are what make the memoised
+material byte-exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.beaver import BeaverTripleDealer
+from repro.crypto.multiplication_groups import MultiplicationGroupDealer
+from repro.exceptions import DealerError
+from repro.parallel import (
+    MaterialSequence,
+    TripleSignature,
+    TripleStore,
+    dealer_fingerprint,
+)
+
+
+def _signature(**overrides) -> TripleSignature:
+    fields = dict(
+        statistic="triangles",
+        backend="blocked",
+        num_users=32,
+        geometry=(("block_size", 8),),
+        ring_bits=64,
+        dealer_key="seed:1",
+    )
+    fields.update(overrides)
+    return TripleSignature(**fields)
+
+
+class TestTripleStore:
+    def test_miss_then_hit(self):
+        store = TripleStore()
+        sig = _signature()
+        assert store.get(sig) is None
+        assert store.put(sig, {"x": np.arange(4, dtype=np.uint64)})
+        fetched = store.get(sig)
+        assert np.array_equal(fetched["x"], np.arange(4, dtype=np.uint64))
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["stores"] == 1
+
+    def test_different_signatures_do_not_collide(self):
+        store = TripleStore()
+        store.put(_signature(), "a")
+        assert store.get(_signature(num_users=33)) is None
+        assert store.get(_signature(geometry=(("block_size", 16),))) is None
+        assert store.get(_signature(dealer_key="seed:2")) is None
+        assert store.get(_signature()) == "a"
+
+    def test_oversize_entries_are_declined(self):
+        store = TripleStore(max_entry_bytes=64)
+        sig = _signature()
+        assert not store.put(sig, {"x": np.zeros(1024, dtype=np.uint64)})
+        assert store.get(sig) is None
+        assert store.stats()["skipped_oversize"] == 1
+        assert not store.accepts_bytes(1024 * 8)
+        assert store.accepts_bytes(8)
+
+    def test_lru_eviction_bounds_memory(self):
+        store = TripleStore(max_memory_bytes=3000)
+        for index in range(4):
+            store.put(_signature(num_users=40 + index), np.zeros(128, dtype=np.uint64))
+        stats = store.stats()
+        assert stats["evictions"] >= 1
+        assert stats["memory_bytes"] <= 3000
+        # Most-recent entry survives.
+        assert store.get(_signature(num_users=43)) is not None
+
+    def test_disk_persistence_survives_a_new_store(self, tmp_path):
+        sig = _signature()
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(sig, {"x": np.arange(8, dtype=np.uint64)})
+        reader = TripleStore(cache_dir=str(tmp_path))
+        fetched = reader.get(sig)
+        assert fetched is not None
+        assert np.array_equal(fetched["x"], np.arange(8, dtype=np.uint64))
+        # A different signature never reads a stale file.
+        assert reader.get(_signature(num_users=99)) is None
+
+    def test_clear_drops_memory_not_disk(self, tmp_path):
+        sig = _signature()
+        store = TripleStore(cache_dir=str(tmp_path))
+        store.put(sig, "payload")
+        store.clear()
+        assert store.stats()["entries"] == 0
+        assert store.get(sig) == "payload"  # reloaded from disk
+
+
+class TestMaterialSequence:
+    def test_take_and_bounds(self):
+        seq = MaterialSequence(["a", "b", "c"], label="test")
+        assert seq.take(0) == "a" and seq.take(2) == "c"
+        with pytest.raises(DealerError, match="exhausted"):
+            seq.take(3)
+        with pytest.raises(DealerError, match="exhausted"):
+            seq.take(-1)
+
+    def test_require_mismatch(self):
+        seq = MaterialSequence(["a"], label="test")
+        seq.require(1)
+        with pytest.raises(DealerError, match="mismatch"):
+            seq.require(2)
+
+
+class TestDealerFingerprint:
+    def test_deterministic_for_equal_seeds(self):
+        assert dealer_fingerprint(7) == dealer_fingerprint(7)
+        assert dealer_fingerprint(7) != dealer_fingerprint(8)
+        g1 = np.random.default_rng(5)
+        g2 = np.random.default_rng(5)
+        assert dealer_fingerprint(g1) == dealer_fingerprint(g2)
+        g1.integers(0, 10)
+        assert dealer_fingerprint(g1) != dealer_fingerprint(g2)
+
+    def test_entropy_dealers_never_collide(self):
+        assert dealer_fingerprint(None) != dealer_fingerprint(None)
+
+    def test_dealer_fingerprint_is_pinned_before_dealing(self):
+        dealer = BeaverTripleDealer(seed=3)
+        before = dealer.fingerprint()
+        dealer.vector_triple((4,))
+        assert dealer.fingerprint() == before
+        assert before == BeaverTripleDealer(seed=3).fingerprint()
+
+
+class TestDealerPoolExportImport:
+    def test_group_stream_roundtrip_is_byte_exact(self):
+        source = MultiplicationGroupDealer(seed=11)
+        source.provision(12)
+        exported = source.export_pool()
+        direct = [source.vector_group((s,)) for s in (5, 7)]
+
+        target = MultiplicationGroupDealer(seed=999)  # seed irrelevant warm
+        target.import_pool(exported)
+        assert target.provisioned_remaining == 12
+        warm = [target.vector_group((s,)) for s in (5, 7)]
+        for a, b in zip(direct, warm):
+            for field in ("x", "y", "z", "w", "o", "p", "q"):
+                assert np.array_equal(getattr(a.server1, field), getattr(b.server1, field))
+                assert np.array_equal(getattr(a.server2, field), getattr(b.server2, field))
+        assert target.groups_issued == 2
+
+    def test_export_requires_unserved_pool(self):
+        dealer = MultiplicationGroupDealer(seed=12)
+        dealer.provision(6)
+        dealer.vector_group((2,))
+        with pytest.raises(DealerError):
+            dealer.export_pool()
+
+    def test_import_over_nonempty_pool_rejected(self):
+        dealer = MultiplicationGroupDealer(seed=13)
+        dealer.provision(4)
+        other = MultiplicationGroupDealer(seed=14)
+        other.provision(4)
+        with pytest.raises(DealerError):
+            dealer.import_pool(other.export_pool())
+
+    def test_import_rejects_malformed_blocks(self):
+        dealer = MultiplicationGroupDealer(seed=15)
+        with pytest.raises(DealerError):
+            dealer.import_pool([({"x": 1}, {"x": 1}, 1)])
+        with pytest.raises(DealerError):
+            dealer.import_pool(["nonsense"])
+
+
+class TestBeaverAccounting:
+    def test_absorb_accounting_matches_direct_dealing(self):
+        direct = BeaverTripleDealer(seed=21)
+        direct.matrix_triple((4, 4), (4, 4))
+        direct.vector_triple((6,))
+
+        parent = BeaverTripleDealer(seed=22)
+        child = BeaverTripleDealer(seed=21)
+        child.matrix_triple((4, 4), (4, 4))
+        child.vector_triple((6,))
+        parent.absorb_accounting(*child.accounting())
+        assert parent.accounting() == direct.accounting()
+
+    def test_absorb_rejects_negative_tallies(self):
+        dealer = BeaverTripleDealer(seed=23)
+        with pytest.raises(DealerError):
+            dealer.absorb_accounting(-1, 0, 0)
+
+    def test_subdealers_are_deterministic_per_seed(self):
+        a = BeaverTripleDealer(seed=31).spawn_subdealers(3)
+        b = BeaverTripleDealer(seed=31).spawn_subdealers(3)
+        for left, right in zip(a, b):
+            la = left.vector_triple((4,))
+            ra = right.vector_triple((4,))
+            assert np.array_equal(la.server1.x, ra.server1.x)
