@@ -26,6 +26,9 @@ import os
 import time
 from pathlib import Path
 
+from memprof import measure_peak_bytes
+
+from repro.core import Cargo, CargoConfig
 from repro.core.backends import (
     BlockedMatrixTriangleCounter,
     FaithfulTriangleCounter,
@@ -35,6 +38,7 @@ from repro.core.backends import (
 from repro.crypto.beaver import BeaverTripleDealer
 from repro.crypto.multiplication_groups import MultiplicationGroupDealer
 from repro.graph.datasets import load_dataset
+from repro.graph.generators import sparse_random_graph
 
 #: Default n sweep and tile width; the quick mode keeps CI under a minute.
 DEFAULT_USER_COUNTS = (64, 128, 256, 384)
@@ -47,6 +51,12 @@ FAITHFUL_MAX_USERS = 64
 #: Timing repetitions per cell (minimum is reported, standard for
 #: microbenchmarks on shared hardware where noise is one-sided).
 TIMING_REPS = 3
+#: Sparse tier: full degree-local k-star releases at graph sizes the dense
+#: n x n pipeline cannot touch (n=10^5 dense rows would be 80 GB).
+SPARSE_NODE_COUNTS = (10_000, 100_000)
+QUICK_SPARSE_NODE_COUNTS = (10_000,)
+SPARSE_EDGE_FACTOR = 3
+SPARSE_STAR_K = 3
 
 
 def _backend_builders(num_users: int, block_size: int, workers: int = 0):
@@ -116,10 +126,17 @@ def run_backend_scaling(
                 seconds = time.perf_counter() - start
                 best = seconds if best is None else min(best, seconds)
             counts[name] = result.reconstruct()
+            # Peak working memory of one secure count, measured in its own
+            # pass (tracemalloc slows the timed reps) and excluding the
+            # pre-built shares, so the number is the backend's own footprint.
+            peak_bytes = measure_peak_bytes(
+                lambda build=build: build()[1].count_from_shares(share1, share2)
+            )
             row = {
                 "backend": name,
                 "num_users": num_users,
                 "seconds": best,
+                "peak_bytes": peak_bytes,
                 "opening_rounds": result.opening_rounds,
                 "count": counts[name],
             }
@@ -132,6 +149,63 @@ def run_backend_scaling(
                 row["groups_issued"] = dealer.groups_issued
             rows.append(row)
         assert len(set(counts.values())) == 1, counts
+    return rows
+
+
+def run_sparse_scaling(
+    node_counts=None,
+    edge_factor: int = SPARSE_EDGE_FACTOR,
+    star_k: int = SPARSE_STAR_K,
+    reps: int = 1,
+):
+    """Sparse tier: one full degree-local k-star release per graph size.
+
+    Each row runs the complete CARGO pipeline (Max → Project → Count →
+    Perturb) with ``sparse="force"`` on an Erdős–Rényi-style sparse graph of
+    ``edge_factor · n`` edges — end to end through the secret-shared degree
+    vector, never materialising any ``n x n`` view.  ``seconds`` is the
+    fastest of *reps* untraced runs; ``peak_bytes`` is a separate
+    tracemalloc pass covering graph construction plus the release, so the
+    row is direct evidence that a 10^5-node release stays ``O(n)`` (dense
+    rows would be 80 GB).
+    """
+    if node_counts is None:
+        quick = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
+        node_counts = QUICK_SPARSE_NODE_COUNTS if quick else SPARSE_NODE_COUNTS
+    rows = []
+    for num_nodes in node_counts:
+        num_edges = edge_factor * num_nodes
+
+        def release():
+            graph = sparse_random_graph(num_nodes, num_edges, seed=num_nodes)
+            config = CargoConfig(
+                epsilon=2.0,
+                statistic="kstars",
+                star_k=star_k,
+                sparse="force",
+                seed=num_nodes,
+            )
+            return Cargo(config).run(graph)
+
+        best = None
+        for _ in range(max(reps, 1)):
+            start = time.perf_counter()
+            result = release()
+            best = min(best or float("inf"), time.perf_counter() - start)
+        peak_bytes = measure_peak_bytes(release)
+        rows.append(
+            {
+                "tier": "sparse",
+                "statistic": "kstars",
+                "star_k": star_k,
+                "num_nodes": num_nodes,
+                "num_edges": num_edges,
+                "seconds": best,
+                "peak_bytes": peak_bytes,
+                "noisy_count": result.noisy_triangle_count,
+                "true_count": result.true_triangle_count,
+            }
+        )
     return rows
 
 
@@ -183,7 +257,7 @@ def test_backend_scaling(benchmark):
 
 
 if __name__ == "__main__":
-    output_rows = run_backend_scaling()
+    output_rows = run_backend_scaling() + run_sparse_scaling()
     destination = write_json(output_rows)
     print(json.dumps(output_rows, indent=2))
     print(f"wrote {destination}")

@@ -18,6 +18,8 @@ from pathlib import Path
 
 import numpy as np
 
+from memprof import measure_peak_bytes
+
 from repro.crypto.beaver import BeaverTripleDealer
 from repro.crypto.multiplication_groups import MultiplicationGroupDealer
 from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_triple
@@ -63,6 +65,7 @@ def run_crypto_primitives(reps: int = 5):
             "name": "vectorised_triple_multiplication",
             "size": VECTOR_BATCH,
             "seconds": best_of(vectorised_triple),
+            "peak_bytes": measure_peak_bytes(vectorised_triple),
         }
     )
 
@@ -74,6 +77,7 @@ def run_crypto_primitives(reps: int = 5):
             "name": "mg_dealer_provision",
             "size": PROVISION_COUNT,
             "seconds": best_of(provision_groups),
+            "peak_bytes": measure_peak_bytes(provision_groups),
         }
     )
 
@@ -88,7 +92,12 @@ def run_crypto_primitives(reps: int = 5):
         )
 
     rows.append(
-        {"name": "secure_matrix_product", "size": MATRIX_N, "seconds": best_of(matrix_product)}
+        {
+            "name": "secure_matrix_product",
+            "size": MATRIX_N,
+            "seconds": best_of(matrix_product),
+            "peak_bytes": measure_peak_bytes(matrix_product),
+        }
     )
     return rows
 

@@ -24,6 +24,8 @@ import os
 import time
 from pathlib import Path
 
+from memprof import measure_peak_bytes
+
 from repro.core.backends import (
     BlockedMatrixTriangleCounter,
     MatrixTriangleCounter,
@@ -73,6 +75,11 @@ def run_parallel_engine(
                     result = counter.count_from_shares(share1, share2)
                     best = min(best or float("inf"), time.perf_counter() - start)
                 counts[(backend, workers)] = result.reconstruct()
+                peak_bytes = measure_peak_bytes(
+                    lambda backend=backend, workers=workers: _build(
+                        backend, workers, block_size
+                    ).count_from_shares(share1, share2)
+                )
                 rows.append(
                     {
                         "backend": backend,
@@ -80,6 +87,7 @@ def run_parallel_engine(
                         "workers": workers,
                         "block_size": block_size if backend == "blocked" else num_users,
                         "seconds": best,
+                        "peak_bytes": peak_bytes,
                         "count": counts[(backend, workers)],
                         "host_cpus": os.cpu_count(),
                     }

@@ -1,0 +1,28 @@
+"""Shared peak-memory measurement for the benchmark suite.
+
+``tracemalloc`` instruments every allocation, which slows Python-loop-heavy
+code noticeably — so peak-memory numbers are always taken in a *separate*
+pass from the wall-clock timings, never mixed into a timed repetition.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+
+def measure_peak_bytes(callable_) -> int:
+    """Peak traced allocation (bytes) across one call of *callable_*.
+
+    Only allocations made while tracing count, so callers decide what the
+    peak covers by what they build inside the callable (e.g. start tracing
+    after the secret shares exist to isolate a backend's working memory).
+    """
+    gc.collect()
+    tracemalloc.start()
+    try:
+        callable_()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)

@@ -1,8 +1,9 @@
 """CI perf-smoke gate: quick benchmarks vs the committed baseline.
 
-Runs the small-n backend-scaling sweep, the crypto-primitive timings, and
-the n=256 blocked/matrix rows of the tile-parallel engine (serial plus a
-``--workers N`` parallel variant, default 2), writes the fresh rows to
+Runs the small-n backend-scaling sweep, the crypto-primitive timings, the
+n=256 blocked/matrix rows of the tile-parallel engine (serial plus a
+``--workers N`` parallel variant, default 2), and the n=10^4 sparse-tier
+k-star release, writes the fresh rows to
 ``benchmarks/results/perf_smoke.json`` (the CI artifact), and compares each
 timed row against ``BENCH_baseline.json`` at the repository root.  Two
 conditions fail the gate, each with the ``TOLERANCE`` factor (3x):
@@ -17,6 +18,13 @@ conditions fail the gate, each with the ``TOLERANCE`` factor (3x):
 
 The factor is deliberately loose; the gate exists to catch algorithmic
 regressions, not scheduler noise.
+
+Every row also records its tracemalloc ``peak_bytes`` (measured by the
+bench modules in a separate pass, never inside a timed repetition), gated
+against ``memory_rows`` with the tighter ``MEMORY_TOLERANCE`` (2x) and no
+host calibration — allocation sizes are machine-independent, so a blown
+ceiling is an algorithmic change (e.g. a backend silently going dense), not
+noise.
 
 Usage::
 
@@ -33,7 +41,12 @@ import platform
 import sys
 from pathlib import Path
 
-from bench_backend_scaling import QUICK_USER_COUNTS, run_backend_scaling
+from bench_backend_scaling import (
+    QUICK_SPARSE_NODE_COUNTS,
+    QUICK_USER_COUNTS,
+    run_backend_scaling,
+    run_sparse_scaling,
+)
 from bench_crypto_primitives import run_crypto_primitives
 from bench_parallel_engine import run_parallel_engine
 
@@ -41,12 +54,17 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
 OUTPUT_PATH = Path(__file__).resolve().parent / "results" / "perf_smoke.json"
 TOLERANCE = 3.0
+#: Peak-memory gate factor: allocation sizes do not vary with host speed, so
+#: the bound is tighter than the timing gate and applied without calibration.
+MEMORY_TOLERANCE = 2.0
 #: n for the engine rows; serial (workers=1) plus one parallel variant.
 ENGINE_USERS = 256
 DEFAULT_ENGINE_WORKERS = 2
 
 
 def _key(row: dict) -> str:
+    if row.get("tier") == "sparse":
+        return f"sparse_scaling/{row['statistic']}/n={row['num_nodes']}"
     if "workers" in row:
         return (
             f"parallel_engine/{row['backend']}/n={row['num_users']}"
@@ -75,6 +93,8 @@ def collect_rows(engine_workers: int = DEFAULT_ENGINE_WORKERS) -> dict:
     ):
         if "workers" in row:  # the offline cold/warm row is not a gated timing
             rows[_key(row)] = row
+    for row in run_sparse_scaling(node_counts=QUICK_SPARSE_NODE_COUNTS):
+        rows[_key(row)] = row
     return rows
 
 
@@ -110,7 +130,13 @@ def main(argv: list[str]) -> int:
             "machine": platform.platform(),
             "python": platform.python_version(),
             "tolerance": TOLERANCE,
+            "memory_tolerance": MEMORY_TOLERANCE,
             "rows": {key: row["seconds"] for key, row in rows.items()},
+            "memory_rows": {
+                key: row["peak_bytes"]
+                for key, row in rows.items()
+                if "peak_bytes" in row
+            },
         }
         if BASELINE_PATH.exists():
             previous = json.loads(BASELINE_PATH.read_text())
@@ -156,8 +182,29 @@ def main(argv: list[str]) -> int:
         )
         if normalised > tolerance:
             regressions.append(key)
+    # Peak-memory gate: absolute ratios, no host calibration (allocation
+    # sizes are machine-independent; a blown ceiling means an algorithmic
+    # change, e.g. a sparse path silently going dense).
+    memory_tolerance = float(baseline.get("memory_tolerance", MEMORY_TOLERANCE))
+    memory_rows = baseline.get("memory_rows", {})
+    if not memory_rows:
+        print("  (no memory_rows in baseline; run --rebase to add peak-memory gating)")
+    for key, expected in memory_rows.items():
+        row = rows.get(key)
+        if row is None or "peak_bytes" not in row:
+            print(f"  MISSING mem/{key} (baseline has it, current run does not)")
+            regressions.append(f"mem/{key}")
+            continue
+        ratio = row["peak_bytes"] / expected if expected > 0 else float("inf")
+        status = "FAIL" if ratio > memory_tolerance else "ok"
+        print(
+            f"  {status:4s} mem/{key}: {row['peak_bytes']/1e6:8.2f} MB vs baseline "
+            f"{expected/1e6:8.2f} MB ({ratio:.2f}x)"
+        )
+        if ratio > memory_tolerance:
+            regressions.append(f"mem/{key}")
     if regressions:
-        print(f"perf-smoke FAILED: {len(regressions)} check(s) regressed past {tolerance}x")
+        print(f"perf-smoke FAILED: {len(regressions)} check(s) regressed")
         return 1
     print("perf-smoke passed")
     return 0

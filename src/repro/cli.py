@@ -91,6 +91,22 @@ def build_parser() -> argparse.ArgumentParser:
         "for any count, so this is purely a wall-clock knob)",
     )
     parser.add_argument(
+        "--sparse",
+        choices=("auto", "never", "force"),
+        default=None,
+        help="degree-local execution policy for CARGO runs (CargoConfig "
+        "sparse; 'auto' runs degree statistics on O(n) degree vectors, "
+        "'force' errors on statistics that cannot run sparse)",
+    )
+    parser.add_argument(
+        "--tile-window",
+        type=int,
+        default=None,
+        help="bounded tile window for the blocked backend (CargoConfig "
+        "tile_window; peak offline-material memory is set by the window, "
+        "not the graph size, with bit-identical transcripts)",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the result rows as JSON instead of a table"
     )
     return parser
@@ -123,6 +139,10 @@ def _collect_overrides(args: argparse.Namespace, runner) -> dict:
         overrides["max_workers"] = args.max_workers
     if args.workers is not None and "workers" in accepted:
         overrides["workers"] = args.workers
+    if args.sparse is not None and "sparse" in accepted:
+        overrides["sparse"] = args.sparse
+    if args.tile_window is not None and "tile_window" in accepted:
+        overrides["tile_window"] = args.tile_window
     if args.release_every is not None and "release_every" in accepted:
         overrides["release_every"] = args.release_every
     if args.anchor_every is not None and "anchor_every" in accepted:

@@ -21,6 +21,7 @@ that statistic's post-projection sensitivity.
 from repro.core.config import CargoConfig, CountingBackend
 from repro.core.max_degree import MaxDegreeEstimator, MaxDegreeResult
 from repro.core.projection import (
+    DegreeProjectionResult,
     ProjectionResult,
     SimilarityProjection,
     degree_similarity,
@@ -47,6 +48,7 @@ __all__ = [
     "MaxDegreeResult",
     "SimilarityProjection",
     "ProjectionResult",
+    "DegreeProjectionResult",
     "degree_similarity",
     "projected_triangle_count",
     "FaithfulTriangleCounter",

@@ -90,7 +90,17 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         are bit-identical for any value ``>= 1``).
     triple_store:
         Optional :class:`~repro.parallel.store.TripleStore` memoising the
-        dealt tile material (engine path only).
+        dealt tile material (engine and windowed paths).
+    tile_window:
+        When set, the ``(J, K)`` tile groups are dealt, evaluated, and
+        released through a bounded window of at most this many groups at a
+        time, so peak offline-material memory is ``O(tile_window ·
+        block_size²)`` — set by the window, not by ``n``.  Each group still
+        draws from the same per-group deterministic RNG substream the engine
+        assigns, and subtotals/views reduce in the same canonical schedule
+        order, so transcripts are bit-identical to the unwindowed engine.
+        With a *triple_store*, material is keyed per window chunk, so warm
+        runs also load one chunk at a time (disk spill both ways).
     """
 
     def __init__(
@@ -101,21 +111,32 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         views: Optional[ViewRecorder] = None,
         workers: int = 0,
         triple_store=None,
+        tile_window: Optional[int] = None,
     ) -> None:
         if block_size <= 0:
             raise ProtocolError(f"block_size must be positive, got {block_size}")
         if workers < 0:
             raise ProtocolError(f"workers must be non-negative, got {workers}")
+        if tile_window is not None and tile_window < 1:
+            raise ProtocolError(
+                f"tile_window must be at least 1 (or None), got {tile_window}"
+            )
         super().__init__(ring=ring, views=views)
         self._dealer = dealer if dealer is not None else BeaverTripleDealer(ring=ring)
         self._block_size = block_size
         self._workers = int(workers)
         self._store = triple_store
+        self._tile_window = tile_window
 
     @property
     def block_size(self) -> int:
         """Tile width used for the streamed matrix products."""
         return self._block_size
+
+    @property
+    def tile_window(self) -> Optional[int]:
+        """Bounded group window, or ``None`` for all-groups-at-once."""
+        return self._tile_window
 
     @classmethod
     def from_config(
@@ -132,6 +153,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
             views=views,
             workers=resolve_workers(config),
             triple_store=getattr(config, "triple_store", None),
+            tile_window=getattr(config, "tile_window", None),
         )
 
     def count_from_shares(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
@@ -141,6 +163,8 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         n = share1.shape[0]
         if n < 3:
             return CountResult(share1=0, share2=0, num_triples_processed=0, opening_rounds=0)
+        if self._tile_window is not None:
+            return self._count_windowed(share1, share2)
         if self._workers or self._store is not None:
             # A configured triple store engages the engine too (at one
             # worker): its material is organised around the engine's tile
@@ -330,6 +354,89 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         sequence = MaterialSequence(materials, label="blocked tile")
         sequence.require(len(schedule))
         return schedule, sequence
+
+    def _count_windowed(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
+        """Bounded-memory pipeline: deal/evaluate/release one window at a time.
+
+        The schedule is walked in chunks of ``tile_window`` groups; each
+        chunk's material is dealt (or fetched warm under a chunk-level store
+        key), consumed, and dropped before the next chunk starts, so peak
+        offline-material memory is set by the window.  Determinism hinges on
+        two invariants shared with :meth:`_count_parallel`: the sub-dealer
+        for group ``g`` is always the ``g``-th child spawned from the
+        dealer's seed (children are spawned once for the whole schedule, on
+        the first cold chunk), and subtotal reduction plus view-shard merging
+        follow the canonical schedule order — which is why the transcript is
+        bit-identical to the unwindowed engine for every window size.
+        """
+        ring = self._ring
+        n = share1.shape[0]
+        window = self._tile_window
+        schedule = self._tile_schedule(n)
+        pool = WorkerPool(max(self._workers, 1))
+        # The dealer key is taken before any children are spawned so chunk
+        # signatures match across runs regardless of which chunks run warm.
+        dealer_key = self._dealer.fingerprint()
+        sub_dealers = None
+        total1 = 0
+        total2 = 0
+        opening_rounds = 0
+        for chunk_index, chunk_start in enumerate(range(0, len(schedule), window)):
+            chunk = schedule[chunk_start : chunk_start + window]
+            signature = TripleSignature(
+                statistic="triangles",
+                backend="blocked",
+                num_users=n,
+                geometry=(
+                    ("block_size", self._block_size),
+                    ("tile_window", window),
+                    ("chunk", chunk_index),
+                ),
+                ring_bits=ring.bits,
+                dealer_key=dealer_key,
+            )
+            stored = self._store.get(signature) if self._store is not None else None
+            if stored is None:
+                if sub_dealers is None:
+                    sub_dealers = self._dealer.spawn_subdealers(len(schedule))
+                materials = pool.map(
+                    [
+                        (lambda g=group, d=sub_dealers[chunk_start + offset]:
+                            self._deal_group(g, d))
+                        for offset, group in enumerate(chunk)
+                    ]
+                )
+                if self._store is not None:
+                    self._store.put(signature, materials)
+            else:
+                materials = stored
+            sequence = MaterialSequence(materials, label="blocked tile window")
+            sequence.require(len(chunk))
+            for index in range(len(chunk)):
+                self._dealer.absorb_accounting(*sequence.take(index)["accounting"])
+            results = pool.map(
+                [
+                    (lambda i=index: self._run_group(
+                        chunk[i], sequence.take(i), share1, share2
+                    ))
+                    for index in range(len(chunk))
+                ]
+            )
+            for sum1, sum2, rounds, shard in results:
+                total1 = ring.add(total1, sum1)
+                total2 = ring.add(total2, sum2)
+                opening_rounds += rounds
+                if shard is not None:
+                    self._views.merge_from(shard)
+            # Release the window's material before the next chunk is dealt —
+            # this is the bounded-memory property the scale tests pin.
+            del materials, sequence, results, stored
+        return CountResult(
+            share1=int(total1),
+            share2=int(total2),
+            num_triples_processed=num_candidate_triples(n),
+            opening_rounds=opening_rounds,
+        )
 
     def _count_parallel(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
         """The tile-parallel engine: deal and evaluate groups on a worker pool."""

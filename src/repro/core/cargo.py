@@ -31,10 +31,33 @@ from repro.core.projection import SimilarityProjection
 from repro.core.result import CargoResult
 from repro.crypto.protocol import TwoServerRuntime
 from repro.crypto.views import ViewRecorder
+from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 from repro.stats import create_statistic
 from repro.utils.rng import derive_rng, spawn_rngs
 from repro.utils.timer import TimerRegistry
+
+
+def resolve_sparse_mode(config, statistic) -> bool:
+    """Decide whether a run uses the degree-local (sparse) execution path.
+
+    ``"auto"`` engages it exactly when the statistic declares a degree
+    kernel; ``"force"`` additionally raises on statistics that cannot run
+    sparse, so misconfiguration fails loudly instead of silently allocating
+    ``n x n`` rows.
+    """
+    mode = getattr(config, "sparse", "auto")
+    if mode == "never":
+        return False
+    if not statistic.supports_degree_kernel:
+        if mode == "force":
+            raise ConfigurationError(
+                f"sparse='force' but statistic {statistic.name!r} has no "
+                "degree-local kernel; only degree statistics (kstars, wedges) "
+                "can run sparse"
+            )
+        return False
+    return True
 
 
 class Cargo:
@@ -99,16 +122,28 @@ class Cargo:
                 max_result = estimator.run(graph.degrees(), rng=max_rng, runtime=runtime)
 
             # ---------------------------------------------------------- #
-            # Step 1b — Project: similarity-based degree bounding.
+            # Step 1b — Project: similarity-based degree bounding.  Degree
+            # statistics only need the row sums the projection would leave
+            # behind, so the sparse path projects the degree vector alone —
+            # O(n) memory, bit-identical outcome.
             # ---------------------------------------------------------- #
+            use_sparse = resolve_sparse_mode(config, statistic)
             with timers.measure("project"):
                 projection = SimilarityProjection(max_result.noisy_max_degree)
-                projection_result = projection.project_graph(
-                    graph, noisy_degrees=max_result.noisy_degrees
-                )
-                projected_count = statistic.projected_count(
-                    projection_result.projected_rows
-                )
+                if use_sparse:
+                    projection_result = projection.project_degrees(
+                        graph.degree_vector(copy=False)
+                    )
+                    projected_count = statistic.degree_count(
+                        projection_result.projected_degrees
+                    )
+                else:
+                    projection_result = projection.project_graph(
+                        graph, noisy_degrees=max_result.noisy_degrees
+                    )
+                    projected_count = statistic.projected_count(
+                        projection_result.projected_rows
+                    )
 
             # ---------------------------------------------------------- #
             # Step 2 — Count: the statistic's secure kernel on shares.
@@ -117,14 +152,24 @@ class Cargo:
                 # The statistic owns its secure-share formulation (triangles
                 # delegate to whichever counting backend the configuration
                 # names); the orchestrator only knows the registered name.
-                count_result = statistic.secure_count(
-                    projection_result.projected_rows,
-                    config=config,
-                    share_rng=share_rng,
-                    dealer_rng=dealer_rng,
-                    views=self.views,
-                    runtime=runtime,
-                )
+                if use_sparse:
+                    count_result = statistic.secure_count_from_degrees(
+                        projection_result.projected_degrees,
+                        config=config,
+                        share_rng=share_rng,
+                        dealer_rng=dealer_rng,
+                        views=self.views,
+                        runtime=runtime,
+                    )
+                else:
+                    count_result = statistic.secure_count(
+                        projection_result.projected_rows,
+                        config=config,
+                        share_rng=share_rng,
+                        dealer_rng=dealer_rng,
+                        views=self.views,
+                        runtime=runtime,
+                    )
 
             # ---------------------------------------------------------- #
             # Step 3 — Perturb: distributed noise inside the shared domain,

@@ -79,12 +79,26 @@ class CargoConfig:
     fixed_point_bits:
         Fractional bits used to embed the real-valued distributed noise into
         the ring during `Perturb`.
+    sparse:
+        Degree-local (sparse) execution policy.  ``"auto"`` (default) runs
+        the whole release on degree vectors — ``O(n)`` memory, no adjacency
+        matrix — whenever the configured statistic supports it (k-stars,
+        wedges); transcripts are bit-identical to the dense row path, so
+        this is purely a memory/scale lever.  ``"never"`` forces the dense
+        path; ``"force"`` demands the sparse path and raises when the
+        statistic has no degree-local kernel.
     batch_size:
         Number of candidate triples per opening round for the batched
         backend.
     block_size:
         Tile width of the blocked backend; peak memory per opening round is
         ``O(block_size^2)``.
+    tile_window:
+        When set, the blocked backend deals, evaluates, and releases its
+        tile groups through a bounded window of at most this many groups at
+        a time, so peak offline-material memory is set by the window, not by
+        ``n``.  Transcripts are bit-identical to the unwindowed engine.
+        ``None`` (default) keeps the all-groups-at-once behaviour.
     workers:
         ``None`` (default) runs the exact legacy serial path.  Any integer
         ``>= 1`` engages the tile-parallel engine
@@ -133,8 +147,10 @@ class CargoConfig:
     star_k: int = 2
     ring: Ring = DEFAULT_RING
     fixed_point_bits: int = 16
+    sparse: str = "auto"
     batch_size: int = 4096
     block_size: int = 128
+    tile_window: Optional[int] = None
     workers: Optional[int] = None
     triple_store: Optional[object] = field(default=None, compare=False, repr=False)
     offline_seed: Optional[int] = None
@@ -158,6 +174,15 @@ class CargoConfig:
             raise ConfigurationError(f"batch_size must be positive, got {self.batch_size}")
         if self.block_size <= 0:
             raise ConfigurationError(f"block_size must be positive, got {self.block_size}")
+        if self.sparse not in ("auto", "never", "force"):
+            raise ConfigurationError(
+                f"sparse must be 'auto', 'never', or 'force', got {self.sparse!r}"
+            )
+        if self.tile_window is not None and self.tile_window < 1:
+            raise ConfigurationError(
+                f"tile_window must be at least 1 (or None for no windowing), "
+                f"got {self.tile_window}"
+            )
         if self.fixed_point_bits < 0 or self.fixed_point_bits > 30:
             raise ConfigurationError(
                 f"fixed_point_bits must be in [0, 30], got {self.fixed_point_bits}"

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.cargo import Cargo
+from repro.core.cargo import Cargo, resolve_sparse_mode
 from repro.core.config import CargoConfig
 from repro.core.max_degree import MaxDegreeEstimator, MaxDegreeResult
 from repro.core.perturbation import DistributedPerturbation
@@ -100,22 +100,42 @@ class NodeDpCargo:
                 estimator = NodeDpMaxDegreeEstimator(budget.epsilon1, graph.num_nodes)
                 max_result = estimator.run(graph.degrees(), rng=max_rng)
 
+            # Same degree-local shortcut as the Edge-DP orchestrator: for
+            # degree statistics the projected row sums are determined by the
+            # bound alone, so the sparse path never touches the n x n rows.
+            use_sparse = resolve_sparse_mode(config, statistic)
             with timers.measure("project"):
                 projection = SimilarityProjection(max_result.noisy_max_degree)
-                projection_result = projection.project_graph(
-                    graph, noisy_degrees=max_result.noisy_degrees
-                )
-                projected_count = statistic.projected_count(
-                    projection_result.projected_rows
-                )
+                if use_sparse:
+                    projection_result = projection.project_degrees(
+                        graph.degree_vector(copy=False)
+                    )
+                    projected_count = statistic.degree_count(
+                        projection_result.projected_degrees
+                    )
+                else:
+                    projection_result = projection.project_graph(
+                        graph, noisy_degrees=max_result.noisy_degrees
+                    )
+                    projected_count = statistic.projected_count(
+                        projection_result.projected_rows
+                    )
 
             with timers.measure("count"):
-                count_result = statistic.secure_count(
-                    projection_result.projected_rows,
-                    config=config,
-                    share_rng=share_rng,
-                    dealer_rng=dealer_rng,
-                )
+                if use_sparse:
+                    count_result = statistic.secure_count_from_degrees(
+                        projection_result.projected_degrees,
+                        config=config,
+                        share_rng=share_rng,
+                        dealer_rng=dealer_rng,
+                    )
+                else:
+                    count_result = statistic.secure_count(
+                        projection_result.projected_rows,
+                        config=config,
+                        share_rng=share_rng,
+                        dealer_rng=dealer_rng,
+                    )
 
             with timers.measure("perturb"):
                 # The statistic's Node-DP bound, scaled to the raw secure

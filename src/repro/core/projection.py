@@ -73,6 +73,30 @@ class ProjectionResult:
         return self.projected_rows[user_index]
 
 
+@dataclass(frozen=True)
+class DegreeProjectionResult:
+    """Output of the degree-only `Project` shortcut (sparse path).
+
+    Attributes
+    ----------
+    projected_degrees:
+        One int64 entry per user — the row sum each user's projected bit
+        vector *would* have: her true degree when it is at most the bound,
+        ``floor(d'_max)`` otherwise.
+    degree_bound:
+        The bound ``d'_max`` that was enforced.
+    edges_removed:
+        Total bits the full projection would have cleared.
+    users_projected:
+        Number of users whose degree exceeded the bound.
+    """
+
+    projected_degrees: np.ndarray
+    degree_bound: float
+    edges_removed: int
+    users_projected: int
+
+
 class SimilarityProjection:
     """Similarity-based local projection (the paper's `Project`).
 
@@ -123,6 +147,39 @@ class SimilarityProjection:
         projected = np.zeros_like(bits)
         projected[kept] = 1
         return projected
+
+    def project_degrees(self, degrees: Sequence[int]) -> DegreeProjectionResult:
+        """Degree-vector shortcut of `Project` — ``O(n)`` memory, no rows.
+
+        For a degree-local statistic only the *row sums* of the projected
+        bit vectors matter, and those are fully determined by the bound:
+        a user with ``d_i <= d'_max`` keeps her row (sum ``d_i``), and a user
+        with ``d_i > d'_max`` keeps exactly the ``floor(d'_max)`` most
+        similar neighbours (sum ``floor(d'_max)``) — the similarity ranking
+        in :meth:`project_user` decides *which* neighbours survive, never
+        *how many*.  This method therefore reproduces
+        ``project_graph(...).projected_rows.sum(axis=1)`` bit for bit while
+        touching nothing but the degree vector, which is what lets the
+        sparse release path run at 100k+ users.
+
+        Examples
+        --------
+        >>> SimilarityProjection(2.5).project_degrees([1, 3, 2, 4]).projected_degrees
+        array([1, 2, 2, 2])
+        """
+        original = np.asarray(degrees, dtype=np.int64)
+        if original.ndim != 1:
+            raise ConfigurationError(
+                f"degrees must be a 1-D sequence, got shape {original.shape}"
+            )
+        over = original > self._degree_bound
+        projected = np.where(over, np.int64(int(self._degree_bound)), original)
+        return DegreeProjectionResult(
+            projected_degrees=projected,
+            degree_bound=self._degree_bound,
+            edges_removed=int((original - projected).sum()),
+            users_projected=int(np.count_nonzero(over)),
+        )
 
     def project_graph(
         self,

@@ -28,6 +28,7 @@ from repro.crypto.sharing import (
     reconstruct,
     reconstruct_vector,
     share_matrix,
+    share_per_user,
     share_scalar,
     share_vector,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "share_scalar",
     "share_vector",
     "share_matrix",
+    "share_per_user",
     "reconstruct",
     "reconstruct_vector",
     "BeaverTriple",

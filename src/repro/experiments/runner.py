@@ -246,6 +246,14 @@ class ProtocolSweep:
     workers:
         Per-run worker threads for each CARGO cell's secure count
         (``CargoConfig(workers=...)``); ``None`` keeps the serial path.
+    sparse:
+        Degree-local execution policy for the CARGO cells
+        (``CargoConfig(sparse=...)``: ``auto`` / ``never`` / ``force``);
+        ``None`` keeps the config default.
+    tile_window:
+        Bounded tile window for the blocked backend's offline material
+        (``CargoConfig(tile_window=...)``); ``None`` keeps the
+        all-groups-at-once behaviour.
     offline_seed:
         Pins the offline dealer randomness of every CARGO cell to one
         stream, which makes the dealt material identical across cells —
@@ -265,6 +273,8 @@ class ProtocolSweep:
     use_processes: bool = False
     counting_backend: Optional[Any] = None
     workers: Optional[int] = None
+    sparse: Optional[str] = None
+    tile_window: Optional[int] = None
     offline_seed: Optional[int] = None
     triple_store: Optional[Any] = None
     _graph_cache: Dict[Tuple[str, int], Graph] = field(
@@ -355,6 +365,10 @@ class ProtocolSweep:
         overrides: Dict[str, Any] = {}
         if self.workers is not None:
             overrides["workers"] = self.workers
+        if self.sparse is not None:
+            overrides["sparse"] = self.sparse
+        if self.tile_window is not None:
+            overrides["tile_window"] = self.tile_window
         if self.offline_seed is not None:
             overrides["offline_seed"] = self.offline_seed
         if self.triple_store is not None:

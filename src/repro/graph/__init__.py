@@ -21,6 +21,7 @@ from repro.graph.generators import (
     erdos_renyi_graph,
     powerlaw_cluster_graph,
     random_regular_graph,
+    sparse_random_graph,
     stochastic_block_model_graph,
     watts_strogatz_graph,
 )
@@ -45,7 +46,12 @@ from repro.graph.statistics import (
     graph_summary,
     maximum_degree,
 )
-from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.io import (
+    iter_edge_list,
+    read_degree_vector,
+    read_edge_list,
+    write_edge_list,
+)
 
 __all__ = [
     "Graph",
@@ -53,6 +59,7 @@ __all__ = [
     "erdos_renyi_graph",
     "powerlaw_cluster_graph",
     "random_regular_graph",
+    "sparse_random_graph",
     "stochastic_block_model_graph",
     "watts_strogatz_graph",
     "DATASET_REGISTRY",
@@ -70,6 +77,8 @@ __all__ = [
     "global_clustering_coefficient",
     "graph_summary",
     "maximum_degree",
+    "iter_edge_list",
+    "read_degree_vector",
     "read_edge_list",
     "write_edge_list",
 ]

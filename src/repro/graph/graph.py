@@ -49,6 +49,8 @@ class Graph:
         self._num_edges = 0
         self._triangle_count_cache: Optional[int] = None
         self._adjacency_matrix_cache: Optional[np.ndarray] = None
+        self._degree_vector_cache: Optional[np.ndarray] = None
+        self._csr_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         if edges is not None:
             for u, v in edges:
                 self.add_edge(u, v)
@@ -85,6 +87,62 @@ class Graph:
     def degrees(self) -> List[int]:
         """Degree of every node, indexed by node id (the set ``D`` in the paper)."""
         return [len(neighbours) for neighbours in self._adjacency]
+
+    def degree_vector(self, copy: bool = True) -> np.ndarray:
+        """Degree of every node as a length-``n`` int64 array, memoised.
+
+        The degree vector is the *entire* graph state the degree-local
+        statistics (k-stars, wedges) need, so the sparse execution path reads
+        it instead of ever touching an ``n x n`` view.  The array is built
+        once and invalidated by any edge mutation, exactly like
+        :meth:`adjacency_matrix`; ``copy=False`` returns the read-only memo
+        itself, the default returns a fresh writable copy.
+
+        Examples
+        --------
+        >>> Graph(4, edges=[(0, 1), (0, 2)]).degree_vector().tolist()
+        [2, 1, 1, 0]
+        """
+        if self._degree_vector_cache is None:
+            vector = np.fromiter(
+                (len(neighbours) for neighbours in self._adjacency),
+                dtype=np.int64,
+                count=self._num_nodes,
+            )
+            vector.setflags(write=False)
+            self._degree_vector_cache = vector
+        if copy:
+            return self._degree_vector_cache.copy()
+        return self._degree_vector_cache
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Compressed-sparse-row view ``(indptr, indices)``, memoised.
+
+        ``indices[indptr[u]:indptr[u+1]]`` holds node ``u``'s neighbours in
+        ascending order, so the whole topology costs ``O(n + m)`` memory —
+        the representation every out-of-core path works from.  Both arrays
+        are read-only views of an instance memo with the same
+        mutation-invalidation contract as :meth:`adjacency_matrix`.
+
+        Examples
+        --------
+        >>> indptr, indices = Graph(3, edges=[(0, 2), (1, 2)]).csr_arrays()
+        >>> indptr.tolist(), indices.tolist()
+        ([0, 1, 2, 4], [2, 2, 0, 1])
+        """
+        if self._csr_cache is None:
+            degrees = self.degree_vector(copy=False)
+            indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            indices = np.fromiter(
+                (v for neighbours in self._adjacency for v in sorted(neighbours)),
+                dtype=np.int64,
+                count=2 * self._num_edges,
+            )
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            self._csr_cache = (indptr, indices)
+        return self._csr_cache
 
     def max_degree(self) -> int:
         """True maximum degree ``d_max`` (0 for an empty graph)."""
@@ -166,6 +224,8 @@ class Graph:
         clone._num_edges = self._num_edges
         clone._triangle_count_cache = self._triangle_count_cache
         clone._adjacency_matrix_cache = self._adjacency_matrix_cache
+        clone._degree_vector_cache = self._degree_vector_cache
+        clone._csr_cache = self._csr_cache
         return clone
 
     # ------------------------------------------------------------------ #
@@ -175,6 +235,8 @@ class Graph:
         """Drop every memoised derived quantity after an edge mutation."""
         self._triangle_count_cache = None
         self._adjacency_matrix_cache = None
+        self._degree_vector_cache = None
+        self._csr_cache = None
 
     @property
     def cached_triangle_count(self) -> Optional[int]:

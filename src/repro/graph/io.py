@@ -3,17 +3,58 @@
 The on-disk format is the whitespace-separated edge list used by SNAP
 (``u v`` per line, ``#`` comments allowed), so real SNAP downloads can be
 dropped in as a replacement for the synthetic datasets without code changes.
+
+All readers are *streaming*: the file is consumed line by line through
+:func:`iter_edge_list`, and nothing here ever materialises a dense ``n x n``
+view — peak memory is ``O(m)`` for graph construction and ``O(n + m)`` for
+:func:`read_degree_vector`, which skips building a :class:`Graph` entirely
+(the input the sparse degree-local release path needs).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import DatasetError
 from repro.graph.graph import Graph
 
 PathLike = Union[str, Path]
+
+
+def iter_edge_list(path: PathLike) -> Iterator[Tuple[int, int]]:
+    """Stream the ``(u, v)`` pairs of a SNAP-style edge list, one at a time.
+
+    Lines starting with ``#`` and self-loops are skipped (SNAP files
+    occasionally contain self-loops); malformed lines raise
+    :class:`~repro.exceptions.DatasetError` with the offending line number.
+    Duplicate edges and both orientations are yielded as-is — deduplication
+    is the consumer's job (``Graph`` collapses them on insertion).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"edge list file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected 'u v', got {stripped!r}"
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: non-integer node id in {stripped!r}"
+                ) from exc
+            if u == v:
+                continue
+            yield u, v
 
 
 def read_edge_list(
@@ -37,60 +78,85 @@ def read_edge_list(
         ``0 .. n-1`` in order of first appearance, which is what the
         synthetic datasets and the experiments expect.
     """
-    path = Path(path)
-    if not path.exists():
-        raise DatasetError(f"edge list file not found: {path}")
-
     raw_edges = []
     max_seen = -1
-    with path.open("r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            stripped = line.strip()
-            if not stripped or stripped.startswith("#"):
-                continue
-            parts = stripped.split()
-            if len(parts) < 2:
-                raise DatasetError(
-                    f"{path}:{line_number}: expected 'u v', got {stripped!r}"
-                )
-            try:
-                u, v = int(parts[0]), int(parts[1])
-            except ValueError as exc:
-                raise DatasetError(
-                    f"{path}:{line_number}: non-integer node id in {stripped!r}"
-                ) from exc
-            if u == v:
-                continue  # SNAP files occasionally contain self-loops; drop them.
-            raw_edges.append((u, v))
-            max_seen = max(max_seen, u, v)
-
     if relabel:
         index_of: dict[int, int] = {}
-        edges = []
-        for u, v in raw_edges:
+        for u, v in iter_edge_list(path):
             for node in (u, v):
                 if node not in index_of:
                     index_of[node] = len(index_of)
-            edges.append((index_of[u], index_of[v]))
+            raw_edges.append((index_of[u], index_of[v]))
         n = num_nodes if num_nodes is not None else len(index_of)
         if n < len(index_of):
             raise DatasetError(
                 f"num_nodes={n} is smaller than the {len(index_of)} distinct nodes in {path}"
             )
-        return Graph(n, edges)
+        return Graph(n, raw_edges)
 
+    for u, v in iter_edge_list(path):
+        raw_edges.append((u, v))
+        max_seen = max(max_seen, u, v)
     n = num_nodes if num_nodes is not None else max_seen + 1
     return Graph(n, raw_edges)
 
 
+def read_degree_vector(
+    path: PathLike,
+    num_nodes: Optional[int] = None,
+    relabel: bool = True,
+) -> np.ndarray:
+    """Degree vector of an edge-list file without building a :class:`Graph`.
+
+    One streaming pass; duplicate orientations are collapsed through an
+    ``O(m)`` edge set, so peak memory is ``O(n + m)`` — no adjacency sets,
+    no dense matrix.  The degree vector is all the state the degree-local
+    statistics (k-stars, wedges) need, so a sparse release over a very large
+    on-disk graph can start here.
+    """
+    seen: set = set()
+    degrees: dict[int, int] = {}
+    index_of: dict[int, int] = {}
+    max_seen = -1
+    for u, v in iter_edge_list(path):
+        if relabel:
+            for node in (u, v):
+                if node not in index_of:
+                    index_of[node] = len(index_of)
+            u, v = index_of[u], index_of[v]
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        degrees[u] = degrees.get(u, 0) + 1
+        degrees[v] = degrees.get(v, 0) + 1
+        max_seen = max(max_seen, u, v)
+    n = num_nodes if num_nodes is not None else max_seen + 1
+    if n < max_seen + 1:
+        raise DatasetError(
+            f"num_nodes={n} is smaller than the {max_seen + 1} distinct nodes in {path}"
+        )
+    vector = np.zeros(max(n, 0), dtype=np.int64)
+    for node, degree in degrees.items():
+        vector[node] = degree
+    return vector
+
+
 def write_edge_list(graph: Graph, path: PathLike, header: Optional[str] = None) -> None:
-    """Write *graph* as a SNAP-style edge list (one ``u v`` pair per line)."""
+    """Write *graph* as a SNAP-style edge list (one ``u v`` pair per line).
+
+    Edges are emitted in CSR order (ascending ``u``, then ascending ``v``),
+    so the output is deterministic for equal graphs.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    indptr, indices = graph.csr_arrays()
     with path.open("w", encoding="utf-8") as handle:
         if header:
             for line in header.splitlines():
                 handle.write(f"# {line}\n")
         handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
-        for u, v in graph.edges():
-            handle.write(f"{u} {v}\n")
+        for u in range(graph.num_nodes):
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                if u < v:
+                    handle.write(f"{u} {v}\n")

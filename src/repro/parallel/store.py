@@ -46,6 +46,62 @@ from repro.exceptions import DealerError
 _PERSIST_MAGIC = "repro-triple-store"
 _PERSIST_VERSION = 1
 
+#: mmap-mode format marker (``<token>.npk`` + ``<token>.bin`` file pair).
+_MMAP_MAGIC = "repro-triple-store-mmap"
+#: Array payloads in the flat ``.bin`` file start on 64-byte boundaries so
+#: every :class:`numpy.memmap` view is cache-line (and dtype) aligned.
+_MMAP_ALIGN = 64
+
+
+class _ArrayExternalisingPickler(pickle.Pickler):
+    """Pickler that spills every numpy array into a flat side-car file.
+
+    The pickle stream keeps only ``(offset, dtype, shape)`` stubs; the bytes
+    live in the ``.bin`` file, which the unpickler maps back as
+    :class:`numpy.memmap` views.  This is what makes warm mmap loads *paged*:
+    the structural pickle is tiny, and array bytes reach memory only when a
+    consumer actually touches them.
+    """
+
+    def __init__(self, file, bin_handle) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._bin = bin_handle
+
+    def persistent_id(self, obj):
+        if isinstance(obj, np.ndarray) and obj.dtype != object and obj.size > 0:
+            array = np.ascontiguousarray(obj)
+            offset = self._bin.tell()
+            padding = (-offset) % _MMAP_ALIGN
+            if padding:
+                self._bin.write(b"\x00" * padding)
+                offset += padding
+            self._bin.write(array.tobytes())
+            return ("ndarray", offset, array.dtype.str, array.shape)
+        return None
+
+
+class _ArrayMappingUnpickler(pickle.Unpickler):
+    """Unpickler resolving array stubs to read-only memmap views."""
+
+    def __init__(self, file, bin_path: Path) -> None:
+        super().__init__(file)
+        self._bin_path = bin_path
+
+    def persistent_load(self, pid):
+        try:
+            tag, offset, dtype, shape = pid
+        except (TypeError, ValueError) as exc:
+            raise pickle.UnpicklingError(f"unexpected persistent id {pid!r}") from exc
+        if tag != "ndarray":
+            raise pickle.UnpicklingError(f"unexpected persistent id tag {tag!r}")
+        return np.memmap(
+            self._bin_path,
+            mode="r",
+            dtype=np.dtype(dtype),
+            shape=tuple(shape),
+            offset=int(offset),
+        )
+
 
 def dealer_fingerprint(rng: Any) -> str:
     """A stable token for the dealer randomness a run starts from.
@@ -183,6 +239,17 @@ class TripleStore:
     max_memory_bytes:
         In-memory budget; least-recently-used batches are evicted past it
         (evicted batches remain on disk when *cache_dir* is set).
+    mmap:
+        When ``True`` (requires *cache_dir*), batches persist as a tiny
+        structural pickle (``<token>.npk``) plus a flat aligned binary file
+        (``<token>.bin``) holding every array's bytes, and warm fetches
+        return structures whose arrays are **read-only memmap views** into
+        that file — the OS pages material in as the run touches it and
+        evicts it under pressure, so a warm offline phase never loads the
+        whole batch into RAM.  The in-memory LRU and the
+        ``max_entry_bytes`` decline rule are bypassed (they guard resident
+        memory, which mmap entries do not consume); size limits are
+        whatever the filesystem allows.
 
     Examples
     --------
@@ -203,8 +270,12 @@ class TripleStore:
         cache_dir: Optional[str] = None,
         max_entry_bytes: int = 256 << 20,
         max_memory_bytes: int = 512 << 20,
+        mmap: bool = False,
     ) -> None:
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if mmap and self._cache_dir is None:
+            raise DealerError("mmap=True requires a cache_dir to map batches from")
+        self._mmap = bool(mmap)
         if self._cache_dir is not None:
             self._cache_dir.mkdir(parents=True, exist_ok=True)
         self._max_entry_bytes = int(max_entry_bytes)
@@ -224,19 +295,38 @@ class TripleStore:
         """The persistence directory, or ``None`` for memory-only."""
         return str(self._cache_dir) if self._cache_dir is not None else None
 
+    @property
+    def mmap(self) -> bool:
+        """Whether warm fetches return memmap-backed (paged) material."""
+        return self._mmap
+
     def accepts_bytes(self, nbytes: int) -> bool:
         """Whether a batch of *nbytes* would be cached rather than declined.
 
         Backends whose offline phase can be provisioned either fully (to
         make it storable) or lazily in bounded chunks ask this up front, so
         an over-budget run never materialises the full pool just to have the
-        store decline it.
+        store decline it.  mmap entries never become resident, so the
+        resident-memory guard does not apply to them.
         """
+        if self._mmap:
+            return True
         return int(nbytes) <= self._max_entry_bytes
 
     def get(self, signature: TripleSignature) -> Optional[Any]:
         """The stored material for *signature*, or ``None`` on a cold miss."""
         token = signature.token()
+        if self._mmap:
+            # No resident copy is ever kept: every warm fetch rebuilds the
+            # (tiny) structural pickle and hands back fresh memmap views, so
+            # material only occupies page cache, never the Python heap.
+            material = self._load_from_disk(token, signature)
+            with self._lock:
+                if material is not None:
+                    self._hits += 1
+                else:
+                    self._misses += 1
+            return material
         with self._lock:
             if token in self._entries:
                 self._entries.move_to_end(token)
@@ -255,14 +345,20 @@ class TripleStore:
         """Deposit dealt *material*; returns whether it was cached.
 
         Oversized batches (``> max_entry_bytes``) are declined — callers
-        treat a declined put exactly like running without a store.
+        treat a declined put exactly like running without a store.  In mmap
+        mode material goes straight to disk (no decline, no LRU residency).
         """
+        token = signature.token()
+        if self._mmap:
+            self._write_to_disk(token, signature, material)
+            with self._lock:
+                self._stores += 1
+            return True
         size = material_nbytes(material)
         if size > self._max_entry_bytes:
             with self._lock:
                 self._skipped += 1
             return False
-        token = signature.token()
         with self._lock:
             self._admit(token, material, size)
             self._stores += 1
@@ -320,11 +416,27 @@ class TripleStore:
 
     def _path_for(self, token: str) -> Path:
         assert self._cache_dir is not None
+        if self._mmap:
+            return self._cache_dir / f"{token}.npk"
         return self._cache_dir / f"{token}.triples"
+
+    def _bin_path_for(self, token: str) -> Path:
+        assert self._cache_dir is not None
+        return self._cache_dir / f"{token}.bin"
 
     def _write_to_disk(self, token: str, signature: TripleSignature, material: Any) -> None:
         path = self._path_for(token)
         tmp = path.with_suffix(".tmp")
+        if self._mmap:
+            bin_path = self._bin_path_for(token)
+            bin_tmp = bin_path.with_suffix(".bin.tmp")
+            with tmp.open("wb") as handle, bin_tmp.open("wb") as bin_handle:
+                pickler = _ArrayExternalisingPickler(handle, bin_handle)
+                pickler.dump((_MMAP_MAGIC, _PERSIST_VERSION, signature, material))
+            # The bin file must land before the pickle that references it.
+            bin_tmp.replace(bin_path)
+            tmp.replace(path)
+            return
         with tmp.open("wb") as handle:
             pickle.dump(
                 (_PERSIST_MAGIC, _PERSIST_VERSION, signature, material),
@@ -339,12 +451,17 @@ class TripleStore:
         path = self._path_for(token)
         if not path.exists():
             return None
+        expected_magic = _MMAP_MAGIC if self._mmap else _PERSIST_MAGIC
         try:
             with path.open("rb") as handle:
-                magic, version, stored_signature, material = pickle.load(handle)
+                if self._mmap:
+                    unpickler = _ArrayMappingUnpickler(handle, self._bin_path_for(token))
+                    magic, version, stored_signature, material = unpickler.load()
+                else:
+                    magic, version, stored_signature, material = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, ValueError, EOFError):
             return None
-        if magic != _PERSIST_MAGIC or version != _PERSIST_VERSION:
+        if magic != expected_magic or version != _PERSIST_VERSION:
             return None
         if stored_signature != signature:
             # Token collision or stale file: never serve mismatched material.

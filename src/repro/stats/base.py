@@ -96,6 +96,13 @@ class SubgraphStatistic(abc.ABC):
     #: The secure kernel computes ``release_scale * statistic``; the
     #: orchestrator divides once after the noisy reconstruction.
     release_scale: int = 1
+    #: ``True`` for statistics that are functions of the degree sequence
+    #: alone (k-stars, wedges).  Such statistics implement
+    #: :meth:`degree_count` and :meth:`secure_count_from_degrees`, which lets
+    #: the orchestrators run the whole release on degree vectors — ``O(n)``
+    #: memory, no adjacency matrix — while remaining bit-identical to the
+    #: dense row path.
+    supports_degree_kernel: bool = False
 
     # ------------------------------------------------------------------ #
     # Plain kernel
@@ -155,6 +162,46 @@ class SubgraphStatistic(abc.ABC):
         CountResult
             Shares of ``release_scale *`` the projected statistic.
         """
+
+    # ------------------------------------------------------------------ #
+    # Optional degree-local (sparse) kernel
+    # ------------------------------------------------------------------ #
+    def degree_count(self, degrees: np.ndarray) -> int:
+        """Exact statistic from a (projected) degree vector.
+
+        Only meaningful when :attr:`supports_degree_kernel` is ``True``; a
+        degree-local statistic must satisfy
+        ``degree_count(rows.sum(axis=1)) == projected_count(rows)`` for every
+        square 0/1 row matrix, which is what makes the sparse path a drop-in
+        replacement for the dense one.
+        """
+        raise ProtocolError(
+            f"statistic {self.name!r} has no degree-local kernel; "
+            "it needs the full projected rows"
+        )
+
+    def secure_count_from_degrees(
+        self,
+        degrees: np.ndarray,
+        config,
+        share_rng: RandomState = None,
+        dealer_rng: RandomState = None,
+        views: Optional[ViewRecorder] = None,
+        runtime: Optional[TwoServerRuntime] = None,
+    ) -> CountResult:
+        """Secure kernel on a (projected) degree vector instead of bit rows.
+
+        The sparse twin of :meth:`secure_count`: the transcript (messages,
+        share values, reconstruction) must be bit-identical to
+        ``secure_count(rows, ...)`` whenever ``degrees == rows.sum(axis=1)``
+        and the same ``share_rng`` substream is supplied.  Peak memory is
+        ``O(n)``, so degree-local statistics release at scales where the
+        ``n x n`` row matrix cannot exist.
+        """
+        raise ProtocolError(
+            f"statistic {self.name!r} has no degree-local secure kernel; "
+            "it needs the full projected rows"
+        )
 
     # ------------------------------------------------------------------ #
     # Sensitivity after degree projection

@@ -29,12 +29,13 @@ import numpy as np
 from repro.core.backends.base import CountResult
 from repro.crypto.protocol import TwoServerRuntime
 from repro.crypto.ring import Ring
+from repro.crypto.sharing import share_per_user
 from repro.crypto.views import ViewRecorder
 from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 from repro.stats.base import SubgraphStatistic, validate_projected_rows
 from repro.stats.registry import register_statistic
-from repro.utils.rng import RandomState, derive_rng, spawn_rngs
+from repro.utils.rng import RandomState
 
 __all__ = ["KStarStatistic", "count_k_stars_exact", "k_star_sensitivity_bounded"]
 
@@ -87,6 +88,7 @@ class KStarStatistic(SubgraphStatistic):
     name = "kstars"
     description = "number of k-stars (a node plus k of its neighbours)"
     release_scale = 1
+    supports_degree_kernel = True
 
     def __init__(self, k: int = 2) -> None:
         if k < 1:
@@ -107,10 +109,14 @@ class KStarStatistic(SubgraphStatistic):
         """Exact k-star count of a clear graph."""
         return count_k_stars_exact(graph.degrees(), self._k)
 
+    def degree_count(self, degrees) -> int:
+        """``sum_i C(d_i, k)`` straight from a (projected) degree vector."""
+        return count_k_stars_exact([int(d) for d in degrees], self._k)
+
     def projected_count(self, projected_rows: np.ndarray) -> int:
         """``sum_i C(row-degree_i, k)`` on the users' projected rows."""
         rows = validate_projected_rows(projected_rows)
-        return count_k_stars_exact([int(d) for d in rows.sum(axis=1)], self._k)
+        return self.degree_count(rows.sum(axis=1))
 
     def secure_count(
         self,
@@ -123,29 +129,52 @@ class KStarStatistic(SubgraphStatistic):
     ) -> CountResult:
         """Additive aggregation of locally computed contributions.
 
+        The statistic is a function of the degree sequence alone, so the
+        dense entry point just reduces the rows to their degree vector and
+        delegates to :meth:`secure_count_from_degrees` — one kernel, two
+        input shapes, bit-identical transcripts.
+        """
+        rows = validate_projected_rows(projected_rows)
+        return self.secure_count_from_degrees(
+            rows.sum(axis=1),
+            config=config,
+            share_rng=share_rng,
+            dealer_rng=dealer_rng,
+            views=views,
+            runtime=runtime,
+        )
+
+    def secure_count_from_degrees(
+        self,
+        degrees,
+        config,
+        share_rng: RandomState = None,
+        dealer_rng: RandomState = None,
+        views: Optional[ViewRecorder] = None,
+        runtime: Optional[TwoServerRuntime] = None,
+    ) -> CountResult:
+        """The sparse (degree-vector) secure kernel — ``O(n)`` memory.
+
         Each user's share mask comes from her own spawned generator (the
         same non-coordinating pattern as
-        :func:`~repro.core.backends.base.share_adjacency_rows`); the servers
-        only ever see uniformly masked values and their local sums.  The
-        dealer substream is accepted for interface uniformity but unused —
-        there is no multiplication to provision for.
+        :func:`~repro.core.backends.base.share_adjacency_rows`, via
+        :func:`~repro.crypto.sharing.share_per_user`); the servers only ever
+        see uniformly masked values and their local sums.  The dealer
+        substream is accepted for interface uniformity but unused — there is
+        no multiplication to provision for.
         """
         ring: Ring = config.ring
-        rows = validate_projected_rows(projected_rows)
-        num_users = rows.shape[0]
+        degree_list = [int(d) for d in degrees]
+        num_users = len(degree_list)
         # Contributions are arbitrary-precision Python ints reduced into the
         # ring individually (C(d, k) can exceed 64 bits for large stars).
         encoded = np.fromiter(
-            (math.comb(int(d), self._k) & ring.mask for d in rows.sum(axis=1)),
+            (math.comb(d, self._k) & ring.mask for d in degree_list),
             dtype=ring.dtype,
             count=num_users,
         )
-        masks = np.empty((num_users,), dtype=ring.dtype)
-        user_rngs = spawn_rngs(share_rng if share_rng is not None else derive_rng(None), num_users)
-        for user, user_rng in enumerate(user_rngs):
-            masks[user] = ring.random_element(user_rng)
-        share1 = masks
-        share2 = ring.sub(encoded, masks)
+        pair = share_per_user(encoded, ring=ring, rng=share_rng)
+        share1, share2 = pair.share1, pair.share2
         if runtime is not None:
             runtime.users_to_server(1, "statistic_share", share1)
             runtime.users_to_server(2, "statistic_share", share2)

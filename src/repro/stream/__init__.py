@@ -28,6 +28,9 @@ from repro.stream.events import (
     replay_stream,
 )
 from repro.stream.delta import (
+    DEFAULT_NEIGHBOR_CAP,
+    CappedTriangleMaintainer,
+    DegreeVectorKStarMaintainer,
     IncrementalFourCycleMaintainer,
     IncrementalKStarMaintainer,
     IncrementalTriangleMaintainer,
@@ -58,6 +61,9 @@ __all__ = [
     "IncrementalTriangleMaintainer",
     "IncrementalKStarMaintainer",
     "IncrementalFourCycleMaintainer",
+    "DegreeVectorKStarMaintainer",
+    "CappedTriangleMaintainer",
+    "DEFAULT_NEIGHBOR_CAP",
     "RecountingMaintainer",
     "make_maintainer",
     "BinaryTreeRelease",

@@ -42,9 +42,15 @@ __all__ = [
     "IncrementalTriangleMaintainer",
     "IncrementalKStarMaintainer",
     "IncrementalFourCycleMaintainer",
+    "DegreeVectorKStarMaintainer",
+    "CappedTriangleMaintainer",
     "RecountingMaintainer",
     "make_maintainer",
+    "DEFAULT_NEIGHBOR_CAP",
 ]
+
+#: Default per-node neighbour budget of :class:`CappedTriangleMaintainer`.
+DEFAULT_NEIGHBOR_CAP = 64
 
 
 class _GraphMaintainerBase:
@@ -118,6 +124,14 @@ class _GraphMaintainerBase:
     def events_applied(self) -> int:
         """How many events have been applied so far."""
         return self._events_applied
+
+    def degrees(self) -> List[int]:
+        """Degree of every node as a plain list (uniform maintainer surface)."""
+        return self._graph.degrees()
+
+    def degree_vector(self, copy: bool = True) -> np.ndarray:
+        """Degree of every node as an int64 array (uniform maintainer surface)."""
+        return self._graph.degree_vector(copy=copy)
 
     def snapshot(self) -> Graph:
         """An independent copy of the current graph state."""
@@ -434,6 +448,396 @@ class IncrementalFourCycleMaintainer(_GraphMaintainerBase):
         return -self._paths_of_length_three(u, v, edge_present=True)
 
 
+class _BoundedMaintainerBase:
+    """Bounded-memory analogue of :class:`_GraphMaintainerBase` — no ``Graph``.
+
+    The only state is an int64 degree vector plus one flat set of integer
+    edge keys (``u·n + v`` with ``u < v``) — ``O(n + m)`` with small
+    constants and no per-node set objects.  Event semantics (no-op
+    duplicate adds and absent removes, ``events_applied`` counting consumed
+    events, the delta hook firing *before* the mutation) mirror
+    :class:`_GraphMaintainerBase` exactly, so running counts are
+    bit-identical to the full-memory maintainers on any event sequence.
+
+    Because no graph object is materialised, :attr:`graph` raises; the
+    uniform degree surface (:meth:`degrees` / :meth:`degree_vector`) is what
+    the streaming orchestrator's degree-local anchor path reads instead.
+    """
+
+    def __init__(
+        self, num_nodes: int = 0, initial_graph: Optional[Graph] = None
+    ) -> None:
+        if initial_graph is not None:
+            num_nodes = initial_graph.num_nodes
+        if num_nodes < 0:
+            raise StreamError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._degrees = np.zeros(self._num_nodes, dtype=np.int64)
+        self._edges: set = set()
+        self._setup_state()
+        if initial_graph is not None:
+            for u, v in initial_graph.edges():
+                self._edges.add(self._edge_key(u, v))
+                self._after_add(u, v)
+            self._degrees = initial_graph.degree_vector()
+        self._count = self._initial_count(initial_graph)
+        self._events_applied = 0
+
+    # ------------------------------------------------------------------ #
+    # Statistic hooks
+    # ------------------------------------------------------------------ #
+    def _setup_state(self) -> None:
+        """Initialise subclass state that depends on ``num_nodes``."""
+
+    def _initial_count(self, initial_graph: Optional[Graph]) -> int:
+        raise NotImplementedError
+
+    def _delta_add(self, u: int, v: int) -> int:
+        raise NotImplementedError
+
+    def _delta_remove(self, u: int, v: int) -> int:
+        raise NotImplementedError
+
+    def _after_add(self, u: int, v: int) -> None:
+        """Post-mutation hook (degrees and edge set already updated)."""
+
+    def _after_remove(self, u: int, v: int) -> None:
+        """Post-mutation hook (degrees and edge set already updated)."""
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    def _edge_key(self, u: int, v: int) -> int:
+        if u > v:
+            u, v = v, u
+        return u * self._num_nodes + v
+
+    @property
+    def graph(self) -> Graph:
+        """Bounded-memory maintainers keep no graph object — always raises.
+
+        Use :meth:`snapshot` for a one-off reconstruction or the degree
+        surface (:meth:`degrees` / :meth:`degree_vector`) for anchor input.
+        """
+        raise StreamError(
+            "a bounded-memory maintainer keeps no graph; use snapshot() for "
+            "a transient reconstruction or degrees()/degree_vector() for the "
+            "degree-local anchor path"
+        )
+
+    @property
+    def count(self) -> int:
+        """The exact statistic value of the current edge set."""
+        return self._count
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the dynamic graph."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently present."""
+        return len(self._edges)
+
+    @property
+    def events_applied(self) -> int:
+        """How many events have been applied so far."""
+        return self._events_applied
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is currently present."""
+        return self._edge_key(u, v) in self._edges
+
+    def degrees(self) -> List[int]:
+        """Degree of every node as a plain list (the `Max` step's input)."""
+        return self._degrees.tolist()
+
+    def degree_vector(self, copy: bool = True) -> np.ndarray:
+        """Degree of every node as a length-``n`` int64 array.
+
+        ``copy=False`` returns the live internal array — callers must treat
+        it as read-only.
+        """
+        if copy:
+            return self._degrees.copy()
+        return self._degrees
+
+    def snapshot(self) -> Graph:
+        """Reconstruct an independent :class:`Graph` from the flat edge set.
+
+        Transient ``O(n + m)`` — the maintainer itself keeps holding only
+        the bounded state.
+        """
+        graph = Graph(self._num_nodes)
+        for key in self._edges:
+            u, v = divmod(key, self._num_nodes)
+            graph.add_edge(u, v)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Event application
+    # ------------------------------------------------------------------ #
+    def apply(self, event: EdgeEvent) -> int:
+        """Apply one event and return the statistic delta it caused.
+
+        Same semantics as :meth:`_GraphMaintainerBase.apply`: no-op events
+        have delta 0 but still count toward :attr:`events_applied`.
+        """
+        u, v = event.edge
+        if u >= self._num_nodes or v >= self._num_nodes:
+            raise StreamError(
+                f"event on edge ({u}, {v}) is out of range for a maintainer "
+                f"over {self._num_nodes} nodes"
+            )
+        self._events_applied += 1
+        key = self._edge_key(u, v)
+        if event.is_addition:
+            if key in self._edges:
+                return 0
+            delta = self._delta_add(u, v)
+            self._edges.add(key)
+            self._degrees[u] += 1
+            self._degrees[v] += 1
+            self._after_add(u, v)
+        else:
+            if key not in self._edges:
+                return 0
+            delta = self._delta_remove(u, v)
+            self._edges.discard(key)
+            self._degrees[u] -= 1
+            self._degrees[v] -= 1
+            self._after_remove(u, v)
+        self._count += delta
+        return delta
+
+    def apply_all(self, events: Iterable[EdgeEvent]) -> int:
+        """Apply every event in order; return the cumulative delta."""
+        total = 0
+        for event in events:
+            total += self.apply(event)
+        return total
+
+
+class DegreeVectorKStarMaintainer(_BoundedMaintainerBase):
+    """Maintains ``sum_v C(d_v, k)`` from degree-vector state alone.
+
+    The k-star count is a pure function of the degree vector, so the
+    maintainer's working state is one int64 array plus the flat edge-key set
+    (needed only to honour the no-op semantics for duplicate adds and absent
+    removes) — ``O(n + m)`` integers, no adjacency sets, no ``Graph``
+    object.  Deltas are the same two ``O(1)`` binomial differences as
+    :class:`IncrementalKStarMaintainer`, so running counts are bit-identical
+    to the full-memory maintainer on any event sequence.
+
+    Examples
+    --------
+    >>> from repro.stream.events import EdgeEvent, EdgeEventKind
+    >>> maintainer = DegreeVectorKStarMaintainer(k=2, num_nodes=4)
+    >>> deltas = [
+    ...     maintainer.apply(EdgeEvent(EdgeEventKind.ADD, u, v))
+    ...     for u, v in [(0, 1), (0, 2), (0, 3)]
+    ... ]
+    >>> deltas, maintainer.count
+    ([0, 1, 2], 3)
+    """
+
+    def __init__(
+        self,
+        k: int = 2,
+        num_nodes: int = 0,
+        initial_graph: Optional[Graph] = None,
+    ) -> None:
+        if k < 1:
+            raise StreamError(f"k must be at least 1, got {k}")
+        self._k = int(k)
+        super().__init__(num_nodes=num_nodes, initial_graph=initial_graph)
+
+    @property
+    def k(self) -> int:
+        """The star size being maintained."""
+        return self._k
+
+    def _initial_count(self, initial_graph: Optional[Graph]) -> int:
+        return sum(math.comb(int(d), self._k) for d in self._degrees.tolist())
+
+    def _endpoint_delta(self, node: int, direction: int) -> int:
+        degree = int(self._degrees[node])
+        return math.comb(degree + direction, self._k) - math.comb(degree, self._k)
+
+    def _delta_add(self, u: int, v: int) -> int:
+        return self._endpoint_delta(u, +1) + self._endpoint_delta(v, +1)
+
+    def _delta_remove(self, u: int, v: int) -> int:
+        return self._endpoint_delta(u, -1) + self._endpoint_delta(v, -1)
+
+
+class CappedTriangleMaintainer(_BoundedMaintainerBase):
+    """Maintains the exact triangle count with capped neighbour sets.
+
+    Per-node neighbour sets are capped at *neighbor_cap* entries, so the
+    working state is ``O(n·cap + m)`` instead of the full adjacency's
+    ``O(n + m)`` set objects with unbounded per-node fan-out.  A node whose
+    degree exceeds the cap is marked *saturated* (its capped set is cleared
+    — its contents are no longer a faithful neighbourhood); deltas touching
+    a saturated endpoint fall back to exact membership probes against the
+    flat edge-key set (``O(d)`` when one endpoint is exact, ``O(n)`` when
+    both saturated), so the running count stays **exact** — bit-identical to
+    :class:`IncrementalTriangleMaintainer` on any event sequence — while
+    memory stays bounded.
+
+    After *resync_every* fallback deltas the maintainer re-synchronises:
+    saturated nodes whose degree has dropped back to the cap or below
+    (edge removals) get their exact neighbour sets rebuilt from the edge-key
+    set in one ``O(n + m)`` pass, restoring the fast intersection path.
+
+    Examples
+    --------
+    >>> from repro.stream.events import EdgeEvent, EdgeEventKind
+    >>> maintainer = CappedTriangleMaintainer(num_nodes=3, neighbor_cap=1)
+    >>> deltas = [
+    ...     maintainer.apply(EdgeEvent(EdgeEventKind.ADD, u, v))
+    ...     for u, v in [(0, 1), (1, 2), (0, 2)]
+    ... ]
+    >>> deltas, maintainer.count
+    ([0, 0, 1], 1)
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 0,
+        initial_graph: Optional[Graph] = None,
+        neighbor_cap: int = DEFAULT_NEIGHBOR_CAP,
+        resync_every: Optional[int] = None,
+    ) -> None:
+        if neighbor_cap < 1:
+            raise StreamError(
+                f"neighbor_cap must be at least 1, got {neighbor_cap}"
+            )
+        if resync_every is not None and resync_every < 1:
+            raise StreamError(
+                f"resync_every must be at least 1, got {resync_every}"
+            )
+        self._cap = int(neighbor_cap)
+        self._resync_every = (
+            int(resync_every)
+            if resync_every is not None
+            else max(64, 2 * self._cap)
+        )
+        super().__init__(num_nodes=num_nodes, initial_graph=initial_graph)
+
+    def _setup_state(self) -> None:
+        self._capped: List[set] = [set() for _ in range(self._num_nodes)]
+        self._saturated = bytearray(self._num_nodes)
+        self._fallbacks = 0
+        self._fallbacks_since_resync = 0
+        self._resyncs = 0
+
+    @property
+    def neighbor_cap(self) -> int:
+        """The per-node neighbour budget."""
+        return self._cap
+
+    @property
+    def fallbacks(self) -> int:
+        """How many deltas used the exact edge-set fallback (observability)."""
+        return self._fallbacks
+
+    @property
+    def resyncs(self) -> int:
+        """How many capped-set rebuilds have run (observability)."""
+        return self._resyncs
+
+    @property
+    def saturated_nodes(self) -> int:
+        """How many nodes currently exceed the neighbour cap."""
+        return sum(self._saturated)
+
+    @property
+    def triangle_count(self) -> int:
+        """The exact triangle count (alias of :attr:`count`)."""
+        return self._count
+
+    def _initial_count(self, initial_graph: Optional[Graph]) -> int:
+        if initial_graph is None:
+            return 0
+        return count_triangles(initial_graph)
+
+    def _common_neighbors(self, u: int, v: int) -> int:
+        if not self._saturated[u] and not self._saturated[v]:
+            # Both capped sets are faithful neighbourhoods: one intersection.
+            return len(self._capped[u] & self._capped[v])
+        self._fallbacks += 1
+        self._fallbacks_since_resync += 1
+        if self._fallbacks_since_resync >= self._resync_every:
+            self._fallbacks_since_resync = 0
+            self._maybe_resync()
+            if not self._saturated[u] and not self._saturated[v]:
+                return len(self._capped[u] & self._capped[v])
+        edges = self._edges
+        if not self._saturated[u]:
+            return sum(
+                1 for w in self._capped[u] if self._edge_key(v, w) in edges
+            )
+        if not self._saturated[v]:
+            return sum(
+                1 for w in self._capped[v] if self._edge_key(u, w) in edges
+            )
+        # Both endpoints saturated: exact O(n) membership scan.
+        return sum(
+            1
+            for w in range(self._num_nodes)
+            if w != u
+            and w != v
+            and self._edge_key(u, w) in edges
+            and self._edge_key(v, w) in edges
+        )
+
+    def _maybe_resync(self) -> None:
+        """Rebuild capped sets when some saturated node can become exact again."""
+        saturated = np.frombuffer(self._saturated, dtype=np.uint8) != 0
+        if not bool(np.any(saturated & (self._degrees <= self._cap))):
+            return
+        n = self._num_nodes
+        capped: List[set] = [set() for _ in range(n)]
+        marks = bytearray(
+            int(d > self._cap) for d in self._degrees.tolist()
+        )
+        for key in self._edges:
+            u, v = divmod(key, n)
+            if not marks[u]:
+                capped[u].add(v)
+            if not marks[v]:
+                capped[v].add(u)
+        self._capped = capped
+        self._saturated = marks
+        self._resyncs += 1
+
+    def _delta_add(self, u: int, v: int) -> int:
+        return self._common_neighbors(u, v)
+
+    def _delta_remove(self, u: int, v: int) -> int:
+        return -self._common_neighbors(u, v)
+
+    def _after_add(self, u: int, v: int) -> None:
+        for a, b in ((u, v), (v, u)):
+            if self._saturated[a]:
+                continue
+            capped = self._capped[a]
+            if len(capped) < self._cap:
+                capped.add(b)
+            else:
+                # Over budget: the set stops being a faithful neighbourhood,
+                # so free it outright rather than keeping a misleading subset.
+                self._saturated[a] = 1
+                capped.clear()
+
+    def _after_remove(self, u: int, v: int) -> None:
+        for a, b in ((u, v), (v, u)):
+            if not self._saturated[a]:
+                self._capped[a].discard(b)
+
+
 class RecountingMaintainer(_GraphMaintainerBase):
     """Fallback maintainer: recount with the statistic's plain kernel per event.
 
@@ -470,19 +874,56 @@ class RecountingMaintainer(_GraphMaintainerBase):
 
 
 def make_maintainer(
-    statistic, num_nodes: int = 0, initial_graph: Optional[Graph] = None
+    statistic,
+    num_nodes: int = 0,
+    initial_graph: Optional[Graph] = None,
+    *,
+    memory_mode: str = "full",
+    neighbor_cap: Optional[int] = None,
 ):
     """Build the incremental maintainer matching a statistic object.
 
     Dispatches the built-in statistics onto their bespoke maintainers and
     everything else onto :class:`RecountingMaintainer`.  The returned object
     exposes the uniform surface the orchestrator consumes: ``count``,
-    ``graph``, ``events_applied``, ``apply``, ``apply_all``, ``snapshot``.
+    ``events_applied``, ``degrees``/``degree_vector``, ``apply``,
+    ``apply_all``, ``snapshot`` (plus ``graph`` in full-memory mode).
+
+    ``memory_mode="bounded"`` selects the bounded-memory maintainers —
+    degree-vector state for k-stars/wedges
+    (:class:`DegreeVectorKStarMaintainer`) and capped neighbour sets with an
+    exact recount fallback for triangles (:class:`CappedTriangleMaintainer`,
+    whose per-node budget is *neighbor_cap*, default
+    :data:`DEFAULT_NEIGHBOR_CAP`).  Running counts are bit-identical to the
+    full-memory maintainers; statistics without a bounded maintainer raise.
     """
     from repro.stats.four_cycles import FourCycleStatistic
     from repro.stats.kstars import KStarStatistic
     from repro.stats.triangles import TriangleStatistic
 
+    if memory_mode not in ("full", "bounded"):
+        raise StreamError(
+            f"memory_mode must be 'full' or 'bounded', got {memory_mode!r}"
+        )
+    if neighbor_cap is not None and neighbor_cap < 1:
+        raise StreamError(f"neighbor_cap must be at least 1, got {neighbor_cap}")
+    if memory_mode == "bounded":
+        if isinstance(statistic, TriangleStatistic):
+            return CappedTriangleMaintainer(
+                num_nodes=num_nodes,
+                initial_graph=initial_graph,
+                neighbor_cap=(
+                    neighbor_cap if neighbor_cap is not None else DEFAULT_NEIGHBOR_CAP
+                ),
+            )
+        if isinstance(statistic, KStarStatistic):
+            return DegreeVectorKStarMaintainer(
+                k=statistic.k, num_nodes=num_nodes, initial_graph=initial_graph
+            )
+        raise StreamError(
+            "memory_mode='bounded' supports the triangles and k-star/wedge "
+            f"statistics, not {type(statistic).__name__}"
+        )
     if isinstance(statistic, TriangleStatistic):
         return IncrementalTriangleMaintainer(
             num_nodes=num_nodes, initial_graph=initial_graph

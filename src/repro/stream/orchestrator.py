@@ -47,6 +47,7 @@ from repro.core.backends.registry import (
     backend_registered,
     resolve_backend_name,
 )
+from repro.core.cargo import resolve_sparse_mode
 from repro.core.max_degree import MaxDegreeEstimator
 from repro.core.projection import SimilarityProjection
 from repro.crypto.ring import DEFAULT_RING, Ring
@@ -165,6 +166,25 @@ class StreamingConfig:
         ``None`` keeps the serial anchor path; ``>= 1`` runs each anchor's
         secure count through the tile-parallel engine with that many worker
         threads (released estimates are identical either way).
+    sparse:
+        Degree-local anchor policy, mirroring ``CargoConfig.sparse``:
+        ``"auto"`` (the default) runs anchors for degree statistics
+        (k-stars/wedges) on the ``O(n)`` secret-shared degree vector
+        instead of the ``n x n`` projected rows — released estimates are
+        bit-identical either way; ``"never"`` forces the dense path;
+        ``"force"`` raises for statistics without a degree kernel.
+    memory_mode:
+        ``"full"`` (the default) keeps the classic graph-backed incremental
+        maintainer; ``"bounded"`` swaps in the bounded-memory maintainers —
+        degree-vector state for k-stars/wedges, capped neighbour sets with
+        an exact edge-set fallback for triangles — with bit-identical
+        running counts.  Bounded mode keeps no graph snapshot, so anchors
+        require the degree-local path (a non-degree statistic with anchors
+        enabled raises at ``run()``).
+    neighbor_cap:
+        Per-node neighbour budget for the bounded triangle maintainer
+        (``None`` uses :data:`repro.stream.delta.DEFAULT_NEIGHBOR_CAP`);
+        ignored outside ``memory_mode="bounded"``.
     triple_store:
         Optional :class:`~repro.parallel.store.TripleStore`.  When set, the
         offline dealer randomness is pinned per run (one fixed substream
@@ -199,6 +219,9 @@ class StreamingConfig:
     block_size: int = 128
     batch_size: int = 4096
     workers: Optional[int] = None
+    sparse: str = "auto"
+    memory_mode: str = "full"
+    neighbor_cap: Optional[int] = None
     triple_store: Optional[object] = field(default=None, compare=False, repr=False)
     offline_seed: Optional[int] = None
     seed: Optional[int] = None
@@ -239,6 +262,18 @@ class StreamingConfig:
         if self.anchor_sensitivity is not None and self.anchor_sensitivity <= 0:
             raise ConfigurationError(
                 f"anchor_sensitivity must be positive, got {self.anchor_sensitivity}"
+            )
+        if self.sparse not in ("auto", "never", "force"):
+            raise ConfigurationError(
+                f"sparse must be 'auto', 'never' or 'force', got {self.sparse!r}"
+            )
+        if self.memory_mode not in ("full", "bounded"):
+            raise ConfigurationError(
+                f"memory_mode must be 'full' or 'bounded', got {self.memory_mode!r}"
+            )
+        if self.neighbor_cap is not None and self.neighbor_cap < 1:
+            raise ConfigurationError(
+                f"neighbor_cap must be at least 1, got {self.neighbor_cap}"
             )
         # Validate the backend and statistic names eagerly (mirroring
         # CargoConfig) so a typo fails at construction rather than thousands
@@ -480,9 +515,28 @@ class StreamingCargo:
             accountant=accountant,
             rng=tree_rng,
         )
+        # Degree-local anchors (mirroring one-shot CARGO's sparse path):
+        # resolved once per run so a "force" typo on a non-degree statistic
+        # fails before any budget is spent.
+        use_sparse = resolve_sparse_mode(config, statistic)
+        if (
+            config.memory_mode == "bounded"
+            and config.anchor_every > 0
+            and not use_sparse
+        ):
+            raise ConfigurationError(
+                "memory_mode='bounded' keeps no graph snapshot, so anchors "
+                f"need the degree-local path; statistic {config.statistic!r} "
+                "has no degree kernel (disable anchors or use memory_mode="
+                "'full')"
+            )
         policy = config.release_policy()
         maintainer = make_maintainer(
-            statistic, num_nodes=stream.num_nodes, initial_graph=initial_graph
+            statistic,
+            num_nodes=stream.num_nodes,
+            initial_graph=initial_graph,
+            memory_mode=config.memory_mode,
+            neighbor_cap=config.neighbor_cap,
         )
 
         result = StreamingResult(
@@ -508,7 +562,7 @@ class StreamingCargo:
             with timers.measure("anchor"):
                 anchor_base, base_var = self._run_anchor(
                     statistic, maintainer, accountant, epsilon_anchor,
-                    anchor_rng, share_rng, anchor_dealer_rng(),
+                    anchor_rng, share_rng, anchor_dealer_rng(), use_sparse,
                 )
             result.anchors_run += 1
         pending_delta = 0
@@ -535,7 +589,7 @@ class StreamingCargo:
                     with timers.measure("anchor"):
                         anchored, anchored_var = self._run_anchor(
                             statistic, maintainer, accountant, epsilon_anchor,
-                            anchor_rng, share_rng, anchor_dealer_rng(),
+                            anchor_rng, share_rng, anchor_dealer_rng(), use_sparse,
                         )
                     # Precision-weighted blend of the fresh anchor and the
                     # continual estimate; estimate_var is a conservative
@@ -574,7 +628,7 @@ class StreamingCargo:
     # ------------------------------------------------------------------ #
     def _run_anchor(
         self, statistic, maintainer, accountant, epsilon_anchor,
-        anchor_rng, share_rng, dealer_rng,
+        anchor_rng, share_rng, dealer_rng, use_sparse=False,
     ):
         """One mini-CARGO pass over the current graph: Max → Project → Count → noise.
 
@@ -587,6 +641,12 @@ class StreamingCargo:
         secure count runs the configured statistic's share kernel and the
         noise scale is that statistic's post-projection sensitivity at the
         bound.
+
+        With *use_sparse* (degree statistics) the anchor never materialises
+        the ``n x n`` projected rows: the projection truncates the degree
+        vector directly and the count runs the statistic's degree kernel,
+        consuming the same randomness substreams — released estimates are
+        bit-identical to the dense path wherever both can run.
 
         Returns ``(noisy_count, noise_variance)`` so the caller can blend the
         anchor with the continual estimate by inverse-variance weighting.
@@ -602,7 +662,7 @@ class StreamingCargo:
             epsilon_degree = epsilon_anchor * DEFAULT_MAX_DEGREE_FRACTION
             epsilon_count = epsilon_anchor - epsilon_degree
             estimator = MaxDegreeEstimator(epsilon_degree)
-            max_result = estimator.run(maintainer.graph.degrees(), rng=anchor_rng)
+            max_result = estimator.run(maintainer.degrees(), rng=anchor_rng)
             degree_bound = max_result.noisy_max_degree
             noisy_degrees = max_result.noisy_degrees
             accountant.spend(epsilon_degree, label="anchor/max-degree")
@@ -610,15 +670,26 @@ class StreamingCargo:
         # bound the similarity reference falls back to the users' own degree
         # knowledge (project_graph's default).
         projection = SimilarityProjection(degree_bound)
-        projection_result = projection.project_graph(
-            maintainer.graph, noisy_degrees=noisy_degrees
-        )
-        count_result = statistic.secure_count(
-            projection_result.projected_rows,
-            config=config,
-            share_rng=share_rng,
-            dealer_rng=dealer_rng,
-        )
+        if use_sparse:
+            projection_result = projection.project_degrees(
+                maintainer.degree_vector(copy=False)
+            )
+            count_result = statistic.secure_count_from_degrees(
+                projection_result.projected_degrees,
+                config=config,
+                share_rng=share_rng,
+                dealer_rng=dealer_rng,
+            )
+        else:
+            projection_result = projection.project_graph(
+                maintainer.graph, noisy_degrees=noisy_degrees
+            )
+            count_result = statistic.secure_count(
+                projection_result.projected_rows,
+                config=config,
+                share_rng=share_rng,
+                dealer_rng=dealer_rng,
+            )
         exact = statistic.finalise(float(count_result.reconstruct(config.ring)))
         mechanism = LaplaceMechanism(
             epsilon=epsilon_count,

@@ -1,0 +1,170 @@
+"""Memoisation and invalidation of ``Graph.degree_vector`` / ``csr_arrays``.
+
+Mirrors ``test_graph_cache_invalidation.py``: the degree vector and the CSR
+view are instance memos with the same mutation-invalidation contract as the
+adjacency matrix, and the sparse execution path depends on them staying
+consistent with the adjacency sets through arbitrary edge churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import Graph
+
+
+def _expected_csr(graph: Graph):
+    indptr = [0]
+    indices = []
+    for node in graph.nodes():
+        neighbours = sorted(graph.neighbors(node))
+        indices.extend(neighbours)
+        indptr.append(indptr[-1] + len(neighbours))
+    return indptr, indices
+
+
+class TestDegreeVectorCache:
+    def test_matches_degrees_list(self, triangle_graph):
+        assert triangle_graph.degree_vector().tolist() == triangle_graph.degrees()
+
+    def test_dtype_and_shape(self, triangle_graph):
+        vector = triangle_graph.degree_vector()
+        assert vector.dtype == np.int64
+        assert vector.shape == (triangle_graph.num_nodes,)
+
+    def test_no_copy_is_memoised(self, triangle_graph):
+        first = triangle_graph.degree_vector(copy=False)
+        second = triangle_graph.degree_vector(copy=False)
+        assert first is second
+
+    def test_no_copy_view_is_read_only(self, triangle_graph):
+        vector = triangle_graph.degree_vector(copy=False)
+        with pytest.raises(ValueError):
+            vector[0] = 99
+
+    def test_default_copy_is_writable_and_fresh(self, triangle_graph):
+        first = triangle_graph.degree_vector()
+        second = triangle_graph.degree_vector()
+        assert first is not second
+        first[0] = 99  # must not corrupt the memo
+        assert triangle_graph.degree_vector()[0] == triangle_graph.degree(0)
+
+    def test_add_edge_invalidates(self, triangle_graph):
+        stale = triangle_graph.degree_vector(copy=False)
+        triangle_graph.add_edge(1, 3)
+        fresh = triangle_graph.degree_vector(copy=False)
+        assert fresh is not stale
+        assert fresh.tolist() == triangle_graph.degrees()
+
+    def test_remove_edge_invalidates(self, triangle_graph):
+        stale = triangle_graph.degree_vector(copy=False)
+        triangle_graph.remove_edge(0, 1)
+        fresh = triangle_graph.degree_vector(copy=False)
+        assert fresh is not stale
+        assert fresh.tolist() == triangle_graph.degrees()
+
+    def test_noop_mutations_keep_cache(self, triangle_graph):
+        cached = triangle_graph.degree_vector(copy=False)
+        assert triangle_graph.add_edge(0, 1) is False  # already present
+        assert triangle_graph.remove_edge(0, 3) is False  # never existed
+        assert triangle_graph.degree_vector(copy=False) is cached
+
+    def test_copy_shares_cache_then_diverges(self, triangle_graph):
+        original = triangle_graph.degree_vector(copy=False)
+        clone = triangle_graph.copy()
+        assert clone.degree_vector(copy=False) is original
+        clone.add_edge(1, 3)
+        assert clone.degree_vector(copy=False) is not original
+        assert triangle_graph.degree_vector(copy=False) is original
+        assert clone.degree_vector().tolist() == clone.degrees()
+
+    def test_long_random_mutation_sequence(self, rng):
+        n = 24
+        graph = Graph(n)
+        for _ in range(400):
+            u, v = rng.choice(n, size=2, replace=False)
+            if rng.random() < 0.6:
+                graph.add_edge(int(u), int(v))
+            else:
+                graph.remove_edge(int(u), int(v))
+            assert graph.degree_vector().tolist() == graph.degrees()
+
+    def test_empty_graph(self):
+        assert Graph(0).degree_vector().tolist() == []
+
+
+class TestCsrCache:
+    def test_structure_matches_adjacency(self, triangle_graph):
+        indptr, indices = triangle_graph.csr_arrays()
+        expected_indptr, expected_indices = _expected_csr(triangle_graph)
+        assert indptr.tolist() == expected_indptr
+        assert indices.tolist() == expected_indices
+
+    def test_memoised_identity(self, triangle_graph):
+        assert triangle_graph.csr_arrays() is triangle_graph.csr_arrays()
+
+    def test_views_are_read_only(self, triangle_graph):
+        indptr, indices = triangle_graph.csr_arrays()
+        with pytest.raises(ValueError):
+            indptr[0] = 7
+        with pytest.raises(ValueError):
+            indices[0] = 7
+
+    def test_add_edge_invalidates(self, triangle_graph):
+        stale = triangle_graph.csr_arrays()
+        triangle_graph.add_edge(1, 3)
+        fresh = triangle_graph.csr_arrays()
+        assert fresh is not stale
+        expected_indptr, expected_indices = _expected_csr(triangle_graph)
+        assert fresh[0].tolist() == expected_indptr
+        assert fresh[1].tolist() == expected_indices
+
+    def test_remove_edge_invalidates(self, triangle_graph):
+        stale = triangle_graph.csr_arrays()
+        triangle_graph.remove_edge(2, 3)
+        fresh = triangle_graph.csr_arrays()
+        assert fresh is not stale
+        expected_indptr, expected_indices = _expected_csr(triangle_graph)
+        assert fresh[0].tolist() == expected_indptr
+        assert fresh[1].tolist() == expected_indices
+
+    def test_noop_mutations_keep_cache(self, triangle_graph):
+        cached = triangle_graph.csr_arrays()
+        assert triangle_graph.add_edge(0, 1) is False
+        assert triangle_graph.remove_edge(0, 3) is False
+        assert triangle_graph.csr_arrays() is cached
+
+    def test_copy_shares_cache_then_diverges(self, triangle_graph):
+        original = triangle_graph.csr_arrays()
+        clone = triangle_graph.copy()
+        assert clone.csr_arrays() is original
+        clone.remove_edge(0, 1)
+        assert clone.csr_arrays() is not original
+        assert triangle_graph.csr_arrays() is original
+
+    def test_consistent_with_adjacency_matrix(self, complete_graph):
+        indptr, indices = complete_graph.csr_arrays()
+        matrix = complete_graph.adjacency_matrix()
+        for u in complete_graph.nodes():
+            row = indices[indptr[u] : indptr[u + 1]]
+            assert sorted(row.tolist()) == np.nonzero(matrix[u])[0].tolist()
+
+    def test_long_random_mutation_sequence(self, rng):
+        n = 16
+        graph = Graph(n)
+        for _ in range(300):
+            u, v = rng.choice(n, size=2, replace=False)
+            if rng.random() < 0.5:
+                graph.add_edge(int(u), int(v))
+            else:
+                graph.remove_edge(int(u), int(v))
+            indptr, indices = graph.csr_arrays()
+            expected_indptr, expected_indices = _expected_csr(graph)
+            assert indptr.tolist() == expected_indptr
+            assert indices.tolist() == expected_indices
+
+    def test_empty_graph(self):
+        indptr, indices = Graph(3).csr_arrays()
+        assert indptr.tolist() == [0, 0, 0, 0]
+        assert indices.tolist() == []

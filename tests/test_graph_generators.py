@@ -10,6 +10,7 @@ from repro.graph.generators import (
     erdos_renyi_graph,
     powerlaw_cluster_graph,
     random_regular_graph,
+    sparse_random_graph,
     stochastic_block_model_graph,
     watts_strogatz_graph,
 )
@@ -122,3 +123,38 @@ class TestRandomRegular:
     def test_degree_too_large_rejected(self):
         with pytest.raises(ConfigurationError):
             random_regular_graph(4, 4)
+
+
+class TestSparseRandomGraph:
+    def test_exact_edge_count(self):
+        graph = sparse_random_graph(500, 1500, seed=0)
+        assert graph.num_nodes == 500
+        assert graph.num_edges == 1500
+
+    def test_deterministic_with_seed(self):
+        a = sparse_random_graph(200, 600, seed=4)
+        b = sparse_random_graph(200, 600, seed=4)
+        assert a == b
+
+    def test_simple_graph_invariants(self):
+        graph = sparse_random_graph(100, 300, seed=2)
+        for u, v in graph.edges():
+            assert u != v
+        assert len(set(graph.edges())) == graph.num_edges
+
+    def test_zero_edges_and_empty_graph(self):
+        assert sparse_random_graph(10, 0, seed=1).num_edges == 0
+        assert sparse_random_graph(0, 0, seed=1).num_nodes == 0
+
+    def test_dense_request_saturates(self):
+        # num_edges == C(n, 2): rejection sampling must still terminate.
+        graph = sparse_random_graph(12, 66, seed=3)
+        assert graph.num_edges == 66
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            sparse_random_graph(-1, 0)
+        with pytest.raises(ConfigurationError):
+            sparse_random_graph(10, -1)
+        with pytest.raises(ConfigurationError):
+            sparse_random_graph(10, 46)  # > C(10, 2)

@@ -7,7 +7,12 @@ import pytest
 from repro.exceptions import DatasetError
 from repro.graph.generators import erdos_renyi_graph
 from repro.graph.graph import Graph
-from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.io import (
+    iter_edge_list,
+    read_degree_vector,
+    read_edge_list,
+    write_edge_list,
+)
 
 
 class TestRoundTrip:
@@ -84,3 +89,42 @@ class TestReading:
         path.write_text("0 1\n1 2\n")
         with pytest.raises(DatasetError):
             read_edge_list(path, num_nodes=2)
+
+
+class TestStreamingReaders:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "edges.txt"
+        path.write_text(text)
+        return path
+
+    def test_iter_edge_list_streams_pairs(self, tmp_path):
+        path = self._write(tmp_path, "# header\n0 1\n2 3\n3 3\n1 0\n")
+        assert list(iter_edge_list(path)) == [(0, 1), (2, 3), (1, 0)]
+
+    def test_iter_edge_list_is_lazy(self, tmp_path):
+        path = self._write(tmp_path, "0 1\nbroken\n2 3\n")
+        iterator = iter_edge_list(path)
+        assert next(iterator) == (0, 1)
+        with pytest.raises(DatasetError, match="expected 'u v'"):
+            next(iterator)
+
+    def test_read_degree_vector_matches_graph(self, tmp_path, small_random_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_random_graph, path)
+        vector = read_degree_vector(
+            path, num_nodes=small_random_graph.num_nodes, relabel=False
+        )
+        assert vector.tolist() == small_random_graph.degrees()
+
+    def test_read_degree_vector_collapses_duplicates(self, tmp_path):
+        path = self._write(tmp_path, "0 1\n1 0\n0 1\n1 2\n")
+        assert read_degree_vector(path).tolist() == [1, 2, 1]
+
+    def test_read_degree_vector_num_nodes_pads_isolated(self, tmp_path):
+        path = self._write(tmp_path, "0 1\n")
+        assert read_degree_vector(path, num_nodes=4).tolist() == [1, 1, 0, 0]
+
+    def test_read_degree_vector_num_nodes_too_small(self, tmp_path):
+        path = self._write(tmp_path, "0 1\n2 3\n")
+        with pytest.raises(DatasetError, match="smaller"):
+            read_degree_vector(path, num_nodes=2)

@@ -1,0 +1,155 @@
+"""Sparse (degree-local) vs dense execution: bit-identical transcripts.
+
+The sparse path projects the degree vector instead of the ``n x n`` rows and
+feeds :meth:`secure_count_from_degrees` directly.  Because the projected
+degree of user ``i`` is determined by her original degree and the bound
+alone, and because the dense k-star kernel reduces its rows to that same
+degree vector before sharing, the two paths must agree *bit for bit* — not
+just in the released count but in every recorded server view and every
+communication-ledger entry.  These tests pin that contract on the graph
+shapes where projection behaves differently (no edges, one hub, all-equal
+degrees, random).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Cargo, CargoConfig
+from repro.core.node_dp import NodeDpCargo
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import sparse_random_graph
+from repro.graph.graph import Graph
+
+SEED = 1234
+
+
+def leaves_equal(x, y):
+    """Recursive equality over nested tuples/lists of scalars and arrays.
+
+    ``np.array_equal`` on a tuple of ragged-shaped arrays is spuriously
+    ``False`` (it cannot broadcast them into one array), so container levels
+    are compared element-wise and only the leaves go through numpy.
+    """
+    if isinstance(x, (tuple, list)):
+        return len(x) == len(y) and all(leaves_equal(a, b) for a, b in zip(x, y))
+    return np.array_equal(x, y)
+
+
+def _config(statistic: str, sparse: str, **overrides) -> CargoConfig:
+    defaults = dict(
+        epsilon=2.0,
+        statistic=statistic,
+        seed=SEED,
+        sparse=sparse,
+        record_views=True,
+        track_communication=True,
+    )
+    defaults.update(overrides)
+    return CargoConfig(**defaults)
+
+
+def _graphs(rng):
+    complete = Graph(6)
+    for u in range(6):
+        for v in range(u + 1, 6):
+            complete.add_edge(u, v)
+    star = Graph(8, edges=[(0, v) for v in range(1, 8)])
+    return {
+        "empty": Graph(12),
+        "star": star,
+        "complete": complete,
+        "random": sparse_random_graph(40, 90, seed=7),
+    }
+
+
+def _assert_identical_runs(graph, statistic: str, **overrides):
+    """Run dense (sparse='never') vs sparse ('force') and compare transcripts."""
+    dense = Cargo(_config(statistic, "never", **overrides))
+    sparse = Cargo(_config(statistic, "force", **overrides))
+    dense_result = dense.run(graph)
+    sparse_result = sparse.run(graph)
+
+    assert sparse_result.noisy_triangle_count == dense_result.noisy_triangle_count
+    assert sparse_result.true_triangle_count == dense_result.true_triangle_count
+    assert (
+        sparse_result.projected_triangle_count
+        == dense_result.projected_triangle_count
+    )
+    assert sparse_result.noisy_max_degree == dense_result.noisy_max_degree
+    assert sparse_result.epsilon1 == dense_result.epsilon1
+    assert sparse_result.epsilon2 == dense_result.epsilon2
+    # The ledger (bytes, message counts, per-phase breakdown) must match.
+    assert sparse_result.communication == dense_result.communication
+    assert sparse_result.communication_phases == dense_result.communication_phases
+
+    # Every recorded server view: same labels, same values, same order.
+    for server in (1, 2):
+        dense_entries = dense.views.view(server).entries
+        sparse_entries = sparse.views.view(server).entries
+        assert [e.label for e in sparse_entries] == [e.label for e in dense_entries]
+        for dense_entry, sparse_entry in zip(dense_entries, sparse_entries):
+            assert leaves_equal(sparse_entry.value, dense_entry.value), (
+                server,
+                dense_entry.label,
+            )
+    return dense_result, sparse_result
+
+
+class TestCargoSparseEquivalence:
+    @pytest.mark.parametrize("shape", ["empty", "star", "complete", "random"])
+    @pytest.mark.parametrize("statistic", ["kstars", "wedges"])
+    def test_bit_identical_release_and_transcript(self, shape, statistic, rng):
+        graph = _graphs(rng)[shape]
+        _assert_identical_runs(graph, statistic)
+
+    def test_star_k_three(self, rng):
+        graph = _graphs(rng)["random"]
+        _assert_identical_runs(graph, "kstars", star_k=3)
+
+    def test_auto_equals_force_for_degree_statistics(self, rng):
+        graph = _graphs(rng)["random"]
+        auto = Cargo(_config("kstars", "auto")).run(graph)
+        force = Cargo(_config("kstars", "force")).run(graph)
+        assert auto.noisy_triangle_count == force.noisy_triangle_count
+        assert auto.communication == force.communication
+
+    def test_force_rejects_non_degree_statistic(self, triangle_graph):
+        with pytest.raises(ConfigurationError, match="degree-local kernel"):
+            Cargo(_config("triangles", "force")).run(triangle_graph)
+
+    def test_auto_keeps_triangles_dense(self, triangle_graph):
+        result = Cargo(_config("triangles", "auto")).run(triangle_graph)
+        assert result.statistic == "triangles"
+
+    def test_zero_opening_rounds_and_o_n_shares(self, rng):
+        """The sparse kernel shares one scalar per user, nothing quadratic."""
+        graph = _graphs(rng)["random"]
+        cargo = Cargo(_config("kstars", "force"))
+        cargo.run(graph)
+        for server in (1, 2):
+            entries = cargo.views.view(server).entries
+            share_entries = [e for e in entries if e.label == "statistic_share"]
+            assert len(share_entries) == 1
+            assert share_entries[0].value.shape == (graph.num_nodes,)
+
+
+class TestNodeDpSparseEquivalence:
+    @pytest.mark.parametrize("shape", ["empty", "star", "complete", "random"])
+    def test_bit_identical_release(self, shape, rng):
+        graph = _graphs(rng)[shape]
+        dense = NodeDpCargo(
+            CargoConfig(epsilon=2.0, statistic="wedges", seed=SEED, sparse="never")
+        ).run(graph)
+        sparse = NodeDpCargo(
+            CargoConfig(epsilon=2.0, statistic="wedges", seed=SEED, sparse="force")
+        ).run(graph)
+        assert sparse.noisy_triangle_count == dense.noisy_triangle_count
+        assert sparse.projected_triangle_count == dense.projected_triangle_count
+        assert sparse.noisy_max_degree == dense.noisy_max_degree
+
+    def test_force_rejects_non_degree_statistic(self, triangle_graph):
+        config = CargoConfig(epsilon=2.0, statistic="triangles", sparse="force", seed=0)
+        with pytest.raises(ConfigurationError, match="degree-local kernel"):
+            NodeDpCargo(config).run(triangle_graph)

@@ -197,3 +197,79 @@ class TestBeaverAccounting:
             la = left.vector_triple((4,))
             ra = right.vector_triple((4,))
             assert np.array_equal(la.server1.x, ra.server1.x)
+
+
+class TestMmapStore:
+    """mmap mode: array bytes live in a flat ``.bin`` file and come back as
+    read-only :class:`numpy.memmap` views, never as resident heap copies."""
+
+    def test_requires_cache_dir(self):
+        with pytest.raises(DealerError, match="cache_dir"):
+            TripleStore(mmap=True)
+
+    def test_round_trip_writes_npk_bin_pair(self, tmp_path):
+        store = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        sig = _signature()
+        material = [
+            {"x": np.arange(16, dtype=np.uint64), "count": 7},
+            {"x": np.arange(5, dtype=np.uint64) * 3, "count": 8},
+        ]
+        assert store.put(sig, material)
+        assert len(list(tmp_path.glob("*.npk"))) == 1
+        assert len(list(tmp_path.glob("*.bin"))) == 1
+        fetched = store.get(sig)
+        assert len(fetched) == 2
+        for original, loaded in zip(material, fetched):
+            assert np.array_equal(loaded["x"], original["x"])
+            assert loaded["count"] == original["count"]
+
+    def test_fetched_arrays_are_read_only_memmaps(self, tmp_path):
+        store = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        sig = _signature()
+        store.put(sig, {"x": np.arange(8, dtype=np.uint64)})
+        fetched = store.get(sig)
+        assert isinstance(fetched["x"], np.memmap)
+        with pytest.raises(ValueError):
+            fetched["x"][0] = 1
+
+    def test_hits_and_misses_are_counted(self, tmp_path):
+        store = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        sig = _signature()
+        assert store.get(sig) is None
+        store.put(sig, {"x": np.ones(4, dtype=np.uint64)})
+        assert store.get(sig) is not None
+        assert store.get(sig) is not None
+        stats = store.stats()
+        assert stats["misses"] == 1 and stats["hits"] == 2 and stats["stores"] == 1
+
+    def test_no_resident_entries_or_size_decline(self, tmp_path):
+        # The LRU and the oversize rule guard resident memory, which mmap
+        # entries never consume; both are bypassed.
+        store = TripleStore(cache_dir=str(tmp_path), mmap=True, max_entry_bytes=8)
+        assert store.accepts_bytes(1 << 30)
+        sig = _signature()
+        assert store.put(sig, {"x": np.zeros(1024, dtype=np.uint64)})
+        stats = store.stats()
+        assert stats["entries"] == 0 and stats["memory_bytes"] == 0
+        assert store.get(sig) is not None
+
+    def test_survives_a_new_store_on_the_same_dir(self, tmp_path):
+        sig = _signature()
+        writer = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        writer.put(sig, {"x": np.arange(12, dtype=np.uint64)})
+        reader = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        fetched = reader.get(sig)
+        assert np.array_equal(fetched["x"], np.arange(12, dtype=np.uint64))
+        assert reader.hits == 1
+
+    def test_mismatched_signature_is_never_served(self, tmp_path):
+        store = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        store.put(_signature(), {"x": np.ones(4, dtype=np.uint64)})
+        assert store.get(_signature(dealer_key="seed:2")) is None
+
+    def test_plain_store_ignores_mmap_files(self, tmp_path):
+        mmap_store = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        sig = _signature()
+        mmap_store.put(sig, {"x": np.ones(4, dtype=np.uint64)})
+        plain = TripleStore(cache_dir=str(tmp_path))
+        assert plain.get(sig) is None
