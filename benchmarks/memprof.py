@@ -3,26 +3,14 @@
 ``tracemalloc`` instruments every allocation, which slows Python-loop-heavy
 code noticeably — so peak-memory numbers are always taken in a *separate*
 pass from the wall-clock timings, never mixed into a timed repetition.
+
+The measurement itself now lives in :mod:`repro.telemetry.profiling` (one
+code path feeds the benchmarks, the telemetry spans, and the scale gates);
+this module re-exports it so existing bench imports keep working.
 """
 
 from __future__ import annotations
 
-import gc
-import tracemalloc
+from repro.telemetry.profiling import measure_peak_bytes
 
-
-def measure_peak_bytes(callable_) -> int:
-    """Peak traced allocation (bytes) across one call of *callable_*.
-
-    Only allocations made while tracing count, so callers decide what the
-    peak covers by what they build inside the callable (e.g. start tracing
-    after the secret shares exist to isolate a backend's working memory).
-    """
-    gc.collect()
-    tracemalloc.start()
-    try:
-        callable_()
-        _, peak = tracemalloc.get_traced_memory()
-    finally:
-        tracemalloc.stop()
-    return int(peak)
+__all__ = ["measure_peak_bytes"]

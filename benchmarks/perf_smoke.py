@@ -39,6 +39,7 @@ import argparse
 import json
 import platform
 import sys
+import time
 from pathlib import Path
 
 from bench_backend_scaling import (
@@ -60,6 +61,71 @@ MEMORY_TOLERANCE = 2.0
 #: n for the engine rows; serial (workers=1) plus one parallel variant.
 ENGINE_USERS = 256
 DEFAULT_ENGINE_WORKERS = 2
+#: Disabled-telemetry overhead gate: an explicitly disabled Telemetry
+#: session must cost at most this factor over no session at all (or at most
+#: the absolute slack, whichever is looser — tiny runs are timer-noise
+#: bound).  Interleaved in-process A/B with min-of-reps, so the check is
+#: machine-independent and needs no committed baseline.
+TELEMETRY_OVERHEAD_LIMIT = 1.02
+TELEMETRY_OVERHEAD_ABS_SECONDS = 0.002
+TELEMETRY_USERS = 128
+TELEMETRY_REPS = 7
+
+
+def check_telemetry_overhead(failures: list) -> dict:
+    """A/B the matrix-backend release with and without a disabled session.
+
+    Both arms run the identical protocol (``telemetry=None`` resolves to the
+    same no-op bundle as ``Telemetry.disabled()``); the gate pins the cost of
+    carrying the instrumentation — every span call hitting the disabled
+    fast path — to under ``TELEMETRY_OVERHEAD_LIMIT``.  Arms are interleaved
+    and summarised by their minimum, which discards scheduler noise.
+    """
+    from repro.core import Cargo, CargoConfig
+    from repro.graph.datasets import load_dataset
+    from repro.telemetry import Telemetry
+
+    graph = load_dataset("facebook", num_nodes=TELEMETRY_USERS)
+
+    def one_run(telemetry) -> float:
+        config = CargoConfig(
+            epsilon=2.0, seed=11, counting_backend="matrix", telemetry=telemetry
+        )
+        started = time.perf_counter()
+        Cargo(config).run(graph)
+        return time.perf_counter() - started
+
+    one_run(None)  # warm-up: imports, dataset and ground-truth caches
+    without_session = []
+    with_disabled = []
+    for _ in range(TELEMETRY_REPS):
+        without_session.append(one_run(None))
+        with_disabled.append(one_run(Telemetry.disabled()))
+    best_without = min(without_session)
+    best_disabled = min(with_disabled)
+    ratio = best_disabled / best_without if best_without > 0 else float("inf")
+    delta = best_disabled - best_without
+    passed = ratio <= TELEMETRY_OVERHEAD_LIMIT or delta <= TELEMETRY_OVERHEAD_ABS_SECONDS
+    status = "ok" if passed else "FAIL"
+    print(
+        f"  {status:4s} telemetry_overhead/matrix/n={TELEMETRY_USERS}: "
+        f"{best_disabled*1e3:.2f} ms disabled-session vs {best_without*1e3:.2f} ms bare "
+        f"({ratio:.3f}x, limit {TELEMETRY_OVERHEAD_LIMIT}x or "
+        f"{TELEMETRY_OVERHEAD_ABS_SECONDS*1e3:.0f} ms abs)"
+    )
+    if not passed:
+        failures.append("telemetry_overhead")
+    return {
+        "name": "telemetry_overhead",
+        "backend": "matrix",
+        "num_users": TELEMETRY_USERS,
+        "reps": TELEMETRY_REPS,
+        "seconds_without_session": best_without,
+        "seconds_disabled_session": best_disabled,
+        "ratio": ratio,
+        "limit": TELEMETRY_OVERHEAD_LIMIT,
+        "abs_slack_seconds": TELEMETRY_OVERHEAD_ABS_SECONDS,
+    }
 
 
 def _key(row: dict) -> str:
@@ -114,9 +180,14 @@ def main(argv: list[str]) -> int:
     if args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
     rows = collect_rows(args.workers)
+    telemetry_failures: list = []
+    telemetry_row = check_telemetry_overhead(telemetry_failures)
     OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)
     OUTPUT_PATH.write_text(
-        json.dumps({"benchmark": "perf_smoke", "rows": list(rows.values())}, indent=2)
+        json.dumps(
+            {"benchmark": "perf_smoke", "rows": list(rows.values()) + [telemetry_row]},
+            indent=2,
+        )
     )
     print(f"wrote {OUTPUT_PATH}")
 
@@ -151,7 +222,7 @@ def main(argv: list[str]) -> int:
         return 1
     baseline = json.loads(BASELINE_PATH.read_text())
     tolerance = float(baseline.get("tolerance", TOLERANCE))
-    regressions = []
+    regressions = list(telemetry_failures)
     ratios = {}
     for key, expected in baseline["rows"].items():
         row = rows.get(key)

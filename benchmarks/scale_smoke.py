@@ -31,8 +31,6 @@ from __future__ import annotations
 import json
 import sys
 import tempfile
-import time
-import tracemalloc
 from pathlib import Path
 
 from repro.core import Cargo, CargoConfig
@@ -41,6 +39,7 @@ from repro.crypto.beaver import BeaverTripleDealer
 from repro.graph.generators import sparse_random_graph
 from repro.graph.triangles import count_triangles
 from repro.parallel import TripleStore
+from repro.telemetry import traced_call
 
 OUTPUT_PATH = Path(__file__).resolve().parent / "results" / "scale_smoke.json"
 
@@ -67,15 +66,9 @@ WARM_PEAK_CEILING_MB = 32.0
 WINDOW_GROWTH_LIMIT = 3.0
 
 
-def _traced(callable_):
-    """(result, seconds, peak_bytes) of one tracemalloc-instrumented call."""
-    tracemalloc.start()
-    start = time.perf_counter()
-    result = callable_()
-    seconds = time.perf_counter() - start
-    _, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
-    return result, seconds, int(peak)
+#: (result, seconds, peak_bytes) of one tracemalloc-instrumented call —
+#: the telemetry layer's single measurement path for all benchmark gates.
+_traced = traced_call
 
 
 def check_sparse_release(failures: list) -> dict:

@@ -123,6 +123,18 @@ API_PAGES = {
             "repro.parallel.store",
         ),
     ),
+    "telemetry": (
+        "repro.telemetry — spans, metrics, manifests",
+        (
+            "repro.telemetry.session",
+            "repro.telemetry.spans",
+            "repro.telemetry.metrics",
+            "repro.telemetry.manifest",
+            "repro.telemetry.exporters",
+            "repro.telemetry.timers",
+            "repro.telemetry.profiling",
+        ),
+    ),
 }
 
 

@@ -37,7 +37,7 @@ from repro.exceptions import PrivacyError
 from repro.graph.graph import Graph
 from repro.graph.triangles import count_triangles
 from repro.utils.rng import RandomState, derive_rng, spawn_rngs
-from repro.utils.timer import TimerRegistry
+from repro.telemetry import TimerRegistry
 
 #: Default budget split: (noisy max degree, randomized response, count noise).
 DEFAULT_SPLIT = (0.1, 0.45, 0.45)

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.graph.graph import Graph
 from repro.graph.triangles import count_triangles
 from repro.utils.rng import RandomState
-from repro.utils.timer import TimerRegistry
+from repro.telemetry import TimerRegistry
 
 
 @dataclass(frozen=True)

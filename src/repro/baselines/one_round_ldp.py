@@ -20,7 +20,7 @@ from repro.exceptions import PrivacyError
 from repro.graph.graph import Graph
 from repro.graph.triangles import count_triangles
 from repro.utils.rng import RandomState, derive_rng
-from repro.utils.timer import TimerRegistry
+from repro.telemetry import TimerRegistry
 
 
 @dataclass(frozen=True)

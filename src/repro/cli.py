@@ -5,6 +5,8 @@ Usage::
     repro-cargo list
     repro-cargo table4
     repro-cargo fig5 --num-nodes 200 --trials 2
+    repro-cargo run --backend blocked --statistic 4cycles \
+        --trace-out trace.json --metrics-out metrics.prom
     python -m repro.cli fig9 --num-nodes 300
 
 Every experiment accepts a few common overrides (number of nodes, number of
@@ -107,17 +109,32 @@ def build_parser() -> argparse.ArgumentParser:
         "not the graph size, with bit-identical transcripts)",
     )
     parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a schema-versioned JSON run manifest (span tree, metrics, "
+        "releases) to FILE after the experiment",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's metric registry in Prometheus text format to FILE",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the result rows as JSON instead of a table"
     )
     return parser
 
 
-def _collect_overrides(args: argparse.Namespace, runner) -> dict:
+def _collect_overrides(args: argparse.Namespace, runner, telemetry=None) -> dict:
     """Map CLI flags onto the experiment function's keyword parameters."""
     import inspect
 
     accepted = set(inspect.signature(runner).parameters)
     overrides = {}
+    if telemetry is not None and "telemetry" in accepted:
+        overrides["telemetry"] = telemetry
     if args.num_nodes is not None and "num_nodes" in accepted:
         overrides["num_nodes"] = args.num_nodes
     if args.trials is not None and "num_trials" in accepted:
@@ -170,17 +187,49 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:<8} {spec.paper_artifact:<11} {spec.description}")
         return 0
 
+    # A telemetry session is created whenever an exporter (or the JSON
+    # payload, which embeds a summary block) can consume it; experiments
+    # that do not accept a ``telemetry`` parameter simply run untraced.
+    telemetry = None
+    if args.trace_out or args.metrics_out or args.json:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+
     try:
         spec = get_experiment(args.experiment)
-        overrides = _collect_overrides(args, spec.runner)
+        overrides = _collect_overrides(args, spec.runner, telemetry=telemetry)
         report = spec.run(**overrides)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+    if args.trace_out:
+        from repro.telemetry import write_trace
+
+        write_trace(
+            telemetry,
+            args.trace_out,
+            experiment=args.experiment,
+            description=report.description,
+        )
+    if args.metrics_out:
+        from repro.telemetry import write_metrics
+
+        write_metrics(telemetry.metrics, args.metrics_out)
+
     if args.json:
         import json
 
-        print(json.dumps({"name": report.name, "description": report.description, "rows": report.rows}, indent=2))
+        from repro.telemetry import summary_block
+
+        payload = {
+            "name": report.name,
+            "description": report.description,
+            "rows": report.rows,
+            "telemetry": summary_block(telemetry),
+        }
+        print(json.dumps(payload, indent=2))
     else:
         print(report.to_text())
     return 0

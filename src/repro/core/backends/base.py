@@ -30,6 +30,7 @@ import numpy as np
 from repro.crypto.ring import DEFAULT_RING, Ring
 from repro.crypto.views import ViewRecorder
 from repro.exceptions import ProtocolError
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.rng import RandomState, derive_rng, spawn_rngs
 
 
@@ -104,9 +105,17 @@ class TriangleCounterBackend(abc.ABC):
     selectable by name through ``CargoConfig(counting_backend=...)``.
     """
 
-    def __init__(self, ring: Ring = DEFAULT_RING, views: Optional[ViewRecorder] = None) -> None:
+    def __init__(
+        self,
+        ring: Ring = DEFAULT_RING,
+        views: Optional[ViewRecorder] = None,
+        telemetry=None,
+    ) -> None:
         self._ring = ring
         self._views = views
+        # The no-op bundle when the run is untraced — backends instrument
+        # unconditionally and the disabled tracer swallows every span.
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     @property
     def ring(self) -> Ring:

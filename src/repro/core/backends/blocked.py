@@ -62,6 +62,7 @@ from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_pair
 from repro.crypto.views import ViewRecorder
 from repro.exceptions import ProtocolError
 from repro.parallel import MaterialSequence, TripleSignature, WorkerPool, resolve_workers
+from repro.telemetry import resolve_telemetry
 from repro.utils.rng import RandomState
 
 #: Default tile width; 128² ring elements per triple ≈ 128 KiB per array.
@@ -112,6 +113,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         workers: int = 0,
         triple_store=None,
         tile_window: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         if block_size <= 0:
             raise ProtocolError(f"block_size must be positive, got {block_size}")
@@ -121,7 +123,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
             raise ProtocolError(
                 f"tile_window must be at least 1 (or None), got {tile_window}"
             )
-        super().__init__(ring=ring, views=views)
+        super().__init__(ring=ring, views=views, telemetry=telemetry)
         self._dealer = dealer if dealer is not None else BeaverTripleDealer(ring=ring)
         self._block_size = block_size
         self._workers = int(workers)
@@ -154,6 +156,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
             workers=resolve_workers(config),
             triple_store=getattr(config, "triple_store", None),
             tile_window=getattr(config, "tile_window", None),
+            telemetry=resolve_telemetry(config),
         )
 
     def count_from_shares(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
@@ -176,50 +179,61 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         total1 = 0
         total2 = 0
         opening_rounds = 0
+        tracer = self._telemetry.tracer
 
-        for j0, j1 in blocks:
-            for k0, k1 in blocks:
-                if j0 >= k1 - 1:
-                    # No pair j < k falls inside this tile (public index fact).
-                    continue
-                rows_j = j1 - j0
-                cols_k = k1 - k0
-                m1 = np.zeros((rows_j, cols_k), dtype=ring.dtype)
-                m2 = np.zeros((rows_j, cols_k), dtype=ring.dtype)
-                for i0, i1 in blocks:
-                    if i0 >= j1 - 1:
-                        # C[I, J] is structurally zero (i >= j throughout), so
-                        # the tile's contribution to M is publicly zero.
+        with tracer.span(
+            "backend", backend="blocked", num_users=n, block_size=self._block_size
+        ) as backend_span:
+            for j0, j1 in blocks:
+                for k0, k1 in blocks:
+                    if j0 >= k1 - 1:
+                        # No pair j < k falls inside this tile (public index fact).
                         continue
-                    left1 = np.ascontiguousarray(self._upper_block(share1, i0, i1, j0, j1).T)
-                    left2 = np.ascontiguousarray(self._upper_block(share2, i0, i1, j0, j1).T)
-                    right1 = self._upper_block(share1, i0, i1, k0, k1)
-                    right2 = self._upper_block(share2, i0, i1, k0, k1)
-                    tile_triple = self._dealer.matrix_triple(
-                        (rows_j, i1 - i0), (i1 - i0, cols_k)
-                    )
-                    partial1, partial2 = secure_matrix_multiply(
-                        (left1, left2), (right1, right2), tile_triple,
-                        ring=ring, views=self._views,
-                    )
-                    m1 = ring.add(m1, partial1)
-                    m2 = ring.add(m2, partial2)
-                    opening_rounds += 1
+                    rows_j = j1 - j0
+                    cols_k = k1 - k0
+                    with tracer.span("tile_group", j0=j0, k0=k0) as group_span:
+                        m1 = np.zeros((rows_j, cols_k), dtype=ring.dtype)
+                        m2 = np.zeros((rows_j, cols_k), dtype=ring.dtype)
+                        group_rounds = 0
+                        for i0, i1 in blocks:
+                            if i0 >= j1 - 1:
+                                # C[I, J] is structurally zero (i >= j
+                                # throughout), so the tile's contribution to M
+                                # is publicly zero.
+                                continue
+                            left1 = np.ascontiguousarray(self._upper_block(share1, i0, i1, j0, j1).T)
+                            left2 = np.ascontiguousarray(self._upper_block(share2, i0, i1, j0, j1).T)
+                            right1 = self._upper_block(share1, i0, i1, k0, k1)
+                            right2 = self._upper_block(share2, i0, i1, k0, k1)
+                            tile_triple = self._dealer.matrix_triple(
+                                (rows_j, i1 - i0), (i1 - i0, cols_k)
+                            )
+                            partial1, partial2 = secure_matrix_multiply(
+                                (left1, left2), (right1, right2), tile_triple,
+                                ring=ring, views=self._views,
+                            )
+                            m1 = ring.add(m1, partial1)
+                            m2 = ring.add(m2, partial2)
+                            group_rounds += 1
 
-                # Finish the (J, K) tile: C[J, K] ⊙ M_{JK} over the strict
-                # upper triangle, with one small element-wise triple.
-                tile_mask = self._strict_upper_mask(j0, j1, k0, k1)
-                c_tile1 = self._upper_block(share1, j0, j1, k0, k1)
-                c_tile2 = self._upper_block(share2, j0, j1, k0, k1)
-                elementwise_triple = self._dealer.vector_triple((rows_j, cols_k))
-                prod1, prod2 = secure_multiply_pair(
-                    (c_tile1, c_tile2),
-                    (ring.mul(m1, tile_mask), ring.mul(m2, tile_mask)),
-                    elementwise_triple, ring=ring, views=self._views,
-                )
-                total1 = ring.add(total1, ring.sum(prod1))
-                total2 = ring.add(total2, ring.sum(prod2))
-                opening_rounds += 1
+                        # Finish the (J, K) tile: C[J, K] ⊙ M_{JK} over the
+                        # strict upper triangle, with one small element-wise
+                        # triple.
+                        tile_mask = self._strict_upper_mask(j0, j1, k0, k1)
+                        c_tile1 = self._upper_block(share1, j0, j1, k0, k1)
+                        c_tile2 = self._upper_block(share2, j0, j1, k0, k1)
+                        elementwise_triple = self._dealer.vector_triple((rows_j, cols_k))
+                        prod1, prod2 = secure_multiply_pair(
+                            (c_tile1, c_tile2),
+                            (ring.mul(m1, tile_mask), ring.mul(m2, tile_mask)),
+                            elementwise_triple, ring=ring, views=self._views,
+                        )
+                        total1 = ring.add(total1, ring.sum(prod1))
+                        total2 = ring.add(total2, ring.sum(prod2))
+                        group_rounds += 1
+                        group_span.annotate(opening_rounds=group_rounds)
+                    opening_rounds += group_rounds
+            backend_span.annotate(opening_rounds=opening_rounds)
 
         num_triples = num_candidate_triples(n)
         return CountResult(
@@ -275,40 +289,50 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         share1: np.ndarray,
         share2: np.ndarray,
     ) -> tuple:
-        """Online phase of one ``(J, K)`` group: accumulate, finish, subtotal."""
+        """Online phase of one ``(J, K)`` group: accumulate, finish, subtotal.
+
+        Telemetry follows the view-shard discipline exactly: the group's span
+        lands in a private tracer shard that the coordinator merges back in
+        canonical schedule order, so the trace tree is identical for any
+        worker count.
+        """
         ring = self._ring
         j0, j1, k0, k1, i_tiles = group
         rows_j = j1 - j0
         cols_k = k1 - k0
         shard = ViewRecorder() if self._views is not None else None
+        tracer_shard = self._telemetry.tracer.shard()
         matrix_triples = material["matrix"]
         if len(matrix_triples) != len(i_tiles):
             raise ProtocolError(
                 f"stored group material carries {len(matrix_triples)} matrix "
                 f"triples for {len(i_tiles)} I tiles"
             )
-        m1 = np.zeros((rows_j, cols_k), dtype=ring.dtype)
-        m2 = np.zeros((rows_j, cols_k), dtype=ring.dtype)
-        for (i0, i1), tile_triple in zip(i_tiles, matrix_triples):
-            left1 = np.ascontiguousarray(self._upper_block(share1, i0, i1, j0, j1).T)
-            left2 = np.ascontiguousarray(self._upper_block(share2, i0, i1, j0, j1).T)
-            right1 = self._upper_block(share1, i0, i1, k0, k1)
-            right2 = self._upper_block(share2, i0, i1, k0, k1)
-            partial1, partial2 = secure_matrix_multiply(
-                (left1, left2), (right1, right2), tile_triple,
-                ring=ring, views=shard,
+        with tracer_shard.span(
+            "tile_group", j0=j0, k0=k0, opening_rounds=len(i_tiles) + 1
+        ):
+            m1 = np.zeros((rows_j, cols_k), dtype=ring.dtype)
+            m2 = np.zeros((rows_j, cols_k), dtype=ring.dtype)
+            for (i0, i1), tile_triple in zip(i_tiles, matrix_triples):
+                left1 = np.ascontiguousarray(self._upper_block(share1, i0, i1, j0, j1).T)
+                left2 = np.ascontiguousarray(self._upper_block(share2, i0, i1, j0, j1).T)
+                right1 = self._upper_block(share1, i0, i1, k0, k1)
+                right2 = self._upper_block(share2, i0, i1, k0, k1)
+                partial1, partial2 = secure_matrix_multiply(
+                    (left1, left2), (right1, right2), tile_triple,
+                    ring=ring, views=shard,
+                )
+                m1 = ring.add(m1, partial1)
+                m2 = ring.add(m2, partial2)
+            tile_mask = self._strict_upper_mask(j0, j1, k0, k1)
+            c_tile1 = self._upper_block(share1, j0, j1, k0, k1)
+            c_tile2 = self._upper_block(share2, j0, j1, k0, k1)
+            prod1, prod2 = secure_multiply_pair(
+                (c_tile1, c_tile2),
+                (ring.mul(m1, tile_mask), ring.mul(m2, tile_mask)),
+                material["elementwise"], ring=ring, views=shard,
             )
-            m1 = ring.add(m1, partial1)
-            m2 = ring.add(m2, partial2)
-        tile_mask = self._strict_upper_mask(j0, j1, k0, k1)
-        c_tile1 = self._upper_block(share1, j0, j1, k0, k1)
-        c_tile2 = self._upper_block(share2, j0, j1, k0, k1)
-        prod1, prod2 = secure_multiply_pair(
-            (c_tile1, c_tile2),
-            (ring.mul(m1, tile_mask), ring.mul(m2, tile_mask)),
-            material["elementwise"], ring=ring, views=shard,
-        )
-        return ring.sum(prod1), ring.sum(prod2), len(i_tiles) + 1, shard
+        return ring.sum(prod1), ring.sum(prod2), len(i_tiles) + 1, shard, tracer_shard
 
     def offline_materials(self, num_users: int, pool: Optional[WorkerPool] = None):
         """The engine's offline phase: deal (or fetch warm) all tile material.
@@ -374,6 +398,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         window = self._tile_window
         schedule = self._tile_schedule(n)
         pool = WorkerPool(max(self._workers, 1))
+        tracer = self._telemetry.tracer
         # The dealer key is taken before any children are spawned so chunk
         # signatures match across runs regardless of which chunks run warm.
         dealer_key = self._dealer.fingerprint()
@@ -381,56 +406,72 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         total1 = 0
         total2 = 0
         opening_rounds = 0
-        for chunk_index, chunk_start in enumerate(range(0, len(schedule), window)):
-            chunk = schedule[chunk_start : chunk_start + window]
-            signature = TripleSignature(
-                statistic="triangles",
-                backend="blocked",
-                num_users=n,
-                geometry=(
-                    ("block_size", self._block_size),
-                    ("tile_window", window),
-                    ("chunk", chunk_index),
-                ),
-                ring_bits=ring.bits,
-                dealer_key=dealer_key,
-            )
-            stored = self._store.get(signature) if self._store is not None else None
-            if stored is None:
-                if sub_dealers is None:
-                    sub_dealers = self._dealer.spawn_subdealers(len(schedule))
-                materials = pool.map(
-                    [
-                        (lambda g=group, d=sub_dealers[chunk_start + offset]:
-                            self._deal_group(g, d))
-                        for offset, group in enumerate(chunk)
-                    ]
+        with tracer.span(
+            "backend",
+            backend="blocked",
+            num_users=n,
+            block_size=self._block_size,
+            tile_window=window,
+        ) as backend_span:
+            for chunk_index, chunk_start in enumerate(range(0, len(schedule), window)):
+                chunk = schedule[chunk_start : chunk_start + window]
+                signature = TripleSignature(
+                    statistic="triangles",
+                    backend="blocked",
+                    num_users=n,
+                    geometry=(
+                        ("block_size", self._block_size),
+                        ("tile_window", window),
+                        ("chunk", chunk_index),
+                    ),
+                    ring_bits=ring.bits,
+                    dealer_key=dealer_key,
                 )
-                if self._store is not None:
-                    self._store.put(signature, materials)
-            else:
-                materials = stored
-            sequence = MaterialSequence(materials, label="blocked tile window")
-            sequence.require(len(chunk))
-            for index in range(len(chunk)):
-                self._dealer.absorb_accounting(*sequence.take(index)["accounting"])
-            results = pool.map(
-                [
-                    (lambda i=index: self._run_group(
-                        chunk[i], sequence.take(i), share1, share2
-                    ))
-                    for index in range(len(chunk))
-                ]
-            )
-            for sum1, sum2, rounds, shard in results:
-                total1 = ring.add(total1, sum1)
-                total2 = ring.add(total2, sum2)
-                opening_rounds += rounds
-                if shard is not None:
-                    self._views.merge_from(shard)
-            # Release the window's material before the next chunk is dealt —
-            # this is the bounded-memory property the scale tests pin.
-            del materials, sequence, results, stored
+                with tracer.span(
+                    "tile_chunk", chunk=chunk_index, groups=len(chunk)
+                ):
+                    stored = (
+                        self._store.get(signature) if self._store is not None else None
+                    )
+                    with tracer.span("offline", groups=len(chunk)):
+                        if stored is None:
+                            if sub_dealers is None:
+                                sub_dealers = self._dealer.spawn_subdealers(len(schedule))
+                            materials = pool.map(
+                                [
+                                    (lambda g=group, d=sub_dealers[chunk_start + offset]:
+                                        self._deal_group(g, d))
+                                    for offset, group in enumerate(chunk)
+                                ]
+                            )
+                            if self._store is not None:
+                                self._store.put(signature, materials)
+                        else:
+                            materials = stored
+                    sequence = MaterialSequence(materials, label="blocked tile window")
+                    sequence.require(len(chunk))
+                    for index in range(len(chunk)):
+                        self._dealer.absorb_accounting(*sequence.take(index)["accounting"])
+                    results = pool.map(
+                        [
+                            (lambda i=index: self._run_group(
+                                chunk[i], sequence.take(i), share1, share2
+                            ))
+                            for index in range(len(chunk))
+                        ]
+                    )
+                    for sum1, sum2, rounds, shard, tshard in results:
+                        total1 = ring.add(total1, sum1)
+                        total2 = ring.add(total2, sum2)
+                        opening_rounds += rounds
+                        if shard is not None:
+                            self._views.merge_from(shard)
+                        tracer.merge_shard(tshard)
+                    # Release the window's material before the next chunk is
+                    # dealt — this is the bounded-memory property the scale
+                    # tests pin.
+                    del materials, sequence, results, stored
+            backend_span.annotate(opening_rounds=opening_rounds)
         return CountResult(
             share1=int(total1),
             share2=int(total2),
@@ -443,29 +484,38 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         ring = self._ring
         n = share1.shape[0]
         pool = WorkerPool(max(self._workers, 1))
-        schedule, sequence = self.offline_materials(n, pool=pool)
-        for index in range(len(schedule)):
-            self._dealer.absorb_accounting(*sequence.take(index)["accounting"])
+        tracer = self._telemetry.tracer
+        with tracer.span(
+            "backend", backend="blocked", num_users=n, block_size=self._block_size
+        ) as backend_span:
+            with tracer.span("offline") as offline_span:
+                schedule, sequence = self.offline_materials(n, pool=pool)
+                offline_span.annotate(groups=len(schedule))
+            for index in range(len(schedule)):
+                self._dealer.absorb_accounting(*sequence.take(index)["accounting"])
 
-        results = pool.map(
-            [
-                (lambda i=index: self._run_group(
-                    schedule[i], sequence.take(i), share1, share2
-                ))
-                for index in range(len(schedule))
-            ]
-        )
-        # Fixed reduction order: canonical group order, exactly as the
-        # schedule lists them.  View shards merge in the same order.
-        total1 = 0
-        total2 = 0
-        opening_rounds = 0
-        for sum1, sum2, rounds, shard in results:
-            total1 = ring.add(total1, sum1)
-            total2 = ring.add(total2, sum2)
-            opening_rounds += rounds
-            if shard is not None:
-                self._views.merge_from(shard)
+            results = pool.map(
+                [
+                    (lambda i=index: self._run_group(
+                        schedule[i], sequence.take(i), share1, share2
+                    ))
+                    for index in range(len(schedule))
+                ]
+            )
+            # Fixed reduction order: canonical group order, exactly as the
+            # schedule lists them.  View shards — and tracer shards — merge in
+            # the same order.
+            total1 = 0
+            total2 = 0
+            opening_rounds = 0
+            for sum1, sum2, rounds, shard, tshard in results:
+                total1 = ring.add(total1, sum1)
+                total2 = ring.add(total2, sum2)
+                opening_rounds += rounds
+                if shard is not None:
+                    self._views.merge_from(shard)
+                tracer.merge_shard(tshard)
+            backend_span.annotate(opening_rounds=opening_rounds)
         return CountResult(
             share1=int(total1),
             share2=int(total2),

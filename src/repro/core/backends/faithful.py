@@ -41,6 +41,7 @@ from repro.crypto.secure_ops import secure_multiply_triple
 from repro.crypto.views import ViewRecorder
 from repro.exceptions import DealerError, ProtocolError
 from repro.parallel import TripleSignature, WorkerPool, resolve_workers
+from repro.telemetry import resolve_telemetry
 from repro.utils.rng import RandomState
 
 #: Upper bound on multiplication groups drawn per buffered offline-phase call.
@@ -220,6 +221,7 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
         provision_limit: int = DEFAULT_PROVISION_LIMIT,
         workers: int = 0,
         triple_store=None,
+        telemetry=None,
     ) -> None:
         if batch_size <= 0:
             raise ProtocolError(f"batch_size must be positive, got {batch_size}")
@@ -227,7 +229,7 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
             raise ProtocolError(f"provision_limit must be non-negative, got {provision_limit}")
         if workers < 0:
             raise ProtocolError(f"workers must be non-negative, got {workers}")
-        super().__init__(ring=ring, views=views)
+        super().__init__(ring=ring, views=views, telemetry=telemetry)
         self._dealer = dealer if dealer is not None else MultiplicationGroupDealer(ring=ring)
         self._batch_size = batch_size
         self._provision_limit = provision_limit
@@ -249,6 +251,7 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
             views=views,
             workers=resolve_workers(config),
             triple_store=getattr(config, "triple_store", None),
+            telemetry=resolve_telemetry(config),
         )
 
     def count_from_shares(
@@ -261,7 +264,16 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
             # A configured triple store engages the engine too (at one
             # worker); the engine's transcript equals this serial path's, so
             # the switch is unobservable beyond the warm offline phase.
-            return self._count_parallel(share1, share2)
+            with self._telemetry.tracer.span(
+                "backend",
+                backend="faithful" if self._batch_size == 1 else "batched",
+                num_users=num_users,
+                batch_size=self._batch_size,
+                candidates=num_candidate_triples(num_users),
+            ) as backend_span:
+                result = self._count_parallel(share1, share2)
+                backend_span.annotate(opening_rounds=result.opening_rounds)
+            return result
         ring = self._ring
         dealer = self._dealer
         total1 = 0
@@ -276,27 +288,38 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
         # every opening) is identical across batch sizes.
         to_provision = num_candidate_triples(num_users) if self._provision_limit else 0
 
-        for size, rows, cols in _gather_schedule(num_users, self._batch_size):
-            while to_provision and dealer.provisioned_remaining < size:
-                draw = min(to_provision, self._provision_limit)
-                dealer.provision(draw)
-                to_provision -= draw
-            # One fused gather per server: the three wires a_ij, a_ik, a_jk
-            # of every candidate triple in this block share a single
-            # fancy-indexing read of shape (3, size).
-            gathered1 = share1[rows, cols].reshape(3, size)
-            gathered2 = share2[rows, cols].reshape(3, size)
-            a_shares = (gathered1[0], gathered2[0])
-            b_shares = (gathered1[1], gathered2[1])
-            c_shares = (gathered1[2], gathered2[2])
-            group = dealer.vector_group((size,))
-            product1, product2 = secure_multiply_triple(
-                a_shares, b_shares, c_shares, group, ring=ring, views=self._views
-            )
-            total1 = ring.add(total1, ring.sum(product1))
-            total2 = ring.add(total2, ring.sum(product2))
-            triples_processed += size
-            opening_rounds += 1
+        # One span for the whole backend step: per-triple spans would add
+        # C(n, 3) nodes to the trace in faithful mode, so granularity stops
+        # at the backend level here (the blocked backend traces per group).
+        with self._telemetry.tracer.span(
+            "backend",
+            backend="faithful" if self._batch_size == 1 else "batched",
+            num_users=num_users,
+            batch_size=self._batch_size,
+            candidates=num_candidate_triples(num_users),
+        ) as backend_span:
+            for size, rows, cols in _gather_schedule(num_users, self._batch_size):
+                while to_provision and dealer.provisioned_remaining < size:
+                    draw = min(to_provision, self._provision_limit)
+                    dealer.provision(draw)
+                    to_provision -= draw
+                # One fused gather per server: the three wires a_ij, a_ik,
+                # a_jk of every candidate triple in this block share a single
+                # fancy-indexing read of shape (3, size).
+                gathered1 = share1[rows, cols].reshape(3, size)
+                gathered2 = share2[rows, cols].reshape(3, size)
+                a_shares = (gathered1[0], gathered2[0])
+                b_shares = (gathered1[1], gathered2[1])
+                c_shares = (gathered1[2], gathered2[2])
+                group = dealer.vector_group((size,))
+                product1, product2 = secure_multiply_triple(
+                    a_shares, b_shares, c_shares, group, ring=ring, views=self._views
+                )
+                total1 = ring.add(total1, ring.sum(product1))
+                total2 = ring.add(total2, ring.sum(product2))
+                triples_processed += size
+                opening_rounds += 1
+            backend_span.annotate(opening_rounds=opening_rounds)
 
         return CountResult(
             share1=int(total1),
@@ -366,21 +389,23 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
                 ring_bits=ring.bits,
                 dealer_key=dealer.fingerprint(),
             )
-            stored = self._store.get(signature)
-            if stored is not None:
-                dealer.import_pool(stored["blocks"])
-                if dealer.provisioned_remaining != total_candidates:
-                    raise DealerError(
-                        f"stored group stream holds {dealer.provisioned_remaining} "
-                        f"groups but the run needs {total_candidates}"
-                    )
-                to_provision = 0
-            elif self._store.accepts_bytes(stream_bytes):
-                while to_provision:
-                    draw = min(to_provision, self._provision_limit)
-                    dealer.provision(draw)
-                    to_provision -= draw
-                self._store.put(signature, {"blocks": dealer.export_pool()})
+            with self._telemetry.tracer.span("offline") as offline_span:
+                stored = self._store.get(signature)
+                if stored is not None:
+                    dealer.import_pool(stored["blocks"])
+                    if dealer.provisioned_remaining != total_candidates:
+                        raise DealerError(
+                            f"stored group stream holds {dealer.provisioned_remaining} "
+                            f"groups but the run needs {total_candidates}"
+                        )
+                    to_provision = 0
+                elif self._store.accepts_bytes(stream_bytes):
+                    while to_provision:
+                        draw = min(to_provision, self._provision_limit)
+                        dealer.provision(draw)
+                        to_provision -= draw
+                    self._store.put(signature, {"blocks": dealer.export_pool()})
+                offline_span.annotate(groups=total_candidates)
 
         total1 = 0
         total2 = 0
@@ -445,4 +470,5 @@ def _build_batched_backend(
         views=views,
         workers=resolve_workers(config),
         triple_store=getattr(config, "triple_store", None),
+        telemetry=resolve_telemetry(config),
     )

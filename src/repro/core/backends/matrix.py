@@ -44,6 +44,7 @@ from repro.crypto.ring import DEFAULT_RING, Ring
 from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_pair
 from repro.crypto.views import ViewRecorder
 from repro.parallel import TripleSignature, WorkerPool, resolve_workers
+from repro.telemetry import resolve_telemetry
 from repro.utils.rng import RandomState
 
 
@@ -78,8 +79,9 @@ class MatrixTriangleCounter(TriangleCounterBackend):
         views: Optional[ViewRecorder] = None,
         workers: int = 0,
         triple_store=None,
+        telemetry=None,
     ) -> None:
-        super().__init__(ring=ring, views=views)
+        super().__init__(ring=ring, views=views, telemetry=telemetry)
         self._dealer = dealer if dealer is not None else BeaverTripleDealer(ring=ring)
         self._workers = int(workers)
         self._store = triple_store
@@ -102,6 +104,7 @@ class MatrixTriangleCounter(TriangleCounterBackend):
             views=views,
             workers=resolve_workers(config),
             triple_store=getattr(config, "triple_store", None),
+            telemetry=resolve_telemetry(config),
         )
 
     def _dealt_triples(self, n: int):
@@ -146,30 +149,36 @@ class MatrixTriangleCounter(TriangleCounterBackend):
         if n < 3:
             return CountResult(share1=0, share2=0, num_triples_processed=0, opening_rounds=0)
 
-        # Step 1 — each server locally zeroes everything outside the strict
-        # upper triangle.  The mask is public (it only depends on indices), so
-        # this is a local linear operation on shares.
-        upper_mask = np.triu(np.ones((n, n), dtype=ring.dtype), k=1)
-        c1 = ring.mul(share1, upper_mask)
-        c2 = ring.mul(share2, upper_mask)
-
-        # Step 2 — shares of M = C^T @ C via one matrix Beaver triple.
-        matrix_triple, elementwise_triple = self._dealt_triples(n)
-        matmul = self._pool.ring_matmul(ring) if self._pool is not None else None
-        m1, m2 = secure_matrix_multiply(
-            (c1.T.copy(), c2.T.copy()), (c1, c2), matrix_triple,
-            ring=ring, views=self._views, matmul=matmul,
-        )
-
-        # Step 3 — shares of C ⊙ M over the upper triangle via one
-        # element-wise Beaver triple, then a local sum.
-        prod1, prod2 = secure_multiply_pair(
-            (c1, c2), (ring.mul(m1, upper_mask), ring.mul(m2, upper_mask)),
-            elementwise_triple, ring=ring, views=self._views,
-        )
-        total1 = ring.sum(prod1)
-        total2 = ring.sum(prod2)
+        tracer = self._telemetry.tracer
         num_triples = num_candidate_triples(n)
+        with tracer.span(
+            "backend", backend="matrix", num_users=n, candidates=num_triples
+        ):
+            # Step 1 — each server locally zeroes everything outside the
+            # strict upper triangle.  The mask is public (it only depends on
+            # indices), so this is a local linear operation on shares.
+            upper_mask = np.triu(np.ones((n, n), dtype=ring.dtype), k=1)
+            c1 = ring.mul(share1, upper_mask)
+            c2 = ring.mul(share2, upper_mask)
+
+            # Step 2 — shares of M = C^T @ C via one matrix Beaver triple.
+            with tracer.span("offline"):
+                matrix_triple, elementwise_triple = self._dealt_triples(n)
+            with tracer.span("online", opening_rounds=2):
+                matmul = self._pool.ring_matmul(ring) if self._pool is not None else None
+                m1, m2 = secure_matrix_multiply(
+                    (c1.T.copy(), c2.T.copy()), (c1, c2), matrix_triple,
+                    ring=ring, views=self._views, matmul=matmul,
+                )
+
+                # Step 3 — shares of C ⊙ M over the upper triangle via one
+                # element-wise Beaver triple, then a local sum.
+                prod1, prod2 = secure_multiply_pair(
+                    (c1, c2), (ring.mul(m1, upper_mask), ring.mul(m2, upper_mask)),
+                    elementwise_triple, ring=ring, views=self._views,
+                )
+                total1 = ring.sum(prod1)
+                total2 = ring.sum(prod2)
         return CountResult(
             share1=total1,
             share2=total2,

@@ -34,8 +34,8 @@ from repro.crypto.views import ViewRecorder
 from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 from repro.stats import create_statistic
+from repro.telemetry import Tracer, build_result_telemetry, resolve_telemetry
 from repro.utils.rng import derive_rng, spawn_rngs
-from repro.utils.timer import TimerRegistry
 
 
 def resolve_sparse_mode(config, statistic) -> bool:
@@ -98,7 +98,11 @@ class Cargo:
         config = self._config
         budget = config.resolved_budget()
         statistic = create_statistic(config.statistic, config)
-        timers = TimerRegistry()
+        telemetry = resolve_telemetry(config)
+        # Phase timings always come from a span tree; without a telemetry
+        # bundle the run uses a private tracer whose only spans are the
+        # legacy phases, so ``result.timings`` keeps its historical keys.
+        tracer = telemetry.tracer if telemetry.enabled else Tracer()
         master_rng = derive_rng(config.seed)
         # Independent sub-streams: users' degree noise, users' share masks,
         # users' distributed noise, and the offline dealer.
@@ -113,11 +117,13 @@ class Cargo:
             TwoServerRuntime(graph.num_nodes) if config.track_communication else None
         )
 
-        with timers.measure("total"):
+        with tracer.span(
+            "total", backend=config.backend_name, statistic=config.statistic
+        ) as run_span:
             # ---------------------------------------------------------- #
             # Step 1a — Max: private estimate of the maximum degree.
             # ---------------------------------------------------------- #
-            with timers.measure("max"):
+            with tracer.span("max"):
                 estimator = MaxDegreeEstimator(budget.epsilon1)
                 max_result = estimator.run(graph.degrees(), rng=max_rng, runtime=runtime)
 
@@ -128,7 +134,7 @@ class Cargo:
             # O(n) memory, bit-identical outcome.
             # ---------------------------------------------------------- #
             use_sparse = resolve_sparse_mode(config, statistic)
-            with timers.measure("project"):
+            with tracer.span("project", sparse=use_sparse):
                 projection = SimilarityProjection(max_result.noisy_max_degree)
                 if use_sparse:
                     projection_result = projection.project_degrees(
@@ -148,7 +154,7 @@ class Cargo:
             # ---------------------------------------------------------- #
             # Step 2 — Count: the statistic's secure kernel on shares.
             # ---------------------------------------------------------- #
-            with timers.measure("count"):
+            with tracer.span("count", backend=config.backend_name):
                 # The statistic owns its secure-share formulation (triangles
                 # delegate to whichever counting backend the configuration
                 # names); the orchestrator only knows the registered name.
@@ -177,7 +183,7 @@ class Cargo:
             # units of the raw secure output — `finalise` divides the
             # release scale back out afterwards, which is post-processing).
             # ---------------------------------------------------------- #
-            with timers.measure("perturb"):
+            with tracer.span("perturb"):
                 perturbation = DistributedPerturbation(
                     epsilon2=budget.epsilon2,
                     sensitivity=statistic.secure_output_sensitivity(
@@ -192,19 +198,102 @@ class Cargo:
                 )
 
         true_count = statistic.plain_count(graph)
+        noisy_count = statistic.finalise(perturb_result.noisy_count)
+        timings = run_span.timings()
+        communication_phases = (
+            runtime.ledger.phase_summary() if runtime is not None else {}
+        )
+        result_telemetry = feed_run_telemetry(
+            config,
+            telemetry,
+            backend=config.backend_name,
+            timings=timings,
+            communication_phases=communication_phases,
+            count_result=count_result,
+            budget=budget,
+            noisy_count=noisy_count,
+            true_count=true_count,
+            projected_count=projected_count,
+            noisy_max_degree=max_result.noisy_max_degree,
+        )
         return CargoResult(
-            noisy_triangle_count=statistic.finalise(perturb_result.noisy_count),
+            noisy_triangle_count=noisy_count,
             true_triangle_count=true_count,
             projected_triangle_count=projected_count,
             noisy_max_degree=max_result.noisy_max_degree,
             epsilon1=budget.epsilon1,
             epsilon2=budget.epsilon2,
             edges_removed=projection_result.edges_removed,
-            timings=timers.as_dict(),
+            timings=timings,
             communication=runtime.ledger.summary() if runtime is not None else {},
-            communication_phases=(
-                runtime.ledger.phase_summary() if runtime is not None else {}
-            ),
+            communication_phases=communication_phases,
             backend=config.backend_name,
             statistic=config.statistic,
+            telemetry=result_telemetry,
         )
+
+
+def feed_run_telemetry(
+    config,
+    telemetry,
+    *,
+    backend,
+    timings,
+    communication_phases,
+    count_result,
+    budget,
+    noisy_count,
+    true_count,
+    projected_count,
+    noisy_max_degree,
+):
+    """Post-run metric feeding + the release record for the manifest.
+
+    Shared by the Edge-DP and Node-DP orchestrators.  Runs strictly *after*
+    the protocol finished, so instrumentation can never perturb the
+    transcript; returns the ``CargoResult.telemetry`` block (``None`` when
+    telemetry is disabled).
+    """
+    if not telemetry.enabled:
+        return None
+    metrics = telemetry.metrics
+    labels = {"backend": backend, "statistic": config.statistic}
+    metrics.increment("runs", **labels)
+    for phase, stats in communication_phases.items():
+        metrics.increment("comm_bytes", stats["bytes"], phase=phase)
+        metrics.increment("comm_messages", stats["messages"], phase=phase)
+    metrics.increment("opening_rounds", count_result.opening_rounds, **labels)
+    metrics.increment(
+        "candidates_processed", count_result.num_triples_processed, **labels
+    )
+    metrics.increment("epsilon_spent", budget.epsilon1, mechanism="max")
+    metrics.increment("epsilon_spent", budget.epsilon2, mechanism="perturb")
+    store = getattr(config, "triple_store", None)
+    store_stats = store.stats() if store is not None else None
+    if store_stats is not None:
+        for key, value in store_stats.items():
+            metrics.gauge_set(f"triple_store_{key}", value)
+    telemetry.record_release(
+        {
+            "kind": "cargo",
+            "statistic": config.statistic,
+            "backend": backend,
+            "seed": config.seed,
+            "noisy_count": noisy_count,
+            "true_count": true_count,
+            "projected_count": projected_count,
+            "noisy_max_degree": noisy_max_degree,
+            "epsilon": {"max": budget.epsilon1, "perturb": budget.epsilon2},
+            "opening_rounds": count_result.opening_rounds,
+            "candidates": count_result.num_triples_processed,
+            "timings": timings,
+            "communication_phases": communication_phases,
+        }
+    )
+    return build_result_telemetry(
+        timings,
+        communication_phases,
+        opening_rounds=count_result.opening_rounds,
+        candidates=count_result.num_triples_processed,
+        triple_store_stats=store_stats,
+    )

@@ -111,6 +111,13 @@ class CargoConfig:
         randomness, so repeated runs with the same dealer randomness skip
         re-dealing.  Setting a store engages the engine even when *workers*
         is unset (it then runs with one worker).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` bundle.  When set, the
+        run records hierarchical spans and feeds the metrics registry
+        (bytes per phase, opening rounds, ε spent, triple-store hits), and
+        ``CargoResult.telemetry`` carries the per-phase summary.  ``None``
+        (default) disables all instrumentation beyond the legacy phase
+        timings; transcripts are bit-identical either way.
     offline_seed:
         When set, the offline dealer draws from ``derive_rng(offline_seed)``
         instead of the run's spawned dealer substream, making the dealt
@@ -153,6 +160,7 @@ class CargoConfig:
     tile_window: Optional[int] = None
     workers: Optional[int] = None
     triple_store: Optional[object] = field(default=None, compare=False, repr=False)
+    telemetry: Optional[object] = field(default=None, compare=False, repr=False)
     offline_seed: Optional[int] = None
     seed: Optional[int] = None
     record_views: bool = False

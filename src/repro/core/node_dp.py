@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.cargo import Cargo, resolve_sparse_mode
+from repro.core.cargo import Cargo, feed_run_telemetry, resolve_sparse_mode
 from repro.core.config import CargoConfig
 from repro.core.max_degree import MaxDegreeEstimator, MaxDegreeResult
 from repro.core.perturbation import DistributedPerturbation
@@ -32,8 +32,8 @@ from repro.dp.mechanisms import LaplaceMechanism
 from repro.dp.sensitivity import degree_sensitivity_node_dp
 from repro.graph.graph import Graph
 from repro.stats import create_statistic
+from repro.telemetry import Tracer, resolve_telemetry
 from repro.utils.rng import derive_rng, spawn_rngs
-from repro.utils.timer import TimerRegistry
 
 
 class NodeDpMaxDegreeEstimator:
@@ -87,7 +87,8 @@ class NodeDpCargo:
         config = self._config
         budget = config.resolved_budget()
         statistic = create_statistic(config.statistic, config)
-        timers = TimerRegistry()
+        telemetry = resolve_telemetry(config)
+        tracer = telemetry.tracer if telemetry.enabled else Tracer()
         master_rng = derive_rng(config.seed)
         max_rng, share_rng, noise_rng, dealer_rng = spawn_rngs(master_rng, 4)
         if config.offline_seed is not None:
@@ -95,8 +96,11 @@ class NodeDpCargo:
             # orchestrator (evaluation-only; enables triple-store reuse).
             dealer_rng = derive_rng(config.offline_seed)
 
-        with timers.measure("total"):
-            with timers.measure("max"):
+        backend_label = f"node-dp/{config.backend_name}"
+        with tracer.span(
+            "total", backend=backend_label, statistic=config.statistic
+        ) as run_span:
+            with tracer.span("max"):
                 estimator = NodeDpMaxDegreeEstimator(budget.epsilon1, graph.num_nodes)
                 max_result = estimator.run(graph.degrees(), rng=max_rng)
 
@@ -104,7 +108,7 @@ class NodeDpCargo:
             # degree statistics the projected row sums are determined by the
             # bound alone, so the sparse path never touches the n x n rows.
             use_sparse = resolve_sparse_mode(config, statistic)
-            with timers.measure("project"):
+            with tracer.span("project", sparse=use_sparse):
                 projection = SimilarityProjection(max_result.noisy_max_degree)
                 if use_sparse:
                     projection_result = projection.project_degrees(
@@ -121,7 +125,7 @@ class NodeDpCargo:
                         projection_result.projected_rows
                     )
 
-            with timers.measure("count"):
+            with tracer.span("count", backend=config.backend_name):
                 if use_sparse:
                     count_result = statistic.secure_count_from_degrees(
                         projection_result.projected_degrees,
@@ -137,7 +141,7 @@ class NodeDpCargo:
                         dealer_rng=dealer_rng,
                     )
 
-            with timers.measure("perturb"):
+            with tracer.span("perturb"):
                 # The statistic's Node-DP bound, scaled to the raw secure
                 # output exactly as the Edge-DP orchestrator scales its bound.
                 sensitivity = statistic.release_scale * statistic.node_sensitivity(
@@ -152,18 +156,35 @@ class NodeDpCargo:
                 )
                 perturb_result = perturbation.run(count_result, rng=noise_rng)
 
+        noisy_count = statistic.finalise(perturb_result.noisy_count)
+        true_count = statistic.plain_count(graph)
+        timings = run_span.timings()
+        result_telemetry = feed_run_telemetry(
+            config,
+            telemetry,
+            backend=backend_label,
+            timings=timings,
+            communication_phases={},
+            count_result=count_result,
+            budget=budget,
+            noisy_count=noisy_count,
+            true_count=true_count,
+            projected_count=projected_count,
+            noisy_max_degree=max_result.noisy_max_degree,
+        )
         return CargoResult(
-            noisy_triangle_count=statistic.finalise(perturb_result.noisy_count),
-            true_triangle_count=statistic.plain_count(graph),
+            noisy_triangle_count=noisy_count,
+            true_triangle_count=true_count,
             projected_triangle_count=projected_count,
             noisy_max_degree=max_result.noisy_max_degree,
             epsilon1=budget.epsilon1,
             epsilon2=budget.epsilon2,
             edges_removed=projection_result.edges_removed,
-            timings=timers.as_dict(),
+            timings=timings,
             communication={},
-            backend=f"node-dp/{config.backend_name}",
+            backend=backend_label,
             statistic=config.statistic,
+            telemetry=result_telemetry,
         )
 
 

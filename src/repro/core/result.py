@@ -46,6 +46,10 @@ class CargoResult:
         original triangle-only pipeline; for other statistics they hold that
         statistic's counts (use the :attr:`noisy_count` / :attr:`true_count`
         / :attr:`projected_count` aliases in statistic-agnostic code).
+    telemetry:
+        Per-phase summary block (rows plus a rendered table, opening-round
+        and triple-store stats) when the run carried a
+        :class:`~repro.telemetry.Telemetry` bundle; ``None`` otherwise.
     """
 
     noisy_triangle_count: float
@@ -60,6 +64,7 @@ class CargoResult:
     communication_phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
     backend: str = "matrix"
     statistic: str = "triangles"
+    telemetry: Optional[Dict] = None
 
     @property
     def noisy_count(self) -> float:

@@ -78,6 +78,15 @@ PAPER_SCALE_OVERRIDES: Dict[str, Dict[str, Any]] = {
         "anchor_every": 10,
         "counting_backend": "blocked",
     },
+    # (extension) one instrumented release at the paper's default scale:
+    # n=2000, ε=2, the fastest exact backend — what a full-fidelity traced
+    # run (`repro-cargo run --trace-out ...`) should look like.
+    "run": {
+        "dataset": "facebook",
+        "num_nodes": 2000,
+        "epsilon": 2.0,
+        "counting_backend": "blocked",
+    },
     # (extension) generalised statistics: the paper's default graph size and
     # ε sweep, across every built-in statistic.
     "stats": {

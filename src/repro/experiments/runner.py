@@ -263,6 +263,12 @@ class ProtocolSweep:
     triple_store:
         Optional :class:`~repro.parallel.store.TripleStore` shared by every
         CARGO cell.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` session shared by every
+        CARGO cell (serial and thread-pool sweeps only: the session holds
+        locks, so it cannot cross a process boundary and is silently dropped
+        for ``use_processes=True`` cells).  Spans and metrics from all cells
+        accumulate into the one session; reports are unchanged either way.
     """
 
     datasets: Sequence[str]
@@ -277,6 +283,7 @@ class ProtocolSweep:
     tile_window: Optional[int] = None
     offline_seed: Optional[int] = None
     triple_store: Optional[Any] = None
+    telemetry: Optional[Any] = field(default=None, repr=False, compare=False)
     _graph_cache: Dict[Tuple[str, int], Graph] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -378,6 +385,10 @@ class ProtocolSweep:
                     overrides["triple_store_cache_dir"] = cache_dir
             else:
                 overrides["triple_store"] = self.triple_store
+        if self.telemetry is not None and not for_process:
+            # The session holds locks (unpicklable); process-pool cells run
+            # untraced rather than failing to serialise.
+            overrides["telemetry"] = self.telemetry
         return overrides
 
     def _protocol_factories(self, epsilon: float) -> Dict[str, ProtocolFactory]:

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.exceptions import ExperimentError
-from repro.experiments import figures, statistics, streaming, tables
+from repro.experiments import figures, single_run, statistics, streaming, tables
 from repro.experiments.runner import ExperimentReport
 
 
@@ -123,6 +123,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             description="continual private statistic release over an edge stream",
             runner=streaming.streaming_accuracy_over_time,
             modules=("repro.stream", "repro.core.backends", "repro.dp.accountant"),
+        ),
+        ExperimentSpec(
+            name="run",
+            paper_artifact="(extension)",
+            description="one fully-instrumented protocol release (any backend x statistic)",
+            runner=single_run.single_release,
+            modules=("repro.core.cargo", "repro.telemetry"),
         ),
         ExperimentSpec(
             name="stats",

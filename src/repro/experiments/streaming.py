@@ -32,6 +32,7 @@ def streaming_accuracy_over_time(
     star_k: Optional[int] = None,
     workers: Optional[int] = None,
     seed: int = 0,
+    telemetry: Optional[object] = None,
 ) -> ExperimentReport:
     """Continual-release accuracy as a dataset's edges arrive over time.
 
@@ -51,6 +52,7 @@ def streaming_accuracy_over_time(
         **({} if statistic is None else {"statistic": statistic}),
         **({} if star_k is None else {"star_k": star_k}),
         **({} if workers is None else {"workers": workers}),
+        telemetry=telemetry,
     )
     result = StreamingCargo(config).run(stream)
     report = ExperimentReport(

@@ -57,6 +57,7 @@ from repro.graph.graph import Graph
 from repro.parallel import WorkerPool, resolve_workers
 from repro.stats.base import SubgraphStatistic, validate_projected_rows
 from repro.stats.registry import register_statistic
+from repro.telemetry import resolve_telemetry
 from repro.utils.rng import RandomState
 
 __all__ = [
@@ -218,12 +219,35 @@ class FourCycleStatistic(SubgraphStatistic):
             pool = WorkerPool(workers)
             matmul = pool.ring_matmul(ring)
             dealer.matmul = matmul
+        tracer = resolve_telemetry(config).tracer
         backend = resolve_backend_name(getattr(config, "counting_backend", "matrix"))
         if backend in ("faithful", "batched"):
             batch = 1 if backend == "faithful" else int(getattr(config, "batch_size", 4096))
-            return self._count_pair_stream(share1, share2, ring, dealer, batch, views)
+            with tracer.span(
+                "backend",
+                backend=backend,
+                kernel="pair-stream",
+                num_users=n,
+                batch_size=batch,
+                candidates=self.num_candidates(n),
+            ) as span:
+                result = self._count_pair_stream(share1, share2, ring, dealer, batch, views)
+                span.annotate(opening_rounds=result.opening_rounds)
+            return result
         tile = int(getattr(config, "block_size", n)) if backend == "blocked" else n
-        return self._count_matrix(share1, share2, ring, dealer, tile, views, matmul=matmul)
+        with tracer.span(
+            "backend",
+            backend=backend,
+            kernel="matrix",
+            num_users=n,
+            block_size=tile,
+            candidates=self.num_candidates(n),
+        ) as span:
+            result = self._count_matrix(
+                share1, share2, ring, dealer, tile, views, matmul=matmul
+            )
+            span.annotate(opening_rounds=result.opening_rounds)
+        return result
 
     def _mutual_upper_shares(self, share1, share2, ring, dealer, tile, views):
         """Shares of the strict-upper mutual-edge matrix ``B_uv = â_uv · â_vu``.

@@ -35,6 +35,7 @@ from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 from repro.stats.base import SubgraphStatistic, validate_projected_rows
 from repro.stats.registry import register_statistic
+from repro.telemetry import resolve_telemetry
 from repro.utils.rng import RandomState
 
 __all__ = ["KStarStatistic", "count_k_stars_exact", "k_star_sensitivity_bounded"]
@@ -166,21 +167,30 @@ class KStarStatistic(SubgraphStatistic):
         ring: Ring = config.ring
         degree_list = [int(d) for d in degrees]
         num_users = len(degree_list)
-        # Contributions are arbitrary-precision Python ints reduced into the
-        # ring individually (C(d, k) can exceed 64 bits for large stars).
-        encoded = np.fromiter(
-            (math.comb(d, self._k) & ring.mask for d in degree_list),
-            dtype=ring.dtype,
-            count=num_users,
-        )
-        pair = share_per_user(encoded, ring=ring, rng=share_rng)
-        share1, share2 = pair.share1, pair.share2
-        if runtime is not None:
-            runtime.users_to_server(1, "statistic_share", share1)
-            runtime.users_to_server(2, "statistic_share", share2)
-        if views is not None:
-            views.observe(1, "statistic_share", share1)
-            views.observe(2, "statistic_share", share2)
+        tracer = resolve_telemetry(config).tracer
+        with tracer.span(
+            "backend",
+            backend="degree-local",
+            num_users=num_users,
+            candidates=num_users,
+            opening_rounds=0,
+        ):
+            # Contributions are arbitrary-precision Python ints reduced into
+            # the ring individually (C(d, k) can exceed 64 bits for large
+            # stars).
+            encoded = np.fromiter(
+                (math.comb(d, self._k) & ring.mask for d in degree_list),
+                dtype=ring.dtype,
+                count=num_users,
+            )
+            pair = share_per_user(encoded, ring=ring, rng=share_rng)
+            share1, share2 = pair.share1, pair.share2
+            if runtime is not None:
+                runtime.users_to_server(1, "statistic_share", share1)
+                runtime.users_to_server(2, "statistic_share", share2)
+            if views is not None:
+                views.observe(1, "statistic_share", share1)
+                views.observe(2, "statistic_share", share2)
         return CountResult(
             share1=int(ring.sum(share1)),
             share2=int(ring.sum(share2)),

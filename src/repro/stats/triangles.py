@@ -27,6 +27,7 @@ from repro.graph.graph import Graph
 from repro.graph.triangles import count_triangles
 from repro.stats.base import SubgraphStatistic
 from repro.stats.registry import register_statistic
+from repro.telemetry import resolve_telemetry
 from repro.utils.rng import RandomState
 
 __all__ = ["TriangleStatistic"]
@@ -83,12 +84,14 @@ class TriangleStatistic(SubgraphStatistic):
         counter = create_backend(
             config.counting_backend, config=config, dealer_rng=dealer_rng, views=views
         )
+        tracer = resolve_telemetry(config).tracer
         if runtime is not None:
-            share1, share2 = share_adjacency_rows(
-                projected_rows, ring=config.ring, rng=share_rng
-            )
-            runtime.users_to_server(1, "adjacency_share", share1)
-            runtime.users_to_server(2, "adjacency_share", share2)
+            with tracer.span("share", num_users=int(np.asarray(projected_rows).shape[0])):
+                share1, share2 = share_adjacency_rows(
+                    projected_rows, ring=config.ring, rng=share_rng
+                )
+                runtime.users_to_server(1, "adjacency_share", share1)
+                runtime.users_to_server(2, "adjacency_share", share2)
             return counter.count_from_shares(share1, share2)
         return counter.count(projected_rows, rng=share_rng)
 

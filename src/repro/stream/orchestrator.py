@@ -70,8 +70,8 @@ from repro.stream.release import (
     FixedIntervalPolicy,
     ReleasePolicy,
 )
+from repro.telemetry import Tracer, build_result_telemetry, resolve_telemetry
 from repro.utils.rng import derive_rng, spawn_rngs
-from repro.utils.timer import TimerRegistry
 
 __all__ = ["StreamingConfig", "StreamRelease", "StreamingResult", "StreamingCargo"]
 
@@ -196,6 +196,13 @@ class StreamingConfig:
         When set, anchors deal from ``derive_rng(offline_seed)`` (shared
         with any other run pinning the same value), making the dealt
         material reusable across whole runs, not just within one.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` session.  When set (and
+        enabled) the run records a hierarchical span tree (run → anchor /
+        release), stream metrics (events, releases, anchors, per-ledger-entry
+        ε, anchor/release latency histograms), and a release entry for the
+        exportable run manifest.  ``None`` (the default) is a true no-op and
+        never perturbs released estimates either way.
     seed:
         Master seed; the tree noise, the anchor noise, the share masks and
         the dealer all derive independent substreams from it.
@@ -224,6 +231,7 @@ class StreamingConfig:
     neighbor_cap: Optional[int] = None
     triple_store: Optional[object] = field(default=None, compare=False, repr=False)
     offline_seed: Optional[int] = None
+    telemetry: Optional[object] = field(default=None, compare=False, repr=False)
     seed: Optional[int] = None
     final_release: bool = True
 
@@ -393,6 +401,7 @@ class StreamingResult:
     statistic: str = "triangles"
     timings: dict = field(default_factory=dict)
     capacity: int = 0
+    telemetry: Optional[dict] = None
 
     @property
     def final_estimate(self) -> float:
@@ -453,7 +462,11 @@ class StreamingCargo:
                 f"stream covers {stream.num_nodes}"
             )
         statistic = create_statistic(config.statistic, config)
-        timers = TimerRegistry()
+        telemetry = resolve_telemetry(config)
+        # An untraced run still times its phases: a private enabled tracer
+        # records only the legacy spans, so ``result.timings`` keeps the
+        # exact key set the TimerRegistry era produced.
+        tracer = telemetry.tracer if telemetry.enabled else Tracer()
         master_rng = derive_rng(config.seed)
         tree_rng, anchor_rng, share_rng, dealer_rng = spawn_rngs(master_rng, 4)
         # With a triple store (or an explicit offline seed) every anchor
@@ -554,29 +567,43 @@ class StreamingCargo:
         # Upper bound on Var(prefix_t - prefix_anchor): each prefix reads at
         # most `levels` noisy nodes of variance 2·scale² apiece.
         diff_var = 4.0 * tree.levels * tree.noise_scale**2
-        if bootstrap:
-            # Bootstrap anchor: a private starting graph must never be served
-            # exactly, so its count is released through the secure count +
-            # Laplace path before the first event, consuming one planned
-            # anchor's budget.
-            with timers.measure("anchor"):
-                anchor_base, base_var = self._run_anchor(
-                    statistic, maintainer, accountant, epsilon_anchor,
-                    anchor_rng, share_rng, anchor_dealer_rng(), use_sparse,
-                )
-            result.anchors_run += 1
         pending_delta = 0
         releases_since_anchor = 0
 
-        with timers.measure("total"):
+        # The root span covers the whole run *including* any bootstrap
+        # anchor, so the "total" timing is genuinely end to end (the
+        # TimerRegistry era excluded the bootstrap from "total").
+        with tracer.span(
+            "total",
+            backend=config.backend_name,
+            statistic=config.statistic,
+            capacity=capacity,
+        ) as run_span:
+            if bootstrap:
+                # Bootstrap anchor: a private starting graph must never be
+                # served exactly, so its count is released through the secure
+                # count + Laplace path before the first event, consuming one
+                # planned anchor's budget.
+                with tracer.span("anchor", bootstrap=True) as anchor_span:
+                    anchor_base, base_var = self._run_anchor(
+                        statistic, maintainer, accountant, epsilon_anchor,
+                        anchor_rng, share_rng, anchor_dealer_rng(), use_sparse,
+                    )
+                telemetry.metrics.observe(
+                    "anchor_seconds", anchor_span.seconds, statistic=config.statistic
+                )
+                result.anchors_run += 1
             for event_index, event, release_now in _release_schedule(
                 stream, policy, config.final_release
             ):
                 pending_delta += maintainer.apply(event)
                 if not release_now:
                     continue
-                with timers.measure("release"):
+                with tracer.span("release") as release_span:
                     noisy_prefix = tree.release(float(pending_delta))
+                telemetry.metrics.observe(
+                    "release_seconds", release_span.seconds, statistic=config.statistic
+                )
                 pending_delta = 0
                 releases_since_anchor += 1
                 estimate = anchor_base + (noisy_prefix - prefix_at_anchor)
@@ -586,11 +613,16 @@ class StreamingCargo:
                     and result.anchors_run < total_anchors
                 )
                 if is_anchor:
-                    with timers.measure("anchor"):
+                    with tracer.span("anchor") as anchor_span:
                         anchored, anchored_var = self._run_anchor(
                             statistic, maintainer, accountant, epsilon_anchor,
                             anchor_rng, share_rng, anchor_dealer_rng(), use_sparse,
                         )
+                    telemetry.metrics.observe(
+                        "anchor_seconds",
+                        anchor_span.seconds,
+                        statistic=config.statistic,
+                    )
                     # Precision-weighted blend of the fresh anchor and the
                     # continual estimate; estimate_var is a conservative
                     # upper bound, so a noisy anchor is discounted rather
@@ -620,7 +652,39 @@ class StreamingCargo:
         result.events_processed = maintainer.events_applied
         result.epsilon_spent = accountant.spent
         result.ledger = accountant.ledger()
-        result.timings = timers.as_dict()
+        timings = run_span.timings()
+        result.timings = timings
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            labels = {"statistic": config.statistic, "backend": config.backend_name}
+            metrics.increment("stream_events", maintainer.events_applied, **labels)
+            metrics.increment("stream_releases", len(result.releases), **labels)
+            metrics.increment("stream_anchors", result.anchors_run, **labels)
+            for label, eps in result.ledger:
+                metrics.increment("epsilon_spent", eps, mechanism=label)
+            store_stats = None
+            if config.triple_store is not None:
+                store_stats = config.triple_store.stats()
+                for key, value in store_stats.items():
+                    metrics.gauge_set(f"triple_store_{key}", value)
+            telemetry.record_release(
+                {
+                    "kind": "streaming",
+                    "statistic": config.statistic,
+                    "backend": config.backend_name,
+                    "seed": config.seed,
+                    "noisy_count": result.final_estimate,
+                    "releases": len(result.releases),
+                    "anchors": result.anchors_run,
+                    "events": maintainer.events_applied,
+                    "capacity": capacity,
+                    "epsilon": {"total": config.epsilon, "spent": accountant.spent},
+                    "timings": timings,
+                }
+            )
+            result.telemetry = build_result_telemetry(
+                timings, {}, triple_store_stats=store_stats
+            )
         return result
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,148 @@
+"""CLI telemetry surface: ``--trace-out``, ``--metrics-out``, ``--json``.
+
+`test_experiments_specs_cli.py` covers the registry and the basic flag
+plumbing; this module covers the observability flags end to end — a real
+``run`` invocation writing a schema-valid manifest and a Prometheus dump,
+and the ``--json`` payload carrying the telemetry summary block (metric
+snapshot, release records, triple-store hit/miss stats) through a full
+serialise/parse round trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import validate_manifest, verify_ledger_reconciliation
+
+
+def _run_json(capsys, *argv) -> dict:
+    assert main([*argv, "--json"]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestTraceExport:
+    def test_run_writes_valid_reconciled_manifest(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--backend",
+                    "matrix",
+                    "--num-nodes",
+                    "24",
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        manifest = json.loads(trace.read_text())
+        assert validate_manifest(manifest) == []
+        assert verify_ledger_reconciliation(manifest) == []
+        assert manifest["context"]["experiment"] == "run"
+        (release,) = manifest["releases"]
+        assert release["backend"] == "matrix"
+        assert release["statistic"] == "triangles"
+        # The span tree reached the manifest: one root run span with the
+        # four protocol phases underneath.
+        (root,) = manifest["trace"]
+        assert root["name"] == "total"
+        assert [s["name"] for s in root["children"]] == [
+            "max",
+            "project",
+            "count",
+            "perturb",
+        ]
+
+    def test_metrics_out_writes_prometheus_text(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "run",
+                    "--backend",
+                    "batched",
+                    "--num-nodes",
+                    "24",
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        text = metrics.read_text()
+        assert "# TYPE runs counter" in text
+        assert 'runs{backend="batched",statistic="triangles"} 1' in text
+        assert 'comm_bytes{phase="adjacency_share"}' in text
+
+    def test_exporters_do_not_change_rendered_report(self, tmp_path, capsys):
+        assert main(["run", "--num-nodes", "24", "--seed", "3"]) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "run",
+                    "--num-nodes",
+                    "24",
+                    "--seed",
+                    "3",
+                    "--trace-out",
+                    str(tmp_path / "t.json"),
+                ]
+            )
+            == 0
+        )
+        traced = capsys.readouterr().out
+        # Identical released numbers; only the wall-clock column may move.
+        pick = lambda text: [line.split()[:5] for line in text.splitlines()]
+        assert pick(traced)[:2] == pick(plain)[:2]
+
+
+class TestJsonTelemetryBlock:
+    @pytest.fixture()
+    def payload(self, capsys):
+        return _run_json(
+            capsys, "run", "--backend", "blocked", "--num-nodes", "24", "--seed", "5"
+        )
+
+    def test_round_trip_carries_summary_block(self, payload):
+        block = payload["telemetry"]
+        assert block["enabled"] is True
+        (release,) = block["releases"]
+        assert release["kind"] == "cargo"
+        assert release["backend"] == "blocked"
+        counters = block["metrics"]["counters"]
+        assert counters['runs{backend="blocked",statistic="triangles"}'] == 1
+        assert any(series.startswith("epsilon_spent{") for series in counters)
+
+    def test_row_carries_triple_store_and_phase_table(self, payload):
+        (row,) = payload["rows"]
+        stats = row["triple_store"]
+        assert stats["stores"] == 1 and stats["misses"] == 1
+        assert set(stats) >= {"hits", "misses", "stores", "evictions"}
+        assert {p["phase"] for p in row["telemetry"]["phases"]} >= {"max", "count"}
+        # The scalar columns agree with the ledger the row embeds.
+        assert row["comm_bytes"] == sum(
+            entry["bytes"] for entry in row["communication_phases"].values()
+        )
+
+    def test_gauges_mirror_triple_store_stats(self, payload):
+        (row,) = payload["rows"]
+        gauges = payload["telemetry"]["metrics"]["gauges"]
+        for key in ("hits", "misses", "stores"):
+            assert gauges[f"triple_store_{key}"] == row["triple_store"][key]
+
+    def test_json_without_telemetry_capable_experiment(self, capsys):
+        """Experiments that take no ``telemetry`` kwarg still produce the
+        block — it just reports an empty (but enabled) session."""
+        payload = _run_json(capsys, "table4", "--num-nodes", "30")
+        block = payload["telemetry"]
+        assert block["enabled"] is True
+        assert block["releases"] == []
+        assert block["metrics"]["counters"] == {}

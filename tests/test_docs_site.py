@@ -115,6 +115,11 @@ class TestGeneratedReference:
             ("crypto.md", "secure_multiply_triple"),
             ("stream.md", "StreamingCargo"),
             ("analysis.md", "count_four_cycles"),
+            ("telemetry.md", "class Tracer"),
+            ("telemetry.md", "MetricsRegistry"),
+            ("telemetry.md", "validate_manifest"),
+            ("telemetry.md", "verify_ledger_reconciliation"),
+            ("telemetry.md", "write_trace"),
         ],
     )
     def test_public_symbols_rendered(self, generated_api, page, symbol):

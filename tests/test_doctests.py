@@ -36,6 +36,13 @@ DOCTEST_MODULES = (
     "repro.parallel.pool",
     "repro.parallel.store",
     "repro.experiments.paper_scale",
+    "repro.telemetry.spans",
+    "repro.telemetry.metrics",
+    "repro.telemetry.session",
+    "repro.telemetry.manifest",
+    "repro.telemetry.exporters",
+    "repro.telemetry.timers",
+    "repro.telemetry.profiling",
 )
 
 #: Modules that must keep at least one runnable example.

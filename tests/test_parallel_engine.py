@@ -59,7 +59,7 @@ def _view_streams(views: ViewRecorder):
     return streams
 
 
-def _run_cargo(graph, statistic, backend, workers, store=None):
+def _run_cargo(graph, statistic, backend, workers, store=None, telemetry=None):
     config = CargoConfig(
         epsilon=2.0,
         seed=7,
@@ -71,6 +71,7 @@ def _run_cargo(graph, statistic, backend, workers, store=None):
         triple_store=store,
         record_views=True,
         track_communication=True,
+        telemetry=telemetry,
     )
     cargo = Cargo(config)
     result = cargo.run(graph)
@@ -118,6 +119,69 @@ class TestWorkerCountEquivalence:
         assert engine[:5] == legacy[:5]
         # Same number of openings recorded, even though mask values differ.
         assert len(engine[5]) == len(legacy[5])
+
+
+class TestTelemetryDeterminism:
+    """Tracing follows the same shard-merge discipline as the views: the
+    span tree's deterministic part and the metric registry are identical
+    for workers ∈ {1, 2, 4}, and tracing never perturbs the transcript."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("facebook", num_nodes=30)
+
+    @staticmethod
+    def _traced(graph, backend, workers):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        transcript = _run_cargo(
+            graph, "triangles", backend, workers=workers, telemetry=telemetry
+        )
+        return (
+            transcript,
+            telemetry.tracer.structure(),
+            telemetry.metrics.counters(),
+            telemetry.metrics.gauges(),
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_trace_and_metrics_identical_across_workers(self, graph, backend):
+        reference = self._traced(graph, backend, workers=1)
+        for workers in WORKER_COUNTS[1:]:
+            assert self._traced(graph, backend, workers) == reference, (
+                backend,
+                workers,
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("statistic", STATISTICS)
+    def test_transcript_bit_identical_traced_vs_untraced(self, graph, backend, statistic):
+        from repro.telemetry import Telemetry
+
+        untraced = _run_cargo(graph, statistic, backend, workers=2)
+        traced = _run_cargo(
+            graph, statistic, backend, workers=2, telemetry=Telemetry()
+        )
+        assert traced == untraced, (backend, statistic)
+
+    def test_blocked_tile_group_spans_follow_schedule(self, graph):
+        """Every tile group appears exactly once, in canonical (j0, k0)
+        order, regardless of which worker ran it."""
+        _, structure, _, _ = self._traced(graph, "blocked", workers=4)
+        (root,) = structure
+        count_span = next(s for s in root["children"] if s["name"] == "count")
+        backend_span = next(
+            s for s in count_span["children"] if s["name"] == "backend"
+        )
+        groups = [
+            (s["attributes"]["j0"], s["attributes"]["k0"])
+            for s in backend_span["children"]
+            if s["name"] == "tile_group"
+        ]
+        assert groups == sorted(groups)
+        # n=30, block=16 → 2x2 grid, upper-triangular (j0 <= k0) schedule.
+        assert groups == [(0, 0), (0, 16), (16, 16)]
 
 
 class TestTripleStoreThroughPipeline:
