@@ -39,6 +39,7 @@ from repro.crypto.beaver import BeaverTripleDealer
 from repro.crypto.multiplication_groups import MultiplicationGroupDealer
 from repro.graph.datasets import load_dataset
 from repro.graph.generators import sparse_random_graph
+from repro.utils.atomic import atomic_write_json
 
 #: Default n sweep and tile width; the quick mode keeps CI under a minute.
 DEFAULT_USER_COUNTS = (64, 128, 256, 384)
@@ -217,8 +218,7 @@ def write_json(rows, path=None) -> Path:
             str(Path(__file__).resolve().parent / "results" / "backend_scaling.json"),
         )
     output = Path(path)
-    output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps({"benchmark": "backend_scaling", "rows": rows}, indent=2))
+    atomic_write_json(output, {"benchmark": "backend_scaling", "rows": rows})
     return output
 
 

@@ -24,6 +24,7 @@ from repro.crypto.beaver import BeaverTripleDealer
 from repro.crypto.multiplication_groups import MultiplicationGroupDealer
 from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_triple
 from repro.crypto.sharing import share_scalar, share_vector
+from repro.utils.atomic import atomic_write_json
 
 #: Sizes for the JSON runner (kept small: these feed a CI smoke job).
 VECTOR_BATCH = 10_000
@@ -110,8 +111,7 @@ def write_json(rows, path=None) -> Path:
             str(Path(__file__).resolve().parent / "results" / "crypto_primitives.json"),
         )
     output = Path(path)
-    output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps({"benchmark": "crypto_primitives", "rows": rows}, indent=2))
+    atomic_write_json(output, {"benchmark": "crypto_primitives", "rows": rows})
     return output
 
 

@@ -34,6 +34,7 @@ from repro.core.backends import (
 from repro.crypto.beaver import BeaverTripleDealer
 from repro.graph.datasets import load_dataset
 from repro.parallel import TripleStore
+from repro.utils.atomic import atomic_write_json
 
 DEFAULT_USER_COUNTS = (256,)
 QUICK_USER_COUNTS = (96,)
@@ -129,8 +130,7 @@ def write_json(rows, path=None) -> Path:
             str(Path(__file__).resolve().parent / "results" / "parallel_engine.json"),
         )
     output = Path(path)
-    output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps({"benchmark": "parallel_engine", "rows": rows}, indent=2))
+    atomic_write_json(output, {"benchmark": "parallel_engine", "rows": rows})
     return output
 
 

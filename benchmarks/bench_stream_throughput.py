@@ -30,6 +30,7 @@ from repro.stream import (
     StreamingConfig,
     replay_stream,
 )
+from repro.utils.atomic import atomic_write_json
 
 DEFAULT_USER_COUNTS = (100, 200, 300)
 QUICK_USER_COUNTS = (60, 100)
@@ -143,8 +144,7 @@ def write_json(rows, path=None) -> Path:
             str(Path(__file__).resolve().parent / "results" / "stream_throughput.json"),
         )
     output = Path(path)
-    output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps({"benchmark": "stream_throughput", "rows": rows}, indent=2))
+    atomic_write_json(output, {"benchmark": "stream_throughput", "rows": rows})
     return output
 
 

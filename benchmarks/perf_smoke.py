@@ -50,6 +50,7 @@ from bench_backend_scaling import (
 )
 from bench_crypto_primitives import run_crypto_primitives
 from bench_parallel_engine import run_parallel_engine
+from repro.utils.atomic import atomic_write_json
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
@@ -70,6 +71,11 @@ TELEMETRY_OVERHEAD_LIMIT = 1.02
 TELEMETRY_OVERHEAD_ABS_SECONDS = 0.002
 TELEMETRY_USERS = 128
 TELEMETRY_REPS = 7
+#: Disabled-resilience overhead gate, same A/B discipline: carrying the
+#: all-off ResilienceConfig (every fault_point and retry hook on its fast
+#: path) must cost at most this factor over the default ``resilience=None``.
+RESILIENCE_OVERHEAD_LIMIT = 1.02
+RESILIENCE_OVERHEAD_ABS_SECONDS = 0.002
 
 
 def check_telemetry_overhead(failures: list) -> dict:
@@ -128,6 +134,69 @@ def check_telemetry_overhead(failures: list) -> dict:
     }
 
 
+def check_resilience_overhead(failures: list) -> dict:
+    """A/B the blocked-backend release with and without a no-op resilience.
+
+    The blocked backend crosses the densest set of fault sites per release
+    (``dealer.provision`` per tile group, ``pool.task`` per task), so it
+    upper-bounds what the disabled machinery — ``fault_point`` reading one
+    module global, ``resolve_resilience`` returning the shared no-op —
+    costs a run that never opted in.
+    """
+    from repro.core import Cargo, CargoConfig
+    from repro.graph.datasets import load_dataset
+    from repro.resilience import NULL_RESILIENCE
+
+    graph = load_dataset("facebook", num_nodes=TELEMETRY_USERS)
+
+    def one_run(resilience) -> float:
+        config = CargoConfig(
+            epsilon=2.0,
+            seed=11,
+            counting_backend="blocked",
+            block_size=32,
+            resilience=resilience,
+        )
+        started = time.perf_counter()
+        Cargo(config).run(graph)
+        return time.perf_counter() - started
+
+    one_run(None)  # warm-up: imports, dataset and ground-truth caches
+    without_config = []
+    with_null = []
+    for _ in range(TELEMETRY_REPS):
+        without_config.append(one_run(None))
+        with_null.append(one_run(NULL_RESILIENCE))
+    best_without = min(without_config)
+    best_null = min(with_null)
+    ratio = best_null / best_without if best_without > 0 else float("inf")
+    delta = best_null - best_without
+    passed = (
+        ratio <= RESILIENCE_OVERHEAD_LIMIT
+        or delta <= RESILIENCE_OVERHEAD_ABS_SECONDS
+    )
+    status = "ok" if passed else "FAIL"
+    print(
+        f"  {status:4s} resilience_overhead/blocked/n={TELEMETRY_USERS}: "
+        f"{best_null*1e3:.2f} ms all-off config vs {best_without*1e3:.2f} ms bare "
+        f"({ratio:.3f}x, limit {RESILIENCE_OVERHEAD_LIMIT}x or "
+        f"{RESILIENCE_OVERHEAD_ABS_SECONDS*1e3:.0f} ms abs)"
+    )
+    if not passed:
+        failures.append("resilience_overhead")
+    return {
+        "name": "resilience_overhead",
+        "backend": "blocked",
+        "num_users": TELEMETRY_USERS,
+        "reps": TELEMETRY_REPS,
+        "seconds_without_config": best_without,
+        "seconds_null_config": best_null,
+        "ratio": ratio,
+        "limit": RESILIENCE_OVERHEAD_LIMIT,
+        "abs_slack_seconds": RESILIENCE_OVERHEAD_ABS_SECONDS,
+    }
+
+
 def _key(row: dict) -> str:
     if row.get("tier") == "sparse":
         return f"sparse_scaling/{row['statistic']}/n={row['num_nodes']}"
@@ -180,14 +249,14 @@ def main(argv: list[str]) -> int:
     if args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
     rows = collect_rows(args.workers)
-    telemetry_failures: list = []
-    telemetry_row = check_telemetry_overhead(telemetry_failures)
-    OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)
-    OUTPUT_PATH.write_text(
-        json.dumps(
-            {"benchmark": "perf_smoke", "rows": list(rows.values()) + [telemetry_row]},
-            indent=2,
-        )
+    overhead_failures: list = []
+    overhead_rows = [
+        check_telemetry_overhead(overhead_failures),
+        check_resilience_overhead(overhead_failures),
+    ]
+    atomic_write_json(
+        OUTPUT_PATH,
+        {"benchmark": "perf_smoke", "rows": list(rows.values()) + overhead_rows},
     )
     print(f"wrote {OUTPUT_PATH}")
 
@@ -213,7 +282,7 @@ def main(argv: list[str]) -> int:
             previous = json.loads(BASELINE_PATH.read_text())
             if "reference" in previous:
                 baseline["reference"] = previous["reference"]
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        atomic_write_json(BASELINE_PATH, baseline)
         print(f"rebased {BASELINE_PATH}")
         return 0
 
@@ -222,7 +291,7 @@ def main(argv: list[str]) -> int:
         return 1
     baseline = json.loads(BASELINE_PATH.read_text())
     tolerance = float(baseline.get("tolerance", TOLERANCE))
-    regressions = list(telemetry_failures)
+    regressions = list(overhead_failures)
     ratios = {}
     for key, expected in baseline["rows"].items():
         row = rows.get(key)

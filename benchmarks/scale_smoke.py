@@ -40,6 +40,7 @@ from repro.graph.generators import sparse_random_graph
 from repro.graph.triangles import count_triangles
 from repro.parallel import TripleStore
 from repro.telemetry import traced_call
+from repro.utils.atomic import atomic_write_json
 
 OUTPUT_PATH = Path(__file__).resolve().parent / "results" / "scale_smoke.json"
 
@@ -178,10 +179,7 @@ def check_windowed_blocked(failures: list) -> dict:
 def main() -> int:
     failures: list = []
     rows = [check_sparse_release(failures), check_windowed_blocked(failures)]
-    OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)
-    OUTPUT_PATH.write_text(
-        json.dumps({"benchmark": "scale_smoke", "rows": rows}, indent=2)
-    )
+    atomic_write_json(OUTPUT_PATH, {"benchmark": "scale_smoke", "rows": rows})
     print(f"wrote {OUTPUT_PATH}")
     if failures:
         print(f"scale-smoke FAILED: {', '.join(failures)}")

@@ -44,6 +44,7 @@ from repro.telemetry import (
     verify_ledger_reconciliation,
     write_trace,
 )
+from repro.utils.atomic import atomic_write_json, atomic_write_text
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results" / "telemetry"
 
@@ -134,11 +135,13 @@ def main() -> int:
             print(f"  {status:4s} {label} {backend}: {issues or 'clean'}")
             if issues:
                 failures.append(f"{label}/{backend}")
-        (RESULTS_DIR / f"metrics_{backend}.prom").write_text(
-            to_prometheus_text(telemetry.metrics)
+        atomic_write_text(
+            RESULTS_DIR / f"metrics_{backend}.prom",
+            to_prometheus_text(telemetry.metrics),
         )
-    (RESULTS_DIR / "telemetry_smoke.json").write_text(
-        json.dumps({"benchmark": "telemetry_smoke", "rows": summary_rows}, indent=2)
+    atomic_write_json(
+        RESULTS_DIR / "telemetry_smoke.json",
+        {"benchmark": "telemetry_smoke", "rows": summary_rows},
     )
     print(f"wrote {RESULTS_DIR}")
     if failures:

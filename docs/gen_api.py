@@ -123,6 +123,17 @@ API_PAGES = {
             "repro.parallel.store",
         ),
     ),
+    "resilience": (
+        "repro.resilience — fault tolerance and recovery",
+        (
+            "repro.resilience",
+            "repro.resilience.faults",
+            "repro.resilience.retry",
+            "repro.resilience.integrity",
+            "repro.resilience.checkpoint",
+            "repro.utils.atomic",
+        ),
+    ),
     "telemetry": (
         "repro.telemetry — spans, metrics, manifests",
         (

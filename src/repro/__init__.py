@@ -17,7 +17,9 @@ The public API is organised by subpackage:
   over,
 * :mod:`repro.stream` — continual private statistic release over edge
   streams (incremental maintenance, binary-tree continual DP release,
-  secure-count anchors).
+  secure-count anchors),
+* :mod:`repro.resilience` — fault injection, deterministic retries,
+  integrity-checked persistence, and crash-safe checkpoint/resume.
 
 Quickstart::
 
@@ -45,9 +47,16 @@ from repro.core import (
     SimilarityProjection,
 )
 from repro.dp import LaplaceMechanism, PrivacyBudget, RandomizedResponse
+from repro.exceptions import (
+    CheckpointError,
+    IntegrityError,
+    ReproError,
+    RetryExhaustedError,
+)
 from repro.graph import Graph, available_datasets, count_triangles, load_dataset
 from repro.metrics import l2_loss, relative_error
 from repro.parallel import TripleStore, WorkerPool
+from repro.resilience import FaultPlan, ResilienceConfig, RetryPolicy
 from repro.stats import (
     ClusteringCoefficientRelease,
     SubgraphStatistic,
@@ -88,6 +97,13 @@ __all__ = [
     "relative_error",
     "TripleStore",
     "WorkerPool",
+    "ReproError",
+    "IntegrityError",
+    "CheckpointError",
+    "RetryExhaustedError",
+    "FaultPlan",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SubgraphStatistic",
     "register_statistic",
     "available_statistics",

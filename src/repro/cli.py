@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.exceptions import ReproError
@@ -109,6 +110,41 @@ def build_parser() -> argparse.ArgumentParser:
         "not the graph size, with bit-identical transcripts)",
     )
     parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="journal run progress to FILE (atomic write-then-rename) so a "
+        "killed run can be resumed; supported by the streaming and "
+        "tile-window experiments",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the --checkpoint file when it exists; the resumed "
+        "run's releases and ledgers are bit-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry transient I/O failures (triple-store reads, checkpoint "
+        "writes, pool tasks, anchors) up to N attempts per operation",
+    )
+    parser.add_argument(
+        "--strict-integrity",
+        action="store_true",
+        help="raise IntegrityError on corrupted persisted material instead "
+        "of silently re-dealing it",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="install a deterministic fault-injection plan (JSON produced by "
+        "FaultPlan.to_json) for the run — chaos-testing aid",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -127,7 +163,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _collect_overrides(args: argparse.Namespace, runner, telemetry=None) -> dict:
+def _build_resilience(args: argparse.Namespace):
+    """A ResilienceConfig from the CLI flags, or ``None`` when all are off."""
+    if not (
+        args.checkpoint
+        or args.resume
+        or args.retries is not None
+        or args.strict_integrity
+    ):
+        return None
+    from repro.resilience import ResilienceConfig, RetryPolicy
+
+    retry = None
+    if args.retries is not None:
+        if args.retries < 1:
+            raise ReproError(f"--retries must be at least 1, got {args.retries}")
+        retry = RetryPolicy(max_attempts=args.retries, seed=args.seed or 0)
+    return ResilienceConfig(
+        retry=retry,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        strict_integrity=args.strict_integrity,
+    )
+
+
+def _collect_overrides(
+    args: argparse.Namespace, runner, telemetry=None, resilience=None
+) -> dict:
     """Map CLI flags onto the experiment function's keyword parameters."""
     import inspect
 
@@ -135,6 +197,13 @@ def _collect_overrides(args: argparse.Namespace, runner, telemetry=None) -> dict
     overrides = {}
     if telemetry is not None and "telemetry" in accepted:
         overrides["telemetry"] = telemetry
+    if resilience is not None:
+        if "resilience" not in accepted:
+            raise ReproError(
+                f"experiment {args.experiment!r} does not support "
+                "--checkpoint/--resume/--retries/--strict-integrity"
+            )
+        overrides["resilience"] = resilience
     if args.num_nodes is not None and "num_nodes" in accepted:
         overrides["num_nodes"] = args.num_nodes
     if args.trials is not None and "num_trials" in accepted:
@@ -196,27 +265,57 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         telemetry = Telemetry()
 
+    # Fault plans are a chaos-testing aid: injected crashes exit with a
+    # distinct code (2) so a harness can tell "killed as planned" from a
+    # typed protocol failure (1).
+    from contextlib import nullcontext
+
+    fault_context = nullcontext()
+    if args.fault_plan:
+        from repro.resilience import FaultPlan, install_fault_plan
+
+        try:
+            plan = FaultPlan.from_json(Path(args.fault_plan).read_text())
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: unreadable fault plan: {error}", file=sys.stderr)
+            return 1
+        fault_context = install_fault_plan(plan)
+
+    from repro.resilience.faults import InjectedCrash
+
     try:
-        spec = get_experiment(args.experiment)
-        overrides = _collect_overrides(args, spec.runner, telemetry=telemetry)
-        report = spec.run(**overrides)
+        with fault_context:
+            resilience = _build_resilience(args)
+            spec = get_experiment(args.experiment)
+            overrides = _collect_overrides(
+                args, spec.runner, telemetry=telemetry, resilience=resilience
+            )
+            report = spec.run(**overrides)
+
+            if args.trace_out:
+                from repro.telemetry import write_trace
+
+                write_trace(
+                    telemetry,
+                    args.trace_out,
+                    experiment=args.experiment,
+                    description=report.description,
+                )
+            if args.metrics_out:
+                from repro.telemetry import write_metrics
+
+                write_metrics(telemetry.metrics, args.metrics_out)
+    except InjectedCrash as error:
+        print(f"crashed (injected): {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-
-    if args.trace_out:
-        from repro.telemetry import write_trace
-
-        write_trace(
-            telemetry,
-            args.trace_out,
-            experiment=args.experiment,
-            description=report.description,
-        )
-    if args.metrics_out:
-        from repro.telemetry import write_metrics
-
-        write_metrics(telemetry.metrics, args.metrics_out)
+    except OSError as error:
+        # Untyped I/O failures (including injected transient ones that
+        # exhausted no retry policy) still exit with a one-line message.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     if args.json:
         import json

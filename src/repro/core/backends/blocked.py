@@ -50,6 +50,7 @@ runs, sweep cells, and streaming anchors skip the offline phase entirely.
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -62,6 +63,7 @@ from repro.crypto.secure_ops import secure_matrix_multiply, secure_multiply_pair
 from repro.crypto.views import ViewRecorder
 from repro.exceptions import ProtocolError
 from repro.parallel import MaterialSequence, TripleSignature, WorkerPool, resolve_workers
+from repro.resilience import NULL_RESILIENCE, Checkpointer
 from repro.telemetry import resolve_telemetry
 from repro.utils.rng import RandomState
 
@@ -114,6 +116,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         triple_store=None,
         tile_window: Optional[int] = None,
         telemetry=None,
+        resilience=None,
     ) -> None:
         if block_size <= 0:
             raise ProtocolError(f"block_size must be positive, got {block_size}")
@@ -129,6 +132,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         self._workers = int(workers)
         self._store = triple_store
         self._tile_window = tile_window
+        self._resilience = resilience if resilience is not None else NULL_RESILIENCE
 
     @property
     def block_size(self) -> int:
@@ -157,6 +161,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
             triple_store=getattr(config, "triple_store", None),
             tile_window=getattr(config, "tile_window", None),
             telemetry=resolve_telemetry(config),
+            resilience=getattr(config, "resilience", None),
         )
 
     def count_from_shares(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
@@ -267,20 +272,54 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         return schedule
 
     def _deal_group(self, group: tuple, dealer: BeaverTripleDealer) -> dict:
-        """Deal one group's correlated randomness from its own sub-dealer."""
-        j0, j1, k0, k1, i_tiles = group
-        rows_j = j1 - j0
-        cols_k = k1 - k0
-        matrix_triples = [
-            dealer.matrix_triple((rows_j, i1 - i0), (i1 - i0, cols_k))
-            for i0, i1 in i_tiles
-        ]
-        elementwise = dealer.vector_triple((rows_j, cols_k))
+        """Deal one group's correlated randomness from its own sub-dealer.
+
+        Transactional: a failure mid-deal (an injected worker fault, a real
+        transient error) rolls the sub-dealer back to its entry state, so a
+        retried attempt replays the identical randomness — the material, and
+        every opening built from it, stays bit-identical to a fault-free run.
+        """
+        snapshot = dealer.state_snapshot()
+        try:
+            j0, j1, k0, k1, i_tiles = group
+            rows_j = j1 - j0
+            cols_k = k1 - k0
+            matrix_triples = [
+                dealer.matrix_triple((rows_j, i1 - i0), (i1 - i0, cols_k))
+                for i0, i1 in i_tiles
+            ]
+            elementwise = dealer.vector_triple((rows_j, cols_k))
+        except BaseException:
+            dealer.state_restore(snapshot)
+            raise
         return {
             "matrix": matrix_triples,
             "elementwise": elementwise,
             "accounting": dealer.accounting(),
         }
+
+    def _make_pool(self) -> WorkerPool:
+        """A worker pool carrying this backend's retry policy (if any)."""
+        pool = WorkerPool(max(self._workers, 1))
+        if self._resilience.retry is not None:
+            pool.configure_resilience(
+                retry=self._resilience.retry,
+                metrics=self._telemetry.metrics if self._telemetry.enabled else None,
+            )
+        return pool
+
+    def _journal_token(self, n: int, dealer_key: str) -> str:
+        """Binds a tile journal to this exact run geometry and dealer stream.
+
+        A checkpoint written by a run with different ``n``, tiling, ring, or
+        dealer randomness must never be resumed into this one — the token
+        mismatch makes :class:`~repro.resilience.Checkpointer` raise instead.
+        """
+        payload = (
+            f"tiles|{n}|{self._block_size}|{self._tile_window}|"
+            f"{self._ring.bits}|{dealer_key}"
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
     def _run_group(
         self,
@@ -349,7 +388,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         ring = self._ring
         schedule = self._tile_schedule(num_users)
         if pool is None:
-            pool = WorkerPool(max(self._workers, 1))
+            pool = self._make_pool()
         signature = TripleSignature(
             statistic="triangles",
             backend="blocked",
@@ -397,7 +436,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         n = share1.shape[0]
         window = self._tile_window
         schedule = self._tile_schedule(n)
-        pool = WorkerPool(max(self._workers, 1))
+        pool = self._make_pool()
         tracer = self._telemetry.tracer
         # The dealer key is taken before any children are spawned so chunk
         # signatures match across runs regardless of which chunks run warm.
@@ -406,6 +445,41 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         total1 = 0
         total2 = 0
         opening_rounds = 0
+        # Crash recovery: a journal of completed chunks.  Each save captures
+        # the running subtotals, the opening-round count, every completed
+        # group's view shard (merged in canonical order), and the dealer
+        # tallies absorbed so far; a resumed run restores them and skips
+        # straight to the first incomplete chunk.  Group randomness comes
+        # from per-group sub-dealer substreams, so the skipped chunks'
+        # absence changes nothing downstream — the transcript is
+        # bit-identical to an uninterrupted run.
+        resilience = self._resilience
+        journal = None
+        completed_chunks = 0
+        journal_views: Optional[ViewRecorder] = None
+        absorbed_accounting: List[tuple] = []
+        if resilience.checkpoint_path is not None:
+            journal = Checkpointer(
+                resilience.checkpoint_path,
+                kind="tiles",
+                token=self._journal_token(n, dealer_key),
+                retry=resilience.retry,
+                metrics=self._telemetry.metrics if self._telemetry.enabled else None,
+            )
+            if resilience.resume and journal.exists():
+                state = journal.load()
+                completed_chunks = state["completed_chunks"]
+                total1 = state["total1"]
+                total2 = state["total2"]
+                opening_rounds = state["opening_rounds"]
+                journal_views = state["views"]
+                absorbed_accounting = list(state["accounting"])
+                for tallies in absorbed_accounting:
+                    self._dealer.absorb_accounting(*tallies)
+                if self._views is not None and journal_views is not None:
+                    self._views.merge_from(journal_views)
+            if self._views is not None and journal_views is None:
+                journal_views = ViewRecorder()
         with tracer.span(
             "backend",
             backend="blocked",
@@ -414,6 +488,10 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
             tile_window=window,
         ) as backend_span:
             for chunk_index, chunk_start in enumerate(range(0, len(schedule), window)):
+                if chunk_index < completed_chunks:
+                    # Already journalled by the interrupted run; its subtotals,
+                    # rounds, views, and dealer tallies were restored above.
+                    continue
                 chunk = schedule[chunk_start : chunk_start + window]
                 signature = TripleSignature(
                     statistic="triangles",
@@ -451,7 +529,10 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
                     sequence = MaterialSequence(materials, label="blocked tile window")
                     sequence.require(len(chunk))
                     for index in range(len(chunk)):
-                        self._dealer.absorb_accounting(*sequence.take(index)["accounting"])
+                        tallies = sequence.take(index)["accounting"]
+                        self._dealer.absorb_accounting(*tallies)
+                        if journal is not None:
+                            absorbed_accounting.append(tuple(tallies))
                     results = pool.map(
                         [
                             (lambda i=index: self._run_group(
@@ -466,11 +547,26 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
                         opening_rounds += rounds
                         if shard is not None:
                             self._views.merge_from(shard)
+                            if journal_views is not None:
+                                journal_views.merge_from(shard)
                         tracer.merge_shard(tshard)
                     # Release the window's material before the next chunk is
                     # dealt — this is the bounded-memory property the scale
                     # tests pin.
                     del materials, sequence, results, stored
+                if journal is not None and (
+                    (chunk_index + 1) % resilience.checkpoint_every == 0
+                ):
+                    journal.save(
+                        {
+                            "completed_chunks": chunk_index + 1,
+                            "total1": int(total1),
+                            "total2": int(total2),
+                            "opening_rounds": opening_rounds,
+                            "views": journal_views,
+                            "accounting": absorbed_accounting,
+                        }
+                    )
             backend_span.annotate(opening_rounds=opening_rounds)
         return CountResult(
             share1=int(total1),
@@ -483,7 +579,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         """The tile-parallel engine: deal and evaluate groups on a worker pool."""
         ring = self._ring
         n = share1.shape[0]
-        pool = WorkerPool(max(self._workers, 1))
+        pool = self._make_pool()
         tracer = self._telemetry.tracer
         with tracer.span(
             "backend", backend="blocked", num_users=n, block_size=self._block_size

@@ -34,6 +34,7 @@ from repro.crypto.views import ViewRecorder
 from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 from repro.stats import create_statistic
+from repro.resilience import resolve_resilience
 from repro.telemetry import Tracer, build_result_telemetry, resolve_telemetry
 from repro.utils.rng import derive_rng, spawn_rngs
 
@@ -99,6 +100,13 @@ class Cargo:
         budget = config.resolved_budget()
         statistic = create_statistic(config.statistic, config)
         telemetry = resolve_telemetry(config)
+        resilience = resolve_resilience(config)
+        if getattr(config, "triple_store", None) is not None and resilience.enabled:
+            config.triple_store.configure_resilience(
+                retry=resilience.retry,
+                strict_integrity=resilience.strict_integrity,
+                metrics=telemetry.metrics if telemetry.enabled else None,
+            )
         # Phase timings always come from a span tree; without a telemetry
         # bundle the run uses a private tracer whose only spans are the
         # legacy phases, so ``result.timings`` keeps its historical keys.

@@ -118,6 +118,14 @@ class CargoConfig:
         ``CargoResult.telemetry`` carries the per-phase summary.  ``None``
         (default) disables all instrumentation beyond the legacy phase
         timings; transcripts are bit-identical either way.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`.  When set, the
+        run wraps its fallible boundaries (triple-store reads, dealer
+        provisioning, pool tasks) in the configured retry policy, verifies
+        persisted material strictly if requested, and — for the
+        ``tile_window`` blocked pipeline — journals completed tile windows
+        to ``checkpoint_path`` so a killed run resumes bit-identically.
+        ``None`` (default) keeps every fault hook a no-op.
     offline_seed:
         When set, the offline dealer draws from ``derive_rng(offline_seed)``
         instead of the run's spawned dealer substream, making the dealt
@@ -161,6 +169,7 @@ class CargoConfig:
     workers: Optional[int] = None
     triple_store: Optional[object] = field(default=None, compare=False, repr=False)
     telemetry: Optional[object] = field(default=None, compare=False, repr=False)
+    resilience: Optional[object] = field(default=None, compare=False, repr=False)
     offline_seed: Optional[int] = None
     seed: Optional[int] = None
     record_views: bool = False

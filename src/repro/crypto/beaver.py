@@ -28,6 +28,7 @@ import numpy as np
 from repro.crypto.ring import DEFAULT_RING, Ring
 from repro.crypto.sharing import SharePair, share_scalar, share_vector
 from repro.exceptions import DealerError
+from repro.resilience.faults import fault_point
 from repro.utils.rng import RandomState, derive_rng
 
 IntOrArray = Union[int, np.ndarray]
@@ -160,6 +161,36 @@ class BeaverTripleDealer:
         """The ``(issued, total_elements, largest_elements)`` tallies so far."""
         return (self._issued, self._total_triple_elements, self._largest_triple_elements)
 
+    def state_snapshot(self) -> dict:
+        """Everything a retried dealing attempt must be able to roll back.
+
+        Covers the randomness position, the issue tallies, and the buffered
+        pools' cursors — so an attempt that fails mid-deal can be undone and
+        the retry deals byte-identical material from the same stream
+        position (see :meth:`state_restore`).
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "issued": self._issued,
+            "largest": self._largest_triple_elements,
+            "total": self._total_triple_elements,
+            "vector_cursor": self._vector_pool_cursor,
+            "matrix_cursors": {
+                key: pool["cursor"] for key, pool in self._matrix_pools.items()
+            },
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Roll the dealer back to a :meth:`state_snapshot` position."""
+        self._rng.bit_generator.state = snapshot["rng"]
+        self._issued = snapshot["issued"]
+        self._largest_triple_elements = snapshot["largest"]
+        self._total_triple_elements = snapshot["total"]
+        self._vector_pool_cursor = snapshot["vector_cursor"]
+        for key, cursor in snapshot["matrix_cursors"].items():
+            if key in self._matrix_pools:
+                self._matrix_pools[key]["cursor"] = cursor
+
     def spawn_subdealers(self, count: int) -> list:
         """*count* dealers with independent substreams of this dealer's seed.
 
@@ -210,6 +241,7 @@ class BeaverTripleDealer:
         stream, not on how requests are batched.  Issue accounting still
         happens at serve time, exactly as in the unbuffered mode.
         """
+        fault_point("dealer.provision")
         if count <= 0:
             raise DealerError(f"provision count must be positive, got {count}")
         if self.provisioned_vector_remaining:
@@ -242,6 +274,7 @@ class BeaverTripleDealer:
         shapes are then served from the pool (one stacked slice per call,
         identical accounting).
         """
+        fault_point("dealer.provision")
         if count <= 0:
             raise DealerError(f"provision count must be positive, got {count}")
         if left_shape[1] != right_shape[0]:
@@ -305,6 +338,9 @@ class BeaverTripleDealer:
                 f"{self.provisioned_vector_remaining} still provisioned; "
                 "provision more or drain the pool first"
             )
+        # On-demand minting is a provisioning event too — same fault site as
+        # the buffered path, so exhaustion chaos hits every dealing mode.
+        fault_point("dealer.provision")
         ring = self._ring
         x = ring.random_array(shape, self._rng)
         y = ring.random_array(shape, self._rng)
@@ -344,6 +380,7 @@ class BeaverTripleDealer:
                 server2=BeaverTriple(x=parts["x2"], y=parts["y2"], z=parts["z2"]),
                 ring=self._ring,
             )
+        fault_point("dealer.provision")
         ring = self._ring
         x = ring.random_array(left_shape, self._rng)
         y = ring.random_array(right_shape, self._rng)

@@ -29,6 +29,7 @@ import numpy as np
 from repro.crypto.ring import DEFAULT_RING, Ring
 from repro.crypto.sharing import share_scalar, share_vector
 from repro.exceptions import DealerError
+from repro.resilience.faults import fault_point
 from repro.utils.rng import RandomState, derive_rng
 
 IntOrArray = Union[int, np.ndarray]
@@ -188,6 +189,7 @@ class MultiplicationGroupDealer:
         buffers for the derived products are kept between same-sized calls
         so repeated provisioning of a fixed chunk reuses its allocations.
         """
+        fault_point("dealer.provision")
         if count <= 0:
             raise DealerError(f"provision count must be positive, got {count}")
         ring = self._ring

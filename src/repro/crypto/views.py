@@ -71,6 +71,17 @@ class ViewRecorder:
         }
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> Dict[str, Any]:
+        # Checkpoints pickle recorders; the lock is runtime-only state and is
+        # recreated fresh on unpickle.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def observe(self, server_index: int, label: str, value: Any) -> None:
         """Record that server *server_index* observed *value* under *label*."""
         if server_index not in self._views:

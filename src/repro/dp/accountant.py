@@ -9,8 +9,9 @@ sum of the budgets its mechanisms actually consumed.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.exceptions import BudgetExhaustedError, PrivacyError
 
@@ -60,6 +61,55 @@ class PrivacyAccountant:
             )
         self._spent += epsilon
         self._ledger.append((label, epsilon))
+
+    def reserve(self) -> Tuple[float, int]:
+        """Snapshot the current position for a later :meth:`rollback`.
+
+        The returned token captures the spent total and ledger length; it is
+        the mechanism behind :meth:`transaction`.
+        """
+        return (self._spent, len(self._ledger))
+
+    def rollback(self, reservation: Tuple[float, int]) -> None:
+        """Undo every spend recorded since *reservation* was taken.
+
+        Raises :class:`~repro.exceptions.PrivacyError` if spends recorded
+        *before* the reservation have already been mutated (the snapshot no
+        longer describes a prefix of the ledger).
+        """
+        spent, length = reservation
+        if length > len(self._ledger) or spent > self._spent + 1e-12:
+            raise PrivacyError(
+                "cannot roll back: the accountant ledger no longer extends "
+                "the reserved snapshot"
+            )
+        del self._ledger[length:]
+        self._spent = spent
+
+    @contextmanager
+    def transaction(self) -> Iterator["PrivacyAccountant"]:
+        """All-or-nothing spending: roll back every spend if the block raises.
+
+        This is what makes a failed-and-retried secure anchor safe — ε spent
+        inside an attempt that dies is returned to the budget, so the retry
+        spends it exactly once and the ledger matches a fault-free run.
+
+        >>> accountant = PrivacyAccountant(total_budget=1.0)
+        >>> try:
+        ...     with accountant.transaction():
+        ...         accountant.spend(0.4, label="anchor")
+        ...         raise OSError("transient failure mid-anchor")
+        ... except OSError:
+        ...     pass
+        >>> accountant.spent
+        0.0
+        """
+        reservation = self.reserve()
+        try:
+            yield self
+        except BaseException:
+            self.rollback(reservation)
+            raise
 
     def ledger(self) -> List[Tuple[str, float]]:
         """Chronological list of ``(label, epsilon)`` spends."""

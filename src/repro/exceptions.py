@@ -58,6 +58,41 @@ class ExperimentError(ReproError):
     """An experiment specification is unknown or produced no results."""
 
 
+class IntegrityError(ReproError):
+    """Persisted protocol material failed its content-checksum verification.
+
+    Raised (or counted, on the gracefully-degrading paths) when a spilled
+    triple batch, a checkpoint file, or any other persisted artefact does not
+    hash to the checksum recorded when it was written — a bit flip, a
+    truncated write, or manual tampering.  Corrupt correlated randomness is
+    never served to the protocol: the loader either raises this error or
+    falls back to re-dealing fresh material.
+    """
+
+
+class CheckpointError(ReproError):
+    """A crash-recovery checkpoint is missing, incompatible, or misused.
+
+    Examples include resuming from a checkpoint written by a different
+    configuration or stream, a schema-version mismatch, or a checkpoint of
+    the wrong kind (a streaming checkpoint fed to the tile journal).
+    Checksum failures raise :class:`IntegrityError` instead.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """A fallible boundary kept failing after every allowed retry attempt.
+
+    Carries the *site* label of the boundary and the number of *attempts*
+    made; the final underlying failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, site: str = "", attempts: int = 0) -> None:
+        super().__init__(message)
+        self.site = site
+        self.attempts = attempts
+
+
 class StreamError(ReproError):
     """An edge-event stream is malformed or a continual release was misused.
 

@@ -36,6 +36,7 @@ def single_release(
     sparse: Optional[str] = None,
     tile_window: Optional[int] = None,
     telemetry: Optional[object] = None,
+    resilience: Optional[object] = None,
 ) -> ExperimentReport:
     """Run one private release end to end and report what it did.
 
@@ -54,6 +55,7 @@ def single_release(
         triple_store=store,
         track_communication=True,
         telemetry=telemetry,
+        resilience=resilience,
         **({} if counting_backend is None else {"counting_backend": counting_backend}),
         **({} if statistic is None else {"statistic": statistic}),
         **({} if star_k is None else {"star_k": star_k}),

@@ -33,13 +33,16 @@ def streaming_accuracy_over_time(
     workers: Optional[int] = None,
     seed: int = 0,
     telemetry: Optional[object] = None,
+    resilience: Optional[object] = None,
 ) -> ExperimentReport:
     """Continual-release accuracy as a dataset's edges arrive over time.
 
     The dataset's edges arrive in a seed-randomized order; the streaming
     orchestrator publishes a DP estimate every *release_every* events (with a
     secure anchor every *anchor_every* releases when non-zero).  One report
-    row per release.
+    row per release.  A :class:`~repro.resilience.ResilienceConfig` passed as
+    *resilience* engages retries, checkpointing, and resume — a run resumed
+    from its checkpoint emits exactly the rows the uninterrupted run would.
     """
     graph = load_dataset(dataset, num_nodes=num_nodes)
     stream = replay_stream(graph, rng=seed)
@@ -53,6 +56,7 @@ def streaming_accuracy_over_time(
         **({} if star_k is None else {"star_k": star_k}),
         **({} if workers is None else {"workers": workers}),
         telemetry=telemetry,
+        resilience=resilience,
     )
     result = StreamingCargo(config).run(stream)
     report = ExperimentReport(

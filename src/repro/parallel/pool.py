@@ -26,6 +26,7 @@ from typing import Any, Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.resilience.faults import fault_point
 
 
 def resolve_workers(config: Any) -> int:
@@ -63,17 +64,42 @@ class WorkerPool:
     [1, 2, 3]
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, retry=None, metrics=None) -> None:
         workers = int(workers)
         if workers < 1:
             raise ConfigurationError(f"workers must be at least 1, got {workers}")
         self._workers = workers
         self._executor: ThreadPoolExecutor | None = None
+        self._retry = retry
+        self._metrics = metrics
 
     @property
     def workers(self) -> int:
         """Number of worker threads this pool fans out to."""
         return self._workers
+
+    def configure_resilience(self, retry=None, metrics=None) -> None:
+        """Attach a retry policy (and metrics sink) to every task execution.
+
+        A task that raises a transient failure (an injected ``OSError`` from
+        a worker-crash fault, a flaky I/O boundary inside a tile) is re-run
+        under the policy's deterministic schedule.  Tasks are pure functions
+        of their inputs, so a retried task reproduces the exact output the
+        first attempt would have produced — transcripts stay bit-identical.
+        """
+        if retry is not None:
+            self._retry = retry
+        if metrics is not None:
+            self._metrics = metrics
+
+    def _run_task(self, task: Callable[[], Any]) -> Any:
+        def attempt():
+            fault_point("pool.task")
+            return task()
+
+        if self._retry is not None:
+            return self._retry.run("pool.task", attempt, metrics=self._metrics)
+        return attempt()
 
     def map(self, tasks: Sequence[Callable[[], Any]]) -> List[Any]:
         """Run every task and return the results **in task order**.
@@ -87,10 +113,10 @@ class WorkerPool:
         """
         tasks = list(tasks)
         if self._workers == 1 or len(tasks) <= 1:
-            return [task() for task in tasks]
+            return [self._run_task(task) for task in tasks]
         if self._executor is None:
             self._executor = ThreadPoolExecutor(max_workers=self._workers)
-        futures = [self._executor.submit(task) for task in tasks]
+        futures = [self._executor.submit(self._run_task, task) for task in tasks]
         return [future.result() for future in futures]
 
     def matmul(self, ring, a: np.ndarray, b: np.ndarray) -> np.ndarray:

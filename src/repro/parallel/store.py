@@ -30,6 +30,7 @@ evaluation but must not be done in a deployment; see
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import pickle
 import threading
@@ -40,11 +41,16 @@ from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import DealerError
+from repro.exceptions import DealerError, IntegrityError, RetryExhaustedError
+from repro.resilience.faults import FaultKind, corrupt_bytes, fault_point
+from repro.resilience.integrity import checksum_bytes, checksum_file, verify_bytes, verify_file
 
 #: On-disk batch format marker; bump when the material layout changes.
+#: Version 2 adds content checksums over the pickled material (and, in mmap
+#: mode, over the ``.bin`` side-car) so disk corruption is detected on load
+#: instead of being served to the protocol; v1 files read as cold misses.
 _PERSIST_MAGIC = "repro-triple-store"
-_PERSIST_VERSION = 1
+_PERSIST_VERSION = 2
 
 #: mmap-mode format marker (``<token>.npk`` + ``<token>.bin`` file pair).
 _MMAP_MAGIC = "repro-triple-store-mmap"
@@ -289,6 +295,29 @@ class TripleStore:
         self._stores = 0
         self._evictions = 0
         self._skipped = 0
+        self._integrity_failures = 0
+        self._strict_integrity = False
+        self._retry = None
+        self._metrics = None
+
+    def configure_resilience(
+        self, retry=None, strict_integrity: Optional[bool] = None, metrics=None
+    ) -> None:
+        """Attach per-run resilience behaviour to the store.
+
+        Called by the protocol entry points when a run carries a
+        :class:`~repro.resilience.ResilienceConfig`: *retry* wraps disk
+        reads, *strict_integrity* escalates checksum failures from graceful
+        degradation (count + re-deal) to a raised
+        :class:`~repro.exceptions.IntegrityError`, and *metrics* receives
+        the retry counters.
+        """
+        if retry is not None:
+            self._retry = retry
+        if strict_integrity is not None:
+            self._strict_integrity = bool(strict_integrity)
+        if metrics is not None:
+            self._metrics = metrics
 
     @property
     def cache_dir(self) -> Optional[str]:
@@ -382,6 +411,7 @@ class TripleStore:
                 "stores": self._stores,
                 "evictions": self._evictions,
                 "skipped_oversize": self._skipped,
+                "integrity_failures": self._integrity_failures,
                 "entries": len(self._entries),
                 "memory_bytes": self._memory_bytes,
             }
@@ -395,6 +425,11 @@ class TripleStore:
     def misses(self) -> int:
         """Number of cold lookups so far."""
         return self._misses
+
+    @property
+    def integrity_failures(self) -> int:
+        """Number of persisted batches that failed checksum verification."""
+        return self._integrity_failures
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -430,20 +465,53 @@ class TripleStore:
         if self._mmap:
             bin_path = self._bin_path_for(token)
             bin_tmp = bin_path.with_suffix(".bin.tmp")
-            with tmp.open("wb") as handle, bin_tmp.open("wb") as bin_handle:
-                pickler = _ArrayExternalisingPickler(handle, bin_handle)
-                pickler.dump((_MMAP_MAGIC, _PERSIST_VERSION, signature, material))
+            # The structural pickle is tiny (array stubs only), so buffering
+            # it in memory to checksum it costs nothing; the array bytes
+            # stream straight to the .bin side-car as before.
+            buffer = io.BytesIO()
+            with bin_tmp.open("wb") as bin_handle:
+                pickler = _ArrayExternalisingPickler(buffer, bin_handle)
+                pickler.dump(material)
+            struct_bytes = buffer.getvalue()
             # The bin file must land before the pickle that references it.
             bin_tmp.replace(bin_path)
+            checksums = {
+                "pickle": checksum_bytes(struct_bytes),
+                "bin": checksum_file(bin_path),
+            }
+            with tmp.open("wb") as handle:
+                pickle.dump(
+                    (_MMAP_MAGIC, _PERSIST_VERSION, signature, checksums, struct_bytes),
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
             tmp.replace(path)
             return
+        payload = pickle.dumps(material, protocol=pickle.HIGHEST_PROTOCOL)
         with tmp.open("wb") as handle:
             pickle.dump(
-                (_PERSIST_MAGIC, _PERSIST_VERSION, signature, material),
+                (_PERSIST_MAGIC, _PERSIST_VERSION, signature, checksum_bytes(payload), payload),
                 handle,
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         tmp.replace(path)
+
+    def _integrity_failure(self, context: str, error: Optional[BaseException] = None):
+        """Count one verification failure; raise under strict integrity.
+
+        The graceful (default) path returns ``None``, which the caller
+        reports as a cold miss — the run re-deals fresh material instead of
+        consuming corrupt shares.
+        """
+        with self._lock:
+            self._integrity_failures += 1
+        if self._metrics is not None:
+            self._metrics.increment("store_integrity_failures")
+        if self._strict_integrity:
+            if isinstance(error, IntegrityError):
+                raise error
+            raise IntegrityError(f"persisted triple batch failed verification: {context}") from error
+        return None
 
     def _load_from_disk(self, token: str, signature: TripleSignature) -> Optional[Any]:
         if self._cache_dir is None:
@@ -451,19 +519,45 @@ class TripleStore:
         path = self._path_for(token)
         if not path.exists():
             return None
+
+        def read_file() -> bytes:
+            spec = fault_point("triple_store.read")
+            data = path.read_bytes()
+            if spec is not None and spec.kind is FaultKind.BITFLIP:
+                data = corrupt_bytes(data, spec)
+            return data
+
+        try:
+            if self._retry is not None:
+                blob = self._retry.run("triple_store.read", read_file, metrics=self._metrics)
+            else:
+                blob = read_file()
+        except (OSError, RetryExhaustedError):
+            # An unreadable batch degrades to a cold miss: the run re-deals.
+            return None
         expected_magic = _MMAP_MAGIC if self._mmap else _PERSIST_MAGIC
         try:
-            with path.open("rb") as handle:
-                if self._mmap:
-                    unpickler = _ArrayMappingUnpickler(handle, self._bin_path_for(token))
-                    magic, version, stored_signature, material = unpickler.load()
-                else:
-                    magic, version, stored_signature, material = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, ValueError, EOFError):
-            return None
+            magic, version, stored_signature, checksum, payload = pickle.loads(blob)
+        except Exception as error:
+            # The file exists but does not parse — corruption, not staleness.
+            return self._integrity_failure(f"unreadable batch envelope {path.name}", error)
         if magic != expected_magic or version != _PERSIST_VERSION:
+            # A stale or foreign format (including pre-checksum v1 batches)
+            # is a plain miss, not an integrity event.
             return None
         if stored_signature != signature:
             # Token collision or stale file: never serve mismatched material.
             return None
-        return material
+        try:
+            if self._mmap:
+                verify_bytes(payload, checksum["pickle"], context=f"batch pickle {path.name}")
+                bin_path = self._bin_path_for(token)
+                if not bin_path.exists():
+                    raise IntegrityError(f"missing side-car {bin_path.name} for batch {path.name}")
+                verify_file(bin_path, checksum["bin"], context=f"batch side-car {bin_path.name}")
+                unpickler = _ArrayMappingUnpickler(io.BytesIO(payload), bin_path)
+                return unpickler.load()
+            verify_bytes(payload, checksum, context=f"batch {path.name}")
+            return pickle.loads(payload)
+        except (IntegrityError, pickle.UnpicklingError, ValueError, EOFError, KeyError) as error:
+            return self._integrity_failure(f"batch {path.name}", error)

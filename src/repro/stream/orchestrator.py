@@ -38,6 +38,7 @@ sensitivity at their projection's degree bound
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -64,6 +65,8 @@ from repro.stats import (
 )
 from repro.stream.delta import make_maintainer
 from repro.stream.events import EdgeStream
+from repro.resilience import Checkpointer, resolve_resilience
+from repro.resilience.faults import fault_point
 from repro.stream.release import (
     BinaryTreeRelease,
     EveryKEventsPolicy,
@@ -203,6 +206,17 @@ class StreamingConfig:
         ε, anchor/release latency histograms), and a release entry for the
         exportable run manifest.  ``None`` (the default) is a true no-op and
         never perturbs released estimates either way.
+    resilience:
+        Optional :class:`~repro.resilience.ResilienceConfig`.  When set, each
+        anchor runs inside an accountant transaction with its randomness
+        substreams snapshotted (a failed anchor is retried under the
+        configured policy with no double-spent ε and no divergent
+        randomness), triple-store reads are retried/verified as configured,
+        and — with a ``checkpoint_path`` — the run checkpoints its complete
+        recovery state after every ``checkpoint_every``-th release so a
+        killed process resumes (``resume=True``) with bit-identical
+        releases, ledger, and transcripts.  ``None`` (the default) disables
+        everything.
     seed:
         Master seed; the tree noise, the anchor noise, the share masks and
         the dealer all derive independent substreams from it.
@@ -232,6 +246,7 @@ class StreamingConfig:
     triple_store: Optional[object] = field(default=None, compare=False, repr=False)
     offline_seed: Optional[int] = None
     telemetry: Optional[object] = field(default=None, compare=False, repr=False)
+    resilience: Optional[object] = field(default=None, compare=False, repr=False)
     seed: Optional[int] = None
     final_release: bool = True
 
@@ -463,6 +478,14 @@ class StreamingCargo:
             )
         statistic = create_statistic(config.statistic, config)
         telemetry = resolve_telemetry(config)
+        resilience = resolve_resilience(config)
+        resilience_metrics = telemetry.metrics if telemetry.enabled else None
+        if config.triple_store is not None and resilience.enabled:
+            config.triple_store.configure_resilience(
+                retry=resilience.retry,
+                strict_integrity=resilience.strict_integrity,
+                metrics=resilience_metrics,
+            )
         # An untraced run still times its phases: a private enabled tracer
         # records only the legacy spans, so ``result.timings`` keeps the
         # exact key set the TimerRegistry era produced.
@@ -570,6 +593,77 @@ class StreamingCargo:
         pending_delta = 0
         releases_since_anchor = 0
 
+        # Crash recovery: a checkpointer bound to this (config, stream)
+        # identity, and — when resuming — the saved state swapped in before
+        # any event is replayed.  Everything the continuation depends on is
+        # restored bit-for-bit: the tree (with its noise substream), the
+        # accountant ledger, the maintainer, the blend state, and the
+        # anchor/share/dealer substream positions, so the resumed run's
+        # releases and ledger are indistinguishable from an uninterrupted
+        # run's.
+        checkpointer = None
+        resumed_event_index = 0
+        if resilience.checkpoint_path is not None:
+            checkpointer = Checkpointer(
+                resilience.checkpoint_path,
+                kind="stream",
+                token=self._checkpoint_token(stream),
+                retry=resilience.retry,
+                metrics=resilience_metrics,
+            )
+        if checkpointer is not None and resilience.resume and checkpointer.exists():
+            state = checkpointer.load()
+            tree = state["tree"]
+            accountant = state["accountant"]
+            maintainer = state["maintainer"]
+            anchor_rng.bit_generator.state = state["anchor_rng"]
+            share_rng.bit_generator.state = state["share_rng"]
+            dealer_rng.bit_generator.state = state["dealer_rng"]
+            anchor_offline_seed = state["anchor_offline_seed"]
+            anchor_base = state["anchor_base"]
+            prefix_at_anchor = state["prefix_at_anchor"]
+            base_var = state["base_var"]
+            releases_since_anchor = state["releases_since_anchor"]
+            result.releases = list(state["releases"])
+            result.anchors_run = state["anchors_run"]
+            resumed_event_index = state["event_index"]
+            diff_var = 4.0 * tree.levels * tree.noise_scale**2
+            bootstrap = False  # already ran (or was never due) before the save
+
+        def run_anchor():
+            """One anchor attempt, transactional and retryable.
+
+            Each attempt snapshots the anchor/share/dealer substream
+            positions and opens an accountant transaction; a failure rolls
+            both back, so a retried anchor consumes exactly the randomness
+            and ε the first attempt would have — the released estimate and
+            the ledger are bit-identical to a fault-free run.
+            """
+
+            def attempt():
+                anchor_state = anchor_rng.bit_generator.state
+                share_state = share_rng.bit_generator.state
+                dealer_state = dealer_rng.bit_generator.state
+                reservation = accountant.reserve()
+                try:
+                    fault_point("stream.anchor")
+                    return self._run_anchor(
+                        statistic, maintainer, accountant, epsilon_anchor,
+                        anchor_rng, share_rng, anchor_dealer_rng(), use_sparse,
+                    )
+                except BaseException:
+                    accountant.rollback(reservation)
+                    anchor_rng.bit_generator.state = anchor_state
+                    share_rng.bit_generator.state = share_state
+                    dealer_rng.bit_generator.state = dealer_state
+                    raise
+
+            if resilience.retry is not None:
+                return resilience.retry.run(
+                    "stream.anchor", attempt, metrics=resilience_metrics
+                )
+            return attempt()
+
         # The root span covers the whole run *including* any bootstrap
         # anchor, so the "total" timing is genuinely end to end (the
         # TimerRegistry era excluded the bootstrap from "total").
@@ -585,10 +679,7 @@ class StreamingCargo:
                 # count + Laplace path before the first event, consuming one
                 # planned anchor's budget.
                 with tracer.span("anchor", bootstrap=True) as anchor_span:
-                    anchor_base, base_var = self._run_anchor(
-                        statistic, maintainer, accountant, epsilon_anchor,
-                        anchor_rng, share_rng, anchor_dealer_rng(), use_sparse,
-                    )
+                    anchor_base, base_var = run_anchor()
                 telemetry.metrics.observe(
                     "anchor_seconds", anchor_span.seconds, statistic=config.statistic
                 )
@@ -596,6 +687,10 @@ class StreamingCargo:
             for event_index, event, release_now in _release_schedule(
                 stream, policy, config.final_release
             ):
+                if event_index <= resumed_event_index:
+                    # Already applied (and possibly released) before the
+                    # checkpoint; the restored maintainer carries its effect.
+                    continue
                 pending_delta += maintainer.apply(event)
                 if not release_now:
                     continue
@@ -614,10 +709,7 @@ class StreamingCargo:
                 )
                 if is_anchor:
                     with tracer.span("anchor") as anchor_span:
-                        anchored, anchored_var = self._run_anchor(
-                            statistic, maintainer, accountant, epsilon_anchor,
-                            anchor_rng, share_rng, anchor_dealer_rng(), use_sparse,
-                        )
+                        anchored, anchored_var = run_anchor()
                     telemetry.metrics.observe(
                         "anchor_seconds",
                         anchor_span.seconds,
@@ -649,6 +741,31 @@ class StreamingCargo:
                         ledger_entries=len(accountant.ledger()),
                     )
                 )
+                if (
+                    checkpointer is not None
+                    and len(result.releases) % resilience.checkpoint_every == 0
+                ):
+                    # One pickle holds tree + accountant + maintainer +
+                    # releases, so shared references (the tree spends through
+                    # this very accountant) survive the round-trip.
+                    checkpointer.save(
+                        {
+                            "event_index": event_index,
+                            "tree": tree,
+                            "accountant": accountant,
+                            "maintainer": maintainer,
+                            "releases": list(result.releases),
+                            "anchors_run": result.anchors_run,
+                            "anchor_rng": anchor_rng.bit_generator.state,
+                            "share_rng": share_rng.bit_generator.state,
+                            "dealer_rng": dealer_rng.bit_generator.state,
+                            "anchor_offline_seed": anchor_offline_seed,
+                            "anchor_base": anchor_base,
+                            "prefix_at_anchor": prefix_at_anchor,
+                            "base_var": base_var,
+                            "releases_since_anchor": releases_since_anchor,
+                        }
+                    )
         result.events_processed = maintainer.events_applied
         result.epsilon_spent = accountant.spent
         result.ledger = accountant.ledger()
@@ -690,6 +807,19 @@ class StreamingCargo:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _checkpoint_token(self, stream: EdgeStream) -> str:
+        """Identity token binding a checkpoint to this (config, stream) pair.
+
+        A checkpoint resumed under a different configuration or stream shape
+        could never reproduce the killed run bit-for-bit, so the
+        :class:`~repro.resilience.Checkpointer` refuses it outright on a
+        token mismatch.  The frozen config's ``repr`` covers every
+        transcript-relevant knob (runtime-only attachments — store,
+        telemetry, resilience — are ``repr=False`` and rightly excluded).
+        """
+        payload = f"{self._config!r}|{stream.num_nodes}|{len(stream)}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
     def _run_anchor(
         self, statistic, maintainer, accountant, epsilon_anchor,
         anchor_rng, share_rng, dealer_rng, use_sparse=False,

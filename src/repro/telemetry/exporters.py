@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 from repro.telemetry.manifest import build_manifest
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.session import Telemetry
+from repro.utils.atomic import atomic_write_text
 
 #: Canonical phase order for the per-phase summary table.
 PHASE_ORDER = ("max", "project", "count", "perturb", "anchor", "release")
@@ -75,19 +76,21 @@ def to_prometheus_text(metrics: MetricsRegistry) -> str:
 
 
 def write_metrics(metrics: MetricsRegistry, path) -> Path:
-    """Write the Prometheus text export to *path* and return it."""
+    """Write the Prometheus text export to *path* and return it.
+
+    The write is atomic (write-then-rename): a crash mid-export never
+    leaves a truncated metrics file behind.
+    """
     target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(to_prometheus_text(metrics))
+    atomic_write_text(target, to_prometheus_text(metrics))
     return target
 
 
 def write_trace(telemetry: Telemetry, path, **context) -> Dict:
-    """Write the JSON run manifest to *path*; returns the manifest dict."""
+    """Write the JSON run manifest to *path* atomically; returns the dict."""
     manifest = build_manifest(telemetry, **context)
     target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(manifest, indent=2) + "\n")
+    atomic_write_text(target, json.dumps(manifest, indent=2) + "\n")
     return manifest
 
 

@@ -1,5 +1,6 @@
 """Small shared utilities: seeded randomness, validation, and timing."""
 
+from repro.utils.atomic import atomic_write_bytes, atomic_write_json, atomic_write_text
 from repro.utils.rng import RandomState, derive_rng, spawn_rngs
 from repro.utils.timer import Timer, TimerRegistry
 from repro.utils.validation import (
@@ -12,6 +13,9 @@ from repro.utils.validation import (
 
 __all__ = [
     "RandomState",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
     "derive_rng",
     "spawn_rngs",
     "Timer",

@@ -1,0 +1,77 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+Every JSON or binary artefact the runtime emits — trace exports, metrics
+exports, run manifests, benchmark results, checkpoints — goes through
+:func:`atomic_write_bytes` (or its text/JSON wrappers).  The data is written
+to a temporary sibling, flushed and fsynced, then renamed over the target
+with :func:`os.replace`, which is atomic on POSIX: a crash at any point
+leaves either the previous file or the complete new one, never a truncated
+hybrid.
+
+Each write is also a fault-injection site (``export.write`` by default, or
+the *site* the caller names): an installed
+:class:`~repro.resilience.faults.FaultPlan` can fail the write transiently,
+crash it, or silently flip a bit in the payload — which is how the chaos
+suite proves downstream checksum verification actually catches disk
+corruption.
+
+Examples
+--------
+>>> import json, os, tempfile
+>>> target = os.path.join(tempfile.mkdtemp(), "out", "result.json")
+>>> atomic_write_json(target, {"status": "ok"})
+>>> json.loads(open(target).read())["status"]
+'ok'
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "atomic_write_text"]
+
+
+def atomic_write_bytes(
+    path: Union[str, Path], data: bytes, site: str = "export.write"
+) -> None:
+    """Write *data* to *path* atomically (temp file + fsync + rename).
+
+    Parent directories are created as needed.  *site* names the
+    fault-injection point this write passes through.
+    """
+    # Imported lazily: utils must stay importable before the resilience
+    # package finishes initialising (checkpointing imports this module).
+    from repro.resilience.faults import FaultKind, corrupt_bytes, fault_point
+
+    spec = fault_point(site)
+    if spec is not None and spec.kind is FaultKind.BITFLIP:
+        data = corrupt_bytes(data, spec)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, site: str = "export.write"
+) -> None:
+    """Write *text* (UTF-8) to *path* atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"), site=site)
+
+
+def atomic_write_json(
+    path: Union[str, Path], payload, indent: int = 2, site: str = "export.write"
+) -> None:
+    """Serialise *payload* as JSON and write it to *path* atomically."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n", site=site)

@@ -146,3 +146,79 @@ class TestJsonTelemetryBlock:
         assert block["enabled"] is True
         assert block["releases"] == []
         assert block["metrics"]["counters"] == {}
+
+
+class TestResilienceFlags:
+    def test_typed_error_exits_one_with_one_line_message(self, capsys):
+        # An unknown statistic raises ConfigurationError (a ReproError):
+        # the CLI prints a single-line error and exits nonzero.
+        assert main(["run", "--statistic", "not-a-statistic"]) == 1
+        captured = capsys.readouterr()
+        error_lines = [line for line in captured.err.splitlines() if line]
+        assert len(error_lines) == 1
+        assert error_lines[0].startswith("error:")
+
+    def test_retries_flag_rejects_bad_value(self, capsys):
+        assert main(["run", "--num-nodes", "24", "--retries", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_resilience_flags_on_unsupporting_experiment_fail_typed(self, capsys):
+        assert main(["table4", "--num-nodes", "30", "--strict-integrity"]) == 1
+        err = capsys.readouterr().err
+        assert "does not support" in err
+
+    def test_injected_crash_exits_two_and_resume_completes(
+        self, tmp_path, capsys
+    ):
+        plan_file = tmp_path / "plan.json"
+        from repro.resilience import FaultKind, FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec("stream.anchor", FaultKind.CRASH, at=2)])
+        plan_file.write_text(plan.to_json())
+        ckpt = tmp_path / "stream.ckpt"
+        argv = [
+            "stream",
+            "--num-nodes",
+            "80",
+            "--release-every",
+            "40",
+            "--anchor-every",
+            "3",
+            "--checkpoint",
+            str(ckpt),
+            "--resume",
+        ]
+        assert main([*argv, "--fault-plan", str(plan_file)]) == 2
+        assert "crashed (injected)" in capsys.readouterr().err
+        # Resumed run completes and emits exactly the uninterrupted rows.
+        resumed = _run_json(capsys, *argv)
+        reference = _run_json(
+            capsys,
+            "stream",
+            "--num-nodes",
+            "80",
+            "--release-every",
+            "40",
+            "--anchor-every",
+            "3",
+        )
+        assert resumed["rows"] == reference["rows"]
+
+    def test_unreadable_fault_plan_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text("{not json")
+        assert main(["run", "--num-nodes", "24", "--fault-plan", str(bad)]) == 1
+        assert "unreadable fault plan" in capsys.readouterr().err
+
+    def test_strict_integrity_flag_passes_through(self, capsys):
+        # Smoke: the flag reaches CargoConfig.resilience without changing a
+        # clean run's exit code or rows.
+        payload = _run_json(
+            capsys, "run", "--num-nodes", "24", "--seed", "5", "--strict-integrity"
+        )
+        reference = _run_json(capsys, "run", "--num-nodes", "24", "--seed", "5")
+        pick = lambda rows: [
+            {k: v for k, v in row.items() if k not in ("seconds", "telemetry")}
+            for row in rows
+        ]
+        assert pick(payload["rows"]) == pick(reference["rows"])

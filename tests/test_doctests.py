@@ -35,6 +35,11 @@ DOCTEST_MODULES = (
     "repro.stats.derived",
     "repro.parallel.pool",
     "repro.parallel.store",
+    "repro.resilience.faults",
+    "repro.resilience.retry",
+    "repro.resilience.integrity",
+    "repro.resilience.checkpoint",
+    "repro.utils.atomic",
     "repro.experiments.paper_scale",
     "repro.telemetry.spans",
     "repro.telemetry.metrics",

@@ -1,0 +1,95 @@
+"""Randomized chaos schedules over the full protocol stack.
+
+Property: under *any* deterministic fault schedule, a run either
+
+* completes with output bit-identical to the fault-free reference (faults
+  were absorbed by retries / integrity-triggered re-dealing), or
+* dies with an :class:`InjectedCrash` (simulated kill) and, resumed from its
+  checkpoint, then completes bit-identically, or
+* fails with a *typed* :class:`~repro.exceptions.ReproError`.
+
+What must never happen is a silently wrong result or an untyped crash.
+Every schedule derives from a seed, so any failure here replays exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph.generators import erdos_renyi_graph
+from repro.resilience import (
+    FaultPlan,
+    InjectedCrash,
+    ResilienceConfig,
+    RetryPolicy,
+    install_fault_plan,
+)
+from repro.stream.events import replay_stream
+from repro.stream.orchestrator import StreamingCargo, StreamingConfig
+
+CHAOS_SEEDS = range(8)
+MAX_RESUMES = 12
+
+
+def _stream(seed=5):
+    graph = erdos_renyi_graph(60, 0.3, seed=seed)
+    return replay_stream(graph, rng=seed)
+
+
+def _config(resilience=None):
+    return StreamingConfig(
+        epsilon=4.0,
+        release_every=40,
+        anchor_every=2,
+        seed=11,
+        resilience=resilience,
+    )
+
+
+@pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS)
+def test_streaming_survives_random_fault_schedules(tmp_path, chaos_seed):
+    reference = StreamingCargo(_config()).run(_stream())
+    plan = FaultPlan.random(seed=chaos_seed, num_faults=5, max_at=6)
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=3, sleep=lambda _delay: None),
+        checkpoint_path=tmp_path / "chaos.ckpt",
+        resume=True,
+    )
+    result = None
+    with install_fault_plan(plan):
+        for _attempt in range(MAX_RESUMES):
+            try:
+                result = StreamingCargo(_config(resilience)).run(_stream())
+                break
+            except InjectedCrash:
+                continue  # killed: resume from the checkpoint
+            except ReproError:
+                return  # typed failure is an acceptable outcome
+    assert result is not None, (
+        f"chaos seed {chaos_seed} still crashing after {MAX_RESUMES} resumes: "
+        f"{plan.to_json()}"
+    )
+    assert result.releases == reference.releases, plan.to_json()
+    assert result.ledger == reference.ledger, plan.to_json()
+    assert result.epsilon_spent == reference.epsilon_spent
+
+
+def test_chaos_schedule_artifact_is_replayable():
+    # The JSON artefact a chaos CI job archives is enough to rebuild and
+    # re-fire the exact schedule.
+    plan = FaultPlan.random(seed=3, num_faults=4)
+    replay = FaultPlan.from_json(plan.to_json())
+    with install_fault_plan(replay):
+        outcomes = []
+        for spec in plan.specs:
+            for _ in range(spec.at):
+                try:
+                    replayed = replay.trigger(spec.site)
+                except Exception as error:  # noqa: BLE001 - recording kinds
+                    outcomes.append(type(error).__name__)
+                    break
+                if replayed is not None:
+                    outcomes.append(replayed.kind.value)
+                    break
+    assert outcomes  # every pinned fault re-fired deterministically

@@ -1,0 +1,134 @@
+"""Checkpointer and atomic-write suite.
+
+Checkpoints are the crash-safety backbone: every save is write-then-rename
+(a kill mid-save leaves the previous checkpoint intact, never a torn file),
+every load verifies a content checksum before unpickling is trusted, and a
+checkpoint written by a *different* run configuration is refused via the
+token binding rather than silently resumed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.exceptions import CheckpointError, IntegrityError
+from repro.resilience import (
+    Checkpointer,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    install_fault_plan,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.utils.atomic import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+# --------------------------------------------------------------------- #
+# atomic_write
+# --------------------------------------------------------------------- #
+def test_atomic_write_replaces_and_leaves_no_tmp(tmp_path):
+    target = tmp_path / "nested" / "out.bin"
+    atomic_write_bytes(target, b"first")
+    atomic_write_bytes(target, b"second")
+    assert target.read_bytes() == b"second"
+    assert [p.name for p in target.parent.iterdir()] == ["out.bin"]
+
+
+def test_atomic_write_text_and_json(tmp_path):
+    text_target = tmp_path / "out.txt"
+    atomic_write_text(text_target, "hello\n")
+    assert text_target.read_text() == "hello\n"
+    json_target = tmp_path / "out.json"
+    atomic_write_json(json_target, {"rows": [1, 2]})
+    assert json.loads(json_target.read_text()) == {"rows": [1, 2]}
+    assert json_target.read_text().endswith("\n")
+
+
+def test_atomic_write_oserror_fault_leaves_previous_content(tmp_path):
+    target = tmp_path / "out.json"
+    atomic_write_json(target, {"generation": 1})
+    plan = FaultPlan([FaultSpec("export.write", FaultKind.OSERROR, at=1)])
+    with install_fault_plan(plan):
+        with pytest.raises(OSError):
+            atomic_write_json(target, {"generation": 2})
+    # The failed write neither tore the file nor left a tmp behind.
+    assert json.loads(target.read_text()) == {"generation": 1}
+    assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+# --------------------------------------------------------------------- #
+# Checkpointer
+# --------------------------------------------------------------------- #
+def test_checkpoint_round_trip_with_metrics(tmp_path):
+    metrics = MetricsRegistry()
+    path = tmp_path / "run.ckpt"
+    saver = Checkpointer(path, kind="stream", token="tok", metrics=metrics)
+    assert not saver.exists()
+    state = {"event_index": 41, "payload": list(range(10))}
+    saver.save(state)
+    assert saver.exists()
+    loaded = Checkpointer(path, kind="stream", token="tok", metrics=metrics).load()
+    assert loaded == state
+    counters = metrics.counters()
+    assert counters['checkpoint_saves{kind="stream"}'] == 1
+    assert counters['checkpoint_loads{kind="stream"}'] == 1
+
+
+def test_checkpoint_load_missing_is_typed(tmp_path):
+    with pytest.raises(CheckpointError):
+        Checkpointer(tmp_path / "absent.ckpt", kind="stream", token="t").load()
+
+
+def test_checkpoint_refuses_foreign_token_and_kind(tmp_path):
+    path = tmp_path / "run.ckpt"
+    Checkpointer(path, kind="stream", token="aaa").save({"x": 1})
+    with pytest.raises(CheckpointError):
+        Checkpointer(path, kind="stream", token="bbb").load()
+    with pytest.raises(CheckpointError):
+        Checkpointer(path, kind="tiles", token="aaa").load()
+
+
+def test_checkpoint_detects_corruption(tmp_path):
+    path = tmp_path / "run.ckpt"
+    Checkpointer(path, kind="tiles", token="t").save({"totals": [1, 2, 3]})
+    blob = bytearray(path.read_bytes())
+    blob[-3] ^= 0x40  # flip one bit inside the pickled payload
+    path.write_bytes(bytes(blob))
+    with pytest.raises((IntegrityError, CheckpointError)):
+        Checkpointer(path, kind="tiles", token="t").load()
+
+
+def test_checkpoint_detects_unpicklable_garbage(tmp_path):
+    path = tmp_path / "run.ckpt"
+    path.write_bytes(b"this is not a checkpoint at all")
+    with pytest.raises(IntegrityError):
+        Checkpointer(path, kind="stream", token="t").load()
+
+
+def test_checkpoint_write_bitflip_caught_on_load(tmp_path):
+    # A bit flipped *during* the write (torn buffer, bad disk) must be
+    # caught by the checksum on the next load, never silently resumed.
+    path = tmp_path / "run.ckpt"
+    plan = FaultPlan(
+        [FaultSpec("checkpoint.write", FaultKind.BITFLIP, at=1, payload=123)]
+    )
+    with install_fault_plan(plan):
+        Checkpointer(path, kind="stream", token="t").save({"x": list(range(50))})
+    with pytest.raises((IntegrityError, CheckpointError)):
+        Checkpointer(path, kind="stream", token="t").load()
+
+
+def test_checkpoint_read_retry_recovers_transient_fault(tmp_path):
+    path = tmp_path / "run.ckpt"
+    Checkpointer(path, kind="stream", token="t").save({"x": 5})
+    retry = RetryPolicy(max_attempts=3, sleep=lambda _delay: None)
+    plan = FaultPlan([FaultSpec("checkpoint.read", FaultKind.OSERROR, at=1)])
+    with install_fault_plan(plan):
+        loaded = Checkpointer(path, kind="stream", token="t", retry=retry).load()
+    assert loaded == {"x": 5}
+    assert [entry["site"] for entry in plan.triggered()] == ["checkpoint.read"]

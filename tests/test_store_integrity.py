@@ -1,0 +1,203 @@
+"""Integrity verification of persisted correlated randomness.
+
+Silent corruption of dealt triples is the worst failure mode the store can
+have: the protocol would compute on garbage shares and release a wrong (but
+plausible-looking) count.  Every persisted batch therefore carries a content
+checksum — in both the pickle and the mmap layout — that is verified before
+any material is served.  The default response to a checksum mismatch is
+*graceful degradation* (count the failure, report a miss, let the caller
+re-deal); ``strict_integrity`` escalates to a raised
+:class:`~repro.exceptions.IntegrityError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IntegrityError
+from repro.parallel import TripleSignature, TripleStore
+from repro.resilience import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    install_fault_plan,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _signature(**overrides) -> TripleSignature:
+    fields = dict(
+        statistic="triangles",
+        backend="blocked",
+        num_users=32,
+        geometry=(("block_size", 8),),
+        ring_bits=64,
+        dealer_key="seed:1",
+    )
+    fields.update(overrides)
+    return TripleSignature(**fields)
+
+
+def _material() -> dict:
+    return {"x": np.arange(64, dtype=np.uint64), "y": np.ones(8, dtype=np.uint64)}
+
+
+def _cache_files(tmp_path):
+    return sorted(p for p in tmp_path.iterdir() if p.is_file())
+
+
+def _corrupt_file(path, offset=-5):
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0x10
+    path.write_bytes(bytes(blob))
+
+
+class TestPickleIntegrity:
+    def test_corrupted_payload_degrades_to_miss(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        (payload_file,) = _cache_files(tmp_path)
+        _corrupt_file(payload_file)
+        reader = TripleStore(cache_dir=str(tmp_path))
+        assert reader.get(_signature()) is None  # graceful: treated as a miss
+        assert reader.integrity_failures == 1
+        assert reader.stats()["integrity_failures"] == 1
+
+    def test_corrupted_payload_raises_under_strict(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        (payload_file,) = _cache_files(tmp_path)
+        _corrupt_file(payload_file)
+        reader = TripleStore(cache_dir=str(tmp_path))
+        reader.configure_resilience(strict_integrity=True)
+        with pytest.raises(IntegrityError):
+            reader.get(_signature())
+
+    def test_truncated_file_degrades_to_miss(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        (payload_file,) = _cache_files(tmp_path)
+        payload_file.write_bytes(payload_file.read_bytes()[: 40])
+        reader = TripleStore(cache_dir=str(tmp_path))
+        assert reader.get(_signature()) is None
+        assert reader.integrity_failures >= 1
+
+    def test_garbage_file_counts_as_integrity_failure(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        (payload_file,) = _cache_files(tmp_path)
+        payload_file.write_bytes(b"not a pickle at all")
+        reader = TripleStore(cache_dir=str(tmp_path))
+        assert reader.get(_signature()) is None
+        assert reader.integrity_failures >= 1
+
+    def test_intact_round_trip_is_unchanged(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        reader = TripleStore(cache_dir=str(tmp_path))
+        fetched = reader.get(_signature())
+        assert np.array_equal(fetched["x"], _material()["x"])
+        assert reader.integrity_failures == 0
+
+    def test_metrics_counter_feeds_registry(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        (payload_file,) = _cache_files(tmp_path)
+        _corrupt_file(payload_file)
+        metrics = MetricsRegistry()
+        reader = TripleStore(cache_dir=str(tmp_path))
+        reader.configure_resilience(metrics=metrics)
+        assert reader.get(_signature()) is None
+        assert metrics.counters().get("store_integrity_failures") == 1
+
+
+class TestMmapIntegrity:
+    def test_corrupted_bin_degrades_to_miss(self, tmp_path):
+        # Regression: corruption in the externalised array file (.bin), not
+        # just the structural pickle, must be caught — memmapped arrays are
+        # exactly where silent bit rot would otherwise flow straight into
+        # the protocol's shares.
+        writer = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        writer.put(_signature(), _material())
+        (bin_file,) = [p for p in _cache_files(tmp_path) if p.suffix == ".bin"]
+        _corrupt_file(bin_file, offset=10)
+        reader = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        assert reader.get(_signature()) is None
+        assert reader.integrity_failures == 1
+
+    def test_corrupted_bin_raises_under_strict(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        writer.put(_signature(), _material())
+        (bin_file,) = [p for p in _cache_files(tmp_path) if p.suffix == ".bin"]
+        _corrupt_file(bin_file, offset=10)
+        reader = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        reader.configure_resilience(strict_integrity=True)
+        with pytest.raises(IntegrityError):
+            reader.get(_signature())
+
+    def test_missing_bin_degrades_to_miss(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        writer.put(_signature(), _material())
+        (bin_file,) = [p for p in _cache_files(tmp_path) if p.suffix == ".bin"]
+        bin_file.unlink()
+        reader = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        assert reader.get(_signature()) is None
+        assert reader.integrity_failures >= 1
+
+    def test_corrupted_structural_pickle_degrades_to_miss(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        writer.put(_signature(), _material())
+        (struct_file,) = [p for p in _cache_files(tmp_path) if p.suffix != ".bin"]
+        _corrupt_file(struct_file)
+        reader = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        assert reader.get(_signature()) is None
+        assert reader.integrity_failures == 1
+
+    def test_intact_mmap_round_trip_is_unchanged(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        writer.put(_signature(), _material())
+        reader = TripleStore(cache_dir=str(tmp_path), mmap=True)
+        fetched = reader.get(_signature())
+        assert np.array_equal(np.asarray(fetched["x"]), _material()["x"])
+        assert reader.integrity_failures == 0
+
+
+class TestReadFaultsAndRetry:
+    def test_transient_read_fault_without_retry_is_a_cold_miss(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        reader = TripleStore(cache_dir=str(tmp_path))
+        plan = FaultPlan([FaultSpec("triple_store.read", FaultKind.OSERROR, at=1)])
+        with install_fault_plan(plan):
+            assert reader.get(_signature()) is None  # degraded, not raised
+        # Integrity is not implicated by an I/O failure.
+        assert reader.integrity_failures == 0
+
+    def test_retry_policy_recovers_transient_read_fault(self, tmp_path):
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        reader = TripleStore(cache_dir=str(tmp_path))
+        reader.configure_resilience(
+            retry=RetryPolicy(max_attempts=3, sleep=lambda _delay: None)
+        )
+        plan = FaultPlan([FaultSpec("triple_store.read", FaultKind.OSERROR, at=1)])
+        with install_fault_plan(plan):
+            fetched = reader.get(_signature())
+        assert fetched is not None
+        assert np.array_equal(fetched["x"], _material()["x"])
+
+    def test_read_bitflip_is_caught_by_checksum(self, tmp_path):
+        # Corruption injected on the *read* path (bad cable, bad RAM) is
+        # indistinguishable from at-rest corruption and must degrade the
+        # same way.
+        writer = TripleStore(cache_dir=str(tmp_path))
+        writer.put(_signature(), _material())
+        reader = TripleStore(cache_dir=str(tmp_path))
+        plan = FaultPlan(
+            [FaultSpec("triple_store.read", FaultKind.BITFLIP, at=1, payload=77)]
+        )
+        with install_fault_plan(plan):
+            assert reader.get(_signature()) is None
+        assert reader.integrity_failures == 1
