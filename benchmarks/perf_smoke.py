@@ -76,6 +76,12 @@ TELEMETRY_REPS = 7
 #: path) must cost at most this factor over the default ``resilience=None``.
 RESILIENCE_OVERHEAD_LIMIT = 1.02
 RESILIENCE_OVERHEAD_ABS_SECONDS = 0.002
+#: Disabled-authentication overhead gate, same A/B discipline: carrying an
+#: inert ``OpeningAuthenticator.disabled()`` (every opening routed through
+#: ``exchange`` hitting its plain-reconstruction fast path) must cost at
+#: most this factor over the default ``authenticator=None``.
+AUTH_OVERHEAD_LIMIT = 1.02
+AUTH_OVERHEAD_ABS_SECONDS = 0.002
 
 
 def check_telemetry_overhead(failures: list) -> dict:
@@ -197,6 +203,66 @@ def check_resilience_overhead(failures: list) -> dict:
     }
 
 
+def check_authentication_overhead(failures: list) -> dict:
+    """A/B the matrix-backend release with and without an inert authenticator.
+
+    ``authenticate=False`` must stay free: the only cost an unauthenticated
+    run may pay for the MAC layer's existence is the ``authenticator=None``
+    argument plumbing plus — in this deliberately pessimistic arm — a
+    disabled authenticator whose ``exchange`` falls straight through to
+    plain reconstruction.  Same interleaved min-of-reps discipline as the
+    telemetry and resilience gates.
+    """
+    from repro.core import Cargo, CargoConfig
+    from repro.crypto.mac import OpeningAuthenticator
+    from repro.graph.datasets import load_dataset
+
+    graph = load_dataset("facebook", num_nodes=TELEMETRY_USERS)
+
+    def one_run(authenticator) -> float:
+        config = CargoConfig(
+            epsilon=2.0,
+            seed=11,
+            counting_backend="matrix",
+            authenticator=authenticator,
+        )
+        started = time.perf_counter()
+        Cargo(config).run(graph)
+        return time.perf_counter() - started
+
+    one_run(None)  # warm-up: imports, dataset and ground-truth caches
+    without_auth = []
+    with_disabled = []
+    for _ in range(TELEMETRY_REPS):
+        without_auth.append(one_run(None))
+        with_disabled.append(one_run(OpeningAuthenticator.disabled()))
+    best_without = min(without_auth)
+    best_disabled = min(with_disabled)
+    ratio = best_disabled / best_without if best_without > 0 else float("inf")
+    delta = best_disabled - best_without
+    passed = ratio <= AUTH_OVERHEAD_LIMIT or delta <= AUTH_OVERHEAD_ABS_SECONDS
+    status = "ok" if passed else "FAIL"
+    print(
+        f"  {status:4s} auth_overhead/matrix/n={TELEMETRY_USERS}: "
+        f"{best_disabled*1e3:.2f} ms disabled-auth vs {best_without*1e3:.2f} ms bare "
+        f"({ratio:.3f}x, limit {AUTH_OVERHEAD_LIMIT}x or "
+        f"{AUTH_OVERHEAD_ABS_SECONDS*1e3:.0f} ms abs)"
+    )
+    if not passed:
+        failures.append("auth_overhead")
+    return {
+        "name": "auth_overhead",
+        "backend": "matrix",
+        "num_users": TELEMETRY_USERS,
+        "reps": TELEMETRY_REPS,
+        "seconds_without_auth": best_without,
+        "seconds_disabled_auth": best_disabled,
+        "ratio": ratio,
+        "limit": AUTH_OVERHEAD_LIMIT,
+        "abs_slack_seconds": AUTH_OVERHEAD_ABS_SECONDS,
+    }
+
+
 def _key(row: dict) -> str:
     if row.get("tier") == "sparse":
         return f"sparse_scaling/{row['statistic']}/n={row['num_nodes']}"
@@ -253,6 +319,7 @@ def main(argv: list[str]) -> int:
     overhead_rows = [
         check_telemetry_overhead(overhead_failures),
         check_resilience_overhead(overhead_failures),
+        check_authentication_overhead(overhead_failures),
     ]
     atomic_write_json(
         OUTPUT_PATH,

@@ -1,0 +1,244 @@
+"""CI verify-smoke gate: cheater detection, audit gate, fuzz budget.
+
+Three sub-gates, all deterministic from fixed seeds so a red CI job replays
+locally with the same arguments:
+
+1. **Cheater detection** — for every backend × statistic, probe the honest
+   run's opening-round count, then sweep a corruption matrix (every round ×
+   both servers × all four tamper kinds) and require every fired corruption
+   to abort with a typed :class:`~repro.exceptions.CheaterDetectedError`.
+   One silently wrong released count fails the gate.
+2. **Audit gate** — the end-to-end empirical privacy audit
+   (:mod:`repro.verify.audit`) on a fixed seed matrix: honest releases must
+   audit at or below the claimed ε (edge- and node-adjacent inputs, view
+   indistinguishability included) while the planted half-noise bug
+   (``epsilon2_scale=2``) must audit *above* it — a gate that cannot fail
+   has no value, so the planted failure is part of the gate.
+3. **Fuzz budget** — ``--cases N`` (default 200) randomly drawn
+   configuration cases through :func:`repro.verify.fuzz.run_fuzz`; any
+   invariant violation fails the gate and the failing seeds + case JSON
+   land in the uploaded artifact.
+
+Artifacts (summary JSON, plus ``fuzz_failures.json`` when red) land under
+``benchmarks/results/verify/``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/verify_smoke.py                # full gate
+    PYTHONPATH=src python benchmarks/verify_smoke.py --cases 50     # smaller fuzz budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.utils.atomic import atomic_write_json
+from repro.verify.fuzz import FuzzCase, build_graph
+from repro.verify import (
+    CORRUPTION_KINDS,
+    Corruption,
+    audit_protocol,
+    count_opening_rounds,
+    run_fuzz,
+    run_with_corruption,
+    worst_case_graph,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results" / "verify"
+
+BACKENDS = ("faithful", "batched", "matrix", "blocked")
+STATISTICS = ("triangles", "kstars", "wedges", "4cycles")
+#: Small graph for the corruption matrix: the faithful backend is O(C(n,3))
+#: openings, and the matrix sweeps every round anyway.
+CHEATER_NODES = 12
+#: Cap per cell so the faithful backend's hundreds of rounds stay affordable;
+#: the capped rounds are spread across the run (first, middle, last).
+MAX_ROUNDS_PER_CELL = 6
+AUDIT_SEEDS = (0, 1)
+
+
+def check_cheater_detection(failures: list) -> list:
+    """Sweep the corruption matrix; every fired tamper must be detected."""
+    graph = build_graph(
+        FuzzCase(
+            seed=3,
+            num_nodes=CHEATER_NODES,
+            edge_probability=0.5,
+            statistic="triangles",
+            backend="matrix",
+        )
+    )
+    rows = []
+    for backend in BACKENDS:
+        for statistic in STATISTICS:
+            kwargs = dict(
+                statistic=statistic, backend=backend, epsilon=2.0, seed=3,
+                block_size=4,
+            )
+            rounds = count_opening_rounds(graph, **kwargs)
+            if rounds < 1:
+                failures.append(f"cheater/{backend}/{statistic}: zero checked rounds")
+                continue
+            if rounds <= MAX_ROUNDS_PER_CELL:
+                targets = range(rounds)
+            else:
+                step = max(rounds // MAX_ROUNDS_PER_CELL, 1)
+                targets = sorted({*range(0, rounds, step), rounds - 1})
+            attempted = detected = 0
+            for round_index in targets:
+                for server in (1, 2):
+                    for kind in CORRUPTION_KINDS:
+                        outcome = run_with_corruption(
+                            graph,
+                            Corruption(
+                                round_index=round_index, server=server, kind=kind
+                            ),
+                            **kwargs,
+                        )
+                        if not outcome.fired:
+                            continue
+                        attempted += 1
+                        if outcome.detected:
+                            detected += 1
+                        else:
+                            failures.append(
+                                f"cheater/{backend}/{statistic}: round "
+                                f"{round_index} server {server} {kind} went "
+                                f"UNDETECTED (released "
+                                f"{outcome.result.noisy_triangle_count})"
+                            )
+            status = "ok" if attempted == detected else "FAIL"
+            print(
+                f"  {status:4s} cheater/{backend}/{statistic}: "
+                f"{detected}/{attempted} corruptions detected "
+                f"({rounds} rounds total)"
+            )
+            rows.append(
+                {
+                    "backend": backend,
+                    "statistic": statistic,
+                    "rounds": rounds,
+                    "attempted": attempted,
+                    "detected": detected,
+                }
+            )
+    return rows
+
+
+def check_audit_gate(failures: list) -> list:
+    """Honest audits must pass, the planted half-noise bug must fail."""
+    graph = worst_case_graph()
+    rows = []
+    cases = []
+    for seed in AUDIT_SEEDS:
+        cases.append(("honest-edge", "edge", False, 1.0, True, seed))
+        cases.append(("planted-bug", "edge", False, 2.0, False, seed))
+    cases.append(("honest-node", "node", True, 1.0, True, AUDIT_SEEDS[0]))
+    for label, mode, node_dp, scale, expect_pass, seed in cases:
+        result = audit_protocol(
+            graph,
+            mode=mode,
+            node_dp=node_dp,
+            epsilon2_scale=scale,
+            seed=seed,
+            audit_views=(scale == 1.0),
+        )
+        verdict = result.passes and result.view_passes
+        ok = verdict == expect_pass
+        status = "ok" if ok else "FAIL"
+        print(
+            f"  {status:4s} audit/{label}/seed={seed}: audited "
+            f"{result.epsilon_lower_bound:.3f} vs claimed "
+            f"{result.claimed_epsilon:.2f} "
+            f"(passes={verdict}, expected passes={expect_pass})"
+        )
+        if not ok:
+            failures.append(
+                f"audit/{label}/seed={seed}: passes={verdict}, "
+                f"expected {expect_pass} "
+                f"(audited {result.epsilon_lower_bound:.3f})"
+            )
+        rows.append(
+            {
+                "case": label,
+                "seed": seed,
+                "mode": mode,
+                "epsilon_lower_bound": result.epsilon_lower_bound,
+                "claimed_epsilon": result.claimed_epsilon,
+                "realized_epsilon": result.realized_epsilon,
+                "passes": verdict,
+                "expected": expect_pass,
+                "view_divergence": result.view_divergence,
+            }
+        )
+    return rows
+
+
+def check_fuzz(failures: list, num_cases: int, seed: int) -> dict:
+    """Run the fuzz budget; write the failing seeds artifact when red."""
+    started = time.perf_counter()
+    report = run_fuzz(num_cases=num_cases, seed=seed)
+    elapsed = time.perf_counter() - started
+    status = "ok" if report.passed else "FAIL"
+    print(
+        f"  {status:4s} fuzz: {report.num_cases} cases from seed {seed}, "
+        f"{len(report.failures)} failing ({elapsed:.1f}s)"
+    )
+    if not report.passed:
+        failure_path = RESULTS_DIR / "fuzz_failures.json"
+        failure_path.parent.mkdir(parents=True, exist_ok=True)
+        failure_path.write_text(report.to_json())
+        for failure in report.failures:
+            failures.append(f"fuzz: {failure.repro}")
+        print(f"  failing cases written to {failure_path}")
+    return {
+        "seed": seed,
+        "num_cases": report.num_cases,
+        "num_failures": len(report.failures),
+        "seconds": elapsed,
+    }
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cases", type=int, default=200, help="fuzz budget (default 200)"
+    )
+    parser.add_argument(
+        "--fuzz-seed", type=int, default=0, help="fuzz generator seed (default 0)"
+    )
+    args = parser.parse_args(argv)
+
+    failures: list = []
+    print("cheater detection:")
+    cheater_rows = check_cheater_detection(failures)
+    print("audit gate:")
+    audit_rows = check_audit_gate(failures)
+    print("fuzz:")
+    fuzz_row = check_fuzz(failures, args.cases, args.fuzz_seed)
+
+    atomic_write_json(
+        RESULTS_DIR / "verify_smoke.json",
+        {
+            "benchmark": "verify_smoke",
+            "cheater": cheater_rows,
+            "audit": audit_rows,
+            "fuzz": fuzz_row,
+            "failures": failures,
+        },
+    )
+    print(f"wrote {RESULTS_DIR / 'verify_smoke.json'}")
+    if failures:
+        print(f"verify-smoke FAILED: {len(failures)} check(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("verify-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

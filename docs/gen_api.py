@@ -134,6 +134,16 @@ API_PAGES = {
             "repro.utils.atomic",
         ),
     ),
+    "verify": (
+        "repro.verify — adversarial verification",
+        (
+            "repro.crypto.mac",
+            "repro.verify.adversary",
+            "repro.verify.audit",
+            "repro.verify.fuzz",
+            "repro.dp.auditing",
+        ),
+    ),
     "telemetry": (
         "repro.telemetry — spans, metrics, manifests",
         (

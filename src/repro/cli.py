@@ -44,6 +44,19 @@ def build_parser() -> argparse.ArgumentParser:
         "the 'stream' experiment name)",
     )
     parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run the empirical privacy audit of the full release (shorthand "
+        "for the 'audit' experiment name)",
+    )
+    parser.add_argument(
+        "--authenticate",
+        action="store_true",
+        help="run with MAC-authenticated openings (CargoConfig authenticate; "
+        "a cheating server aborts the run with a typed error instead of "
+        "biasing the count — honest releases are bit-identical)",
+    )
+    parser.add_argument(
         "--release-every",
         type=int,
         default=None,
@@ -229,6 +242,8 @@ def _collect_overrides(
         overrides["sparse"] = args.sparse
     if args.tile_window is not None and "tile_window" in accepted:
         overrides["tile_window"] = args.tile_window
+    if args.authenticate and "authenticate" in accepted:
+        overrides["authenticate"] = True
     if args.release_every is not None and "release_every" in accepted:
         overrides["release_every"] = args.release_every
     if args.anchor_every is not None and "anchor_every" in accepted:
@@ -241,13 +256,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.stream and args.audit:
+        parser.error("--stream and --audit are mutually exclusive")
     if args.experiment is None:
-        if not args.stream:
-            parser.error("an experiment name is required (or pass --stream)")
-        args.experiment = "stream"
+        if args.stream:
+            args.experiment = "stream"
+        elif args.audit:
+            args.experiment = "audit"
+        else:
+            parser.error("an experiment name is required (or pass --stream/--audit)")
     elif args.stream and args.experiment.lower() != "stream":
         parser.error(
             f"--stream conflicts with the explicit experiment name {args.experiment!r}"
+        )
+    elif args.audit and args.experiment.lower() != "audit":
+        parser.error(
+            f"--audit conflicts with the explicit experiment name {args.experiment!r}"
         )
 
     if args.experiment.lower() == "list":

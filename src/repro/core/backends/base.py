@@ -110,12 +110,16 @@ class TriangleCounterBackend(abc.ABC):
         ring: Ring = DEFAULT_RING,
         views: Optional[ViewRecorder] = None,
         telemetry=None,
+        authenticator=None,
     ) -> None:
         self._ring = ring
         self._views = views
         # The no-op bundle when the run is untraced — backends instrument
         # unconditionally and the disabled tracer swallows every span.
         self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Optional MAC authenticator; when set, every opening round this
+        # backend performs is routed through its batched MAC check.
+        self._authenticator = authenticator
 
     @property
     def ring(self) -> Ring:
@@ -134,7 +138,10 @@ class TriangleCounterBackend(abc.ABC):
 
         *config* is duck-typed: only the attributes a backend actually uses
         (``ring``, ``batch_size``, ``block_size``, …) are read, so third-party
-        configs can plug in.
+        configs can plug in.  Built-in backends additionally accept an
+        ``authenticator`` keyword (forwarded by
+        :func:`~repro.core.backends.registry.create_backend` only when the
+        signature declares it) that MAC-checks every opening round.
         """
 
     @abc.abstractmethod

@@ -117,6 +117,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         tile_window: Optional[int] = None,
         telemetry=None,
         resilience=None,
+        authenticator=None,
     ) -> None:
         if block_size <= 0:
             raise ProtocolError(f"block_size must be positive, got {block_size}")
@@ -126,7 +127,9 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
             raise ProtocolError(
                 f"tile_window must be at least 1 (or None), got {tile_window}"
             )
-        super().__init__(ring=ring, views=views, telemetry=telemetry)
+        super().__init__(
+            ring=ring, views=views, telemetry=telemetry, authenticator=authenticator
+        )
         self._dealer = dealer if dealer is not None else BeaverTripleDealer(ring=ring)
         self._block_size = block_size
         self._workers = int(workers)
@@ -150,6 +153,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
         config,
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
+        authenticator=None,
     ) -> "BlockedMatrixTriangleCounter":
         dealer = BeaverTripleDealer(ring=config.ring, seed=dealer_rng)
         return cls(
@@ -162,6 +166,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
             tile_window=getattr(config, "tile_window", None),
             telemetry=resolve_telemetry(config),
             resilience=getattr(config, "resilience", None),
+            authenticator=authenticator,
         )
 
     def count_from_shares(self, share1: np.ndarray, share2: np.ndarray) -> CountResult:
@@ -216,6 +221,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
                             partial1, partial2 = secure_matrix_multiply(
                                 (left1, left2), (right1, right2), tile_triple,
                                 ring=ring, views=self._views,
+                                authenticator=self._authenticator,
                             )
                             m1 = ring.add(m1, partial1)
                             m2 = ring.add(m2, partial2)
@@ -232,6 +238,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
                             (c_tile1, c_tile2),
                             (ring.mul(m1, tile_mask), ring.mul(m2, tile_mask)),
                             elementwise_triple, ring=ring, views=self._views,
+                            authenticator=self._authenticator,
                         )
                         total1 = ring.add(total1, ring.sum(prod1))
                         total2 = ring.add(total2, ring.sum(prod2))
@@ -360,6 +367,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
                 partial1, partial2 = secure_matrix_multiply(
                     (left1, left2), (right1, right2), tile_triple,
                     ring=ring, views=shard,
+                    authenticator=self._authenticator,
                 )
                 m1 = ring.add(m1, partial1)
                 m2 = ring.add(m2, partial2)
@@ -370,6 +378,7 @@ class BlockedMatrixTriangleCounter(TriangleCounterBackend):
                 (c_tile1, c_tile2),
                 (ring.mul(m1, tile_mask), ring.mul(m2, tile_mask)),
                 material["elementwise"], ring=ring, views=shard,
+                authenticator=self._authenticator,
             )
         return ring.sum(prod1), ring.sum(prod2), len(i_tiles) + 1, shard, tracer_shard
 

@@ -222,6 +222,7 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
         workers: int = 0,
         triple_store=None,
         telemetry=None,
+        authenticator=None,
     ) -> None:
         if batch_size <= 0:
             raise ProtocolError(f"batch_size must be positive, got {batch_size}")
@@ -229,7 +230,9 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
             raise ProtocolError(f"provision_limit must be non-negative, got {provision_limit}")
         if workers < 0:
             raise ProtocolError(f"workers must be non-negative, got {workers}")
-        super().__init__(ring=ring, views=views, telemetry=telemetry)
+        super().__init__(
+            ring=ring, views=views, telemetry=telemetry, authenticator=authenticator
+        )
         self._dealer = dealer if dealer is not None else MultiplicationGroupDealer(ring=ring)
         self._batch_size = batch_size
         self._provision_limit = provision_limit
@@ -242,6 +245,7 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
         config,
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
+        authenticator=None,
     ) -> "FaithfulTriangleCounter":
         dealer = MultiplicationGroupDealer(ring=config.ring, seed=dealer_rng)
         return cls(
@@ -252,6 +256,7 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
             workers=resolve_workers(config),
             triple_store=getattr(config, "triple_store", None),
             telemetry=resolve_telemetry(config),
+            authenticator=authenticator,
         )
 
     def count_from_shares(
@@ -313,7 +318,8 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
                 c_shares = (gathered1[2], gathered2[2])
                 group = dealer.vector_group((size,))
                 product1, product2 = secure_multiply_triple(
-                    a_shares, b_shares, c_shares, group, ring=ring, views=self._views
+                    a_shares, b_shares, c_shares, group, ring=ring, views=self._views,
+                    authenticator=self._authenticator,
                 )
                 total1 = ring.add(total1, ring.sum(product1))
                 total2 = ring.add(total2, ring.sum(product2))
@@ -352,6 +358,7 @@ class FaithfulTriangleCounter(TriangleCounterBackend):
             group,
             ring=ring,
             views=shard,
+            authenticator=self._authenticator,
         )
         return ring.sum(product1), ring.sum(product2), shard
 
@@ -460,6 +467,7 @@ def _build_batched_backend(
     config,
     dealer_rng: RandomState = None,
     views: Optional[ViewRecorder] = None,
+    authenticator=None,
 ) -> FaithfulTriangleCounter:
     """The batched execution mode: the faithful protocol at ``config.batch_size``."""
     dealer = MultiplicationGroupDealer(ring=config.ring, seed=dealer_rng)
@@ -471,4 +479,5 @@ def _build_batched_backend(
         workers=resolve_workers(config),
         triple_store=getattr(config, "triple_store", None),
         telemetry=resolve_telemetry(config),
+        authenticator=authenticator,
     )

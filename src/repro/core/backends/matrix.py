@@ -80,8 +80,11 @@ class MatrixTriangleCounter(TriangleCounterBackend):
         workers: int = 0,
         triple_store=None,
         telemetry=None,
+        authenticator=None,
     ) -> None:
-        super().__init__(ring=ring, views=views, telemetry=telemetry)
+        super().__init__(
+            ring=ring, views=views, telemetry=telemetry, authenticator=authenticator
+        )
         self._dealer = dealer if dealer is not None else BeaverTripleDealer(ring=ring)
         self._workers = int(workers)
         self._store = triple_store
@@ -96,6 +99,7 @@ class MatrixTriangleCounter(TriangleCounterBackend):
         config,
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
+        authenticator=None,
     ) -> "MatrixTriangleCounter":
         dealer = BeaverTripleDealer(ring=config.ring, seed=dealer_rng)
         return cls(
@@ -105,6 +109,7 @@ class MatrixTriangleCounter(TriangleCounterBackend):
             workers=resolve_workers(config),
             triple_store=getattr(config, "triple_store", None),
             telemetry=resolve_telemetry(config),
+            authenticator=authenticator,
         )
 
     def _dealt_triples(self, n: int):
@@ -169,6 +174,7 @@ class MatrixTriangleCounter(TriangleCounterBackend):
                 m1, m2 = secure_matrix_multiply(
                     (c1.T.copy(), c2.T.copy()), (c1, c2), matrix_triple,
                     ring=ring, views=self._views, matmul=matmul,
+                    authenticator=self._authenticator,
                 )
 
                 # Step 3 — shares of C ⊙ M over the upper triangle via one
@@ -176,6 +182,7 @@ class MatrixTriangleCounter(TriangleCounterBackend):
                 prod1, prod2 = secure_multiply_pair(
                     (c1, c2), (ring.mul(m1, upper_mask), ring.mul(m2, upper_mask)),
                     elementwise_triple, ring=ring, views=self._views,
+                    authenticator=self._authenticator,
                 )
                 total1 = ring.sum(prod1)
                 total2 = ring.sum(prod2)

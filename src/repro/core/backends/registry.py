@@ -99,14 +99,35 @@ def create_backend(
     config,
     dealer_rng: RandomState = None,
     views: Optional[ViewRecorder] = None,
+    authenticator=None,
 ) -> TriangleCounterBackend:
     """Instantiate the backend registered under *name* for *config*.
 
     *name* may be a :class:`~repro.core.config.CountingBackend` member or any
     registered string; *config* is passed through to the backend's factory
     (duck-typed, see :meth:`TriangleCounterBackend.from_config`).
+
+    *authenticator* is forwarded only when the factory's signature accepts
+    it, so third-party backends registered before the MAC layer existed keep
+    working unauthenticated — but asking such a backend to authenticate is a
+    configuration error, not a silent downgrade.
     """
     factory = get_backend_factory(name)
-    if isinstance(factory, type):
-        return factory.from_config(config, dealer_rng=dealer_rng, views=views)
-    return factory(config, dealer_rng=dealer_rng, views=views)
+    builder = factory.from_config if isinstance(factory, type) else factory
+    kwargs = {"dealer_rng": dealer_rng, "views": views}
+    if authenticator is not None:
+        import inspect
+
+        parameters = inspect.signature(builder).parameters
+        accepts = "authenticator" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+        if not accepts:
+            raise ConfigurationError(
+                f"counting backend {resolve_backend_name(name)!r} does not "
+                "support authenticated openings (its factory takes no "
+                "'authenticator' argument); run it with authenticate=False"
+            )
+        kwargs["authenticator"] = authenticator
+    return builder(config, **kwargs)

@@ -29,9 +29,10 @@ from repro.core.max_degree import MaxDegreeEstimator
 from repro.core.perturbation import DistributedPerturbation
 from repro.core.projection import SimilarityProjection
 from repro.core.result import CargoResult
+from repro.crypto.mac import resolve_authenticator
 from repro.crypto.protocol import TwoServerRuntime
 from repro.crypto.views import ViewRecorder
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheaterDetectedError, ConfigurationError
 from repro.graph.graph import Graph
 from repro.stats import create_statistic
 from repro.resilience import resolve_resilience
@@ -124,7 +125,45 @@ class Cargo:
         runtime: Optional[TwoServerRuntime] = (
             TwoServerRuntime(graph.num_nodes) if config.track_communication else None
         )
+        # One authenticator per run: every server-to-server opening (Beaver
+        # / multiplication-group / matrix openings inside `Count`, plus the
+        # final release reconstruction in `Perturb`) goes through its batched
+        # MAC check, so a tampering server aborts the run instead of biasing
+        # the released count.
+        authenticator = resolve_authenticator(config)
 
+        try:
+            return self._run_protocol(
+                graph,
+                config=config,
+                budget=budget,
+                statistic=statistic,
+                telemetry=telemetry,
+                tracer=tracer,
+                runtime=runtime,
+                authenticator=authenticator,
+                rngs=(max_rng, share_rng, noise_rng, dealer_rng),
+            )
+        except CheaterDetectedError as error:
+            record_cheater_event(
+                config, telemetry, backend=config.backend_name, error=error
+            )
+            raise
+
+    def _run_protocol(
+        self,
+        graph: Graph,
+        *,
+        config,
+        budget,
+        statistic,
+        telemetry,
+        tracer,
+        runtime,
+        authenticator,
+        rngs,
+    ) -> CargoResult:
+        max_rng, share_rng, noise_rng, dealer_rng = rngs
         with tracer.span(
             "total", backend=config.backend_name, statistic=config.statistic
         ) as run_span:
@@ -174,6 +213,7 @@ class Cargo:
                         dealer_rng=dealer_rng,
                         views=self.views,
                         runtime=runtime,
+                        authenticator=authenticator,
                     )
                 else:
                     count_result = statistic.secure_count(
@@ -183,6 +223,7 @@ class Cargo:
                         dealer_rng=dealer_rng,
                         views=self.views,
                         runtime=runtime,
+                        authenticator=authenticator,
                     )
 
             # ---------------------------------------------------------- #
@@ -202,7 +243,8 @@ class Cargo:
                     fixed_point_bits=config.fixed_point_bits,
                 )
                 perturb_result = perturbation.run(
-                    count_result, rng=noise_rng, runtime=runtime
+                    count_result, rng=noise_rng, runtime=runtime,
+                    authenticator=authenticator,
                 )
 
         true_count = statistic.plain_count(graph)
@@ -223,6 +265,7 @@ class Cargo:
             true_count=true_count,
             projected_count=projected_count,
             noisy_max_degree=max_result.noisy_max_degree,
+            authenticator=authenticator,
         )
         return CargoResult(
             noisy_triangle_count=noisy_count,
@@ -254,6 +297,7 @@ def feed_run_telemetry(
     true_count,
     projected_count,
     noisy_max_degree,
+    authenticator=None,
 ):
     """Post-run metric feeding + the release record for the manifest.
 
@@ -267,6 +311,14 @@ def feed_run_telemetry(
     metrics = telemetry.metrics
     labels = {"backend": backend, "statistic": config.statistic}
     metrics.increment("runs", **labels)
+    mac_block = None
+    if authenticator is not None and getattr(authenticator, "enabled", False):
+        mac_block = {
+            "rounds_checked": int(authenticator.rounds_checked),
+            "values_checked": int(authenticator.values_checked),
+        }
+        metrics.increment("mac_rounds_checked", mac_block["rounds_checked"], **labels)
+        metrics.increment("mac_values_checked", mac_block["values_checked"], **labels)
     for phase, stats in communication_phases.items():
         metrics.increment("comm_bytes", stats["bytes"], phase=phase)
         metrics.increment("comm_messages", stats["messages"], phase=phase)
@@ -281,27 +333,54 @@ def feed_run_telemetry(
     if store_stats is not None:
         for key, value in store_stats.items():
             metrics.gauge_set(f"triple_store_{key}", value)
-    telemetry.record_release(
-        {
-            "kind": "cargo",
-            "statistic": config.statistic,
-            "backend": backend,
-            "seed": config.seed,
-            "noisy_count": noisy_count,
-            "true_count": true_count,
-            "projected_count": projected_count,
-            "noisy_max_degree": noisy_max_degree,
-            "epsilon": {"max": budget.epsilon1, "perturb": budget.epsilon2},
-            "opening_rounds": count_result.opening_rounds,
-            "candidates": count_result.num_triples_processed,
-            "timings": timings,
-            "communication_phases": communication_phases,
-        }
-    )
+    release = {
+        "kind": "cargo",
+        "statistic": config.statistic,
+        "backend": backend,
+        "seed": config.seed,
+        "noisy_count": noisy_count,
+        "true_count": true_count,
+        "projected_count": projected_count,
+        "noisy_max_degree": noisy_max_degree,
+        "epsilon": {"max": budget.epsilon1, "perturb": budget.epsilon2},
+        "opening_rounds": count_result.opening_rounds,
+        "candidates": count_result.num_triples_processed,
+        "timings": timings,
+        "communication_phases": communication_phases,
+    }
+    if mac_block is not None:
+        release["mac"] = mac_block
+    telemetry.record_release(release)
     return build_result_telemetry(
         timings,
         communication_phases,
         opening_rounds=count_result.opening_rounds,
         candidates=count_result.num_triples_processed,
         triple_store_stats=store_stats,
+    )
+
+
+def record_cheater_event(config, telemetry, *, backend, error) -> None:
+    """Record a failed MAC check in the run's telemetry before re-raising.
+
+    A detected cheat aborts the release, so the normal ``cargo`` record never
+    happens; this leaves an auditable ``cheater_detected`` record (which
+    round and label failed, never a count) in the manifest instead.  Shared
+    by the Edge-DP and Node-DP orchestrators; a no-op when telemetry is
+    disabled.
+    """
+    if not telemetry.enabled:
+        return
+    labels = {"backend": backend, "statistic": config.statistic}
+    telemetry.metrics.increment("cheater_detected", **labels)
+    telemetry.record_release(
+        {
+            "kind": "cheater_detected",
+            "statistic": config.statistic,
+            "backend": backend,
+            "seed": config.seed,
+            "round_index": int(getattr(error, "round_index", -1)),
+            "label": str(getattr(error, "label", "")),
+            "message": str(error),
+        }
     )

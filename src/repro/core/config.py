@@ -139,6 +139,18 @@ class CargoConfig:
     record_views:
         When ``True`` the secure operations record each server's view, which
         the security tests inspect.  Off by default (it costs memory).
+    authenticate:
+        When ``True`` every opening round (and the final release
+        reconstruction) runs under a SPDZ-style information-theoretic MAC
+        check (:mod:`repro.crypto.mac`): a cheating server triggers a typed
+        :class:`~repro.exceptions.CheaterDetectedError` instead of a
+        silently wrong count.  Honest authenticated runs release counts
+        bit-identical to unauthenticated runs.  Off by default.
+    authenticator:
+        Optional pre-built :class:`~repro.crypto.mac.OpeningAuthenticator`
+        to use instead of deriving one from the run seed — the injection
+        point for the active-adversary harness (tamper hooks) and the perf
+        gate's inert arm.  Setting it implies ``authenticate=True``.
     track_communication:
         When ``True`` the protocol routes user/server messages through the
         :class:`~repro.crypto.protocol.TwoServerRuntime` so byte counts are
@@ -174,8 +186,12 @@ class CargoConfig:
     seed: Optional[int] = None
     record_views: bool = False
     track_communication: bool = False
+    authenticate: bool = False
+    authenticator: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.authenticator is not None and not self.authenticate:
+            object.__setattr__(self, "authenticate", True)
         if self.budget is None and self.epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
         if self.workers is not None and self.workers < 1:

@@ -22,14 +22,21 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.cargo import Cargo, feed_run_telemetry, resolve_sparse_mode
+from repro.core.cargo import (
+    Cargo,
+    feed_run_telemetry,
+    record_cheater_event,
+    resolve_sparse_mode,
+)
 from repro.core.config import CargoConfig
 from repro.core.max_degree import MaxDegreeEstimator, MaxDegreeResult
 from repro.core.perturbation import DistributedPerturbation
 from repro.core.projection import SimilarityProjection
 from repro.core.result import CargoResult
+from repro.crypto.mac import resolve_authenticator
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.dp.sensitivity import degree_sensitivity_node_dp
+from repro.exceptions import CheaterDetectedError
 from repro.graph.graph import Graph
 from repro.stats import create_statistic
 from repro.telemetry import Tracer, resolve_telemetry
@@ -97,6 +104,40 @@ class NodeDpCargo:
             dealer_rng = derive_rng(config.offline_seed)
 
         backend_label = f"node-dp/{config.backend_name}"
+        # Same per-run authenticated-opening semantics as the Edge-DP
+        # orchestrator: the Node-DP variant changes sensitivities only, not
+        # the secure transcript, so the MAC layer drops in unchanged.
+        authenticator = resolve_authenticator(config)
+        try:
+            return self._run_protocol(
+                graph,
+                config=config,
+                budget=budget,
+                statistic=statistic,
+                telemetry=telemetry,
+                tracer=tracer,
+                backend_label=backend_label,
+                authenticator=authenticator,
+                rngs=(max_rng, share_rng, noise_rng, dealer_rng),
+            )
+        except CheaterDetectedError as error:
+            record_cheater_event(config, telemetry, backend=backend_label, error=error)
+            raise
+
+    def _run_protocol(
+        self,
+        graph: Graph,
+        *,
+        config,
+        budget,
+        statistic,
+        telemetry,
+        tracer,
+        backend_label,
+        authenticator,
+        rngs,
+    ) -> CargoResult:
+        max_rng, share_rng, noise_rng, dealer_rng = rngs
         with tracer.span(
             "total", backend=backend_label, statistic=config.statistic
         ) as run_span:
@@ -132,6 +173,7 @@ class NodeDpCargo:
                         config=config,
                         share_rng=share_rng,
                         dealer_rng=dealer_rng,
+                        authenticator=authenticator,
                     )
                 else:
                     count_result = statistic.secure_count(
@@ -139,6 +181,7 @@ class NodeDpCargo:
                         config=config,
                         share_rng=share_rng,
                         dealer_rng=dealer_rng,
+                        authenticator=authenticator,
                     )
 
             with tracer.span("perturb"):
@@ -154,7 +197,9 @@ class NodeDpCargo:
                     ring=config.ring,
                     fixed_point_bits=config.fixed_point_bits,
                 )
-                perturb_result = perturbation.run(count_result, rng=noise_rng)
+                perturb_result = perturbation.run(
+                    count_result, rng=noise_rng, authenticator=authenticator
+                )
 
         noisy_count = statistic.finalise(perturb_result.noisy_count)
         true_count = statistic.plain_count(graph)
@@ -171,6 +216,7 @@ class NodeDpCargo:
             true_count=true_count,
             projected_count=projected_count,
             noisy_max_degree=max_result.noisy_max_degree,
+            authenticator=authenticator,
         )
         return CargoResult(
             noisy_triangle_count=noisy_count,

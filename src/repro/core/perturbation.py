@@ -107,6 +107,7 @@ class DistributedPerturbation:
         count_result: CountResult,
         rng: RandomState = None,
         runtime: Optional[TwoServerRuntime] = None,
+        authenticator=None,
     ) -> PerturbationResult:
         """Execute `Perturb` on the secret-shared triangle count.
 
@@ -120,6 +121,12 @@ class DistributedPerturbation:
             Optional communication runtime; when given, each user's two noise
             shares and the final cross-server exchange are routed through it
             so they appear in the communication ledger.
+        authenticator:
+            Optional :class:`~repro.crypto.mac.OpeningAuthenticator`.  The
+            final reconstruction is the one opening every statistic performs
+            (degree-local statistics have no other), so routing it through
+            the MAC check means even a zero-round count cannot be tampered
+            with undetected.
         """
         ring = self._ring
         noise = self._noise
@@ -174,7 +181,13 @@ class DistributedPerturbation:
             runtime.server_to_server(1, 2).send("noisy_count_share", noisy_share1)
             runtime.server_to_server(2, 1).send("noisy_count_share", noisy_share2)
 
-        combined = ring.decode_signed(ring.add(noisy_share1, noisy_share2))
+        if authenticator is not None:
+            (opened,) = authenticator.exchange(
+                "release_opening", [(noisy_share1, noisy_share2)]
+            )
+        else:
+            opened = ring.add(noisy_share1, noisy_share2)
+        combined = ring.decode_signed(opened)
         noisy_count = combined / factor
         return PerturbationResult(
             noisy_count=float(noisy_count),

@@ -19,7 +19,10 @@ This subpackage implements the machinery the protocol is built from:
 * :mod:`repro.crypto.secure_ops` — two-server secure addition, two-way and
   three-way multiplication, and secret-shared matrix products,
 * :mod:`repro.crypto.views` — transcript recording used by the
-  simulation-based security tests.
+  simulation-based security tests,
+* :mod:`repro.crypto.mac` — SPDZ-style information-theoretic MACs on every
+  opening round, upgrading the semi-honest transcript to one that detects a
+  single actively cheating server (``CargoConfig(authenticate=True)``).
 """
 
 from repro.crypto.ring import Ring, DEFAULT_RING
@@ -42,7 +45,16 @@ from repro.crypto.secure_ops import (
     secure_multiply_triple,
     secure_matrix_multiply,
 )
+from repro.crypto.mac import (
+    AuthenticatedShare,
+    MacKey,
+    OpeningAuthenticator,
+    OpeningMessage,
+    OpeningRound,
+    resolve_authenticator,
+)
 from repro.crypto.views import ProtocolView, ViewRecorder
+from repro.exceptions import CheaterDetectedError
 
 __all__ = [
     "Ring",
@@ -69,4 +81,11 @@ __all__ = [
     "secure_matrix_multiply",
     "ProtocolView",
     "ViewRecorder",
+    "AuthenticatedShare",
+    "CheaterDetectedError",
+    "MacKey",
+    "OpeningAuthenticator",
+    "OpeningMessage",
+    "OpeningRound",
+    "resolve_authenticator",
 ]

@@ -14,6 +14,14 @@ simulation-security tests check.
 * :func:`secure_matrix_multiply` — matrix-Beaver multiplication of two
   secret-shared matrices, the building block of the vectorised triangle
   counting backend.
+
+Every interactive function additionally accepts an optional *authenticator*
+(:class:`~repro.crypto.mac.OpeningAuthenticator`).  When present, the
+opening round — the only point where values cross the wire — is routed
+through its batched MAC-checked ``exchange`` instead of plain ``ring.add``
+reconstruction, so a server that lies in an opening triggers a typed
+:class:`~repro.exceptions.CheaterDetectedError` rather than a silently
+wrong result.  Honest openings are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -54,6 +62,7 @@ def secure_multiply_pair(
     triple: BeaverTriplePair,
     ring: Ring = DEFAULT_RING,
     views: Optional[ViewRecorder] = None,
+    authenticator=None,
 ) -> SharePairTuple:
     """Multiply two shared secrets with one Beaver triple.
 
@@ -80,8 +89,11 @@ def secure_multiply_pair(
     e2 = ring.sub(a_shares[1], t2.x)
     f2 = ring.sub(b_shares[1], t2.y)
     # Opening round: both servers learn e and f.
-    e = ring.add(e1, e2)
-    f = ring.add(f1, f2)
+    if authenticator is not None:
+        e, f = authenticator.exchange("beaver_opening", [(e1, e2), (f1, f2)])
+    else:
+        e = ring.add(e1, e2)
+        f = ring.add(f1, f2)
     if views is not None:
         views.observe(1, "beaver_opening", (e, f))
         views.observe(2, "beaver_opening", (e, f))
@@ -106,6 +118,7 @@ def secure_multiply_triple(
     group: MultiplicationGroupPair,
     ring: Ring = DEFAULT_RING,
     views: Optional[ViewRecorder] = None,
+    authenticator=None,
 ) -> SharePairTuple:
     """Multiply three shared secrets using one multiplication group.
 
@@ -127,9 +140,14 @@ def secure_multiply_triple(
     f2 = ring.sub(b_shares[1], g2.y)
     gg2 = ring.sub(c_shares[1], g2.z)
     # Opening round: both servers reconstruct the masked differences.
-    e = ring.add(e1, e2)
-    f = ring.add(f1, f2)
-    g = ring.add(gg1, gg2)
+    if authenticator is not None:
+        e, f, g = authenticator.exchange(
+            "mg_opening", [(e1, e2), (f1, f2), (gg1, gg2)]
+        )
+    else:
+        e = ring.add(e1, e2)
+        f = ring.add(f1, f2)
+        g = ring.add(gg1, gg2)
     if views is not None:
         views.observe(1, "mg_opening", (e, f, g))
         views.observe(2, "mg_opening", (e, f, g))
@@ -186,6 +204,7 @@ def secure_matrix_multiply(
     ring: Ring = DEFAULT_RING,
     views: Optional[ViewRecorder] = None,
     matmul=None,
+    authenticator=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Multiply two secret-shared matrices with a matrix Beaver triple.
 
@@ -208,8 +227,17 @@ def secure_matrix_multiply(
         )
     if matmul is None:
         matmul = ring.matmul
-    e = ring.add(ring.sub(a1, t1.x), ring.sub(a2, t2.x))
-    f = ring.add(ring.sub(b1, t1.y), ring.sub(b2, t2.y))
+    if authenticator is not None:
+        e, f = authenticator.exchange(
+            "matrix_beaver_opening",
+            [
+                (ring.sub(a1, t1.x), ring.sub(a2, t2.x)),
+                (ring.sub(b1, t1.y), ring.sub(b2, t2.y)),
+            ],
+        )
+    else:
+        e = ring.add(ring.sub(a1, t1.x), ring.sub(a2, t2.x))
+        f = ring.add(ring.sub(b1, t1.y), ring.sub(b2, t2.y))
     if views is not None:
         views.observe(1, "matrix_beaver_opening", (e, f))
         views.observe(2, "matrix_beaver_opening", (e, f))

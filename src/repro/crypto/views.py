@@ -97,10 +97,44 @@ class ViewRecorder:
         schedule order, after all workers have finished — so the merged
         recorder is indistinguishable from one written by a serial run of
         the same schedule.
+
+        A malformed *shard* — not a recorder at all, or a recorder whose
+        per-server structure was tampered with (missing server, entries for
+        a foreign server index, non-entry payloads) — raises a typed
+        :class:`~repro.exceptions.ProtocolError` instead of corrupting the
+        merged transcript or surfacing a raw attribute/numpy error later.
         """
+        shard_views = getattr(shard, "_views", None)
+        if not isinstance(shard_views, dict):
+            raise ProtocolError(
+                f"merge_from expects a ViewRecorder shard, got {type(shard).__name__}"
+            )
+        if set(shard_views) != set(self._views):
+            raise ProtocolError(
+                "view shard does not cover both servers: has views for "
+                f"{sorted(shard_views)}, expected {sorted(self._views)}"
+            )
+        for server_index, view in shard_views.items():
+            entries = getattr(view, "entries", None)
+            if entries is None:
+                raise ProtocolError(
+                    f"view shard for server {server_index} has no entries list"
+                )
+            for entry in entries:
+                if not isinstance(entry, ViewEntry):
+                    raise ProtocolError(
+                        f"view shard for server {server_index} holds a "
+                        f"{type(entry).__name__}, expected ViewEntry"
+                    )
+                if entry.server_index != server_index:
+                    raise ProtocolError(
+                        f"view shard entry labelled {entry.label!r} belongs to "
+                        f"server {entry.server_index} but was filed under "
+                        f"server {server_index}"
+                    )
         with self._lock:
             for server_index, view in self._views.items():
-                view.entries.extend(shard._views[server_index].entries)
+                view.entries.extend(shard_views[server_index].entries)
 
     def view(self, server_index: int) -> ProtocolView:
         """The full view of server *server_index*."""

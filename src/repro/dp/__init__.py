@@ -16,7 +16,12 @@ the CARGO protocol and its baselines rely on:
   sensitivity of triangle counting (the Table III comparison).
 """
 
-from repro.dp.auditing import AuditResult, audit_mechanism, audit_randomized_response
+from repro.dp.auditing import (
+    AuditResult,
+    audit_mechanism,
+    audit_randomized_response,
+    epsilon_lower_bound_from_samples,
+)
 from repro.dp.budget import PrivacyBudget, split_budget
 from repro.dp.accountant import PrivacyAccountant
 from repro.dp.gamma_noise import (
@@ -45,6 +50,7 @@ __all__ = [
     "AuditResult",
     "audit_mechanism",
     "audit_randomized_response",
+    "epsilon_lower_bound_from_samples",
     "PrivacyBudget",
     "split_budget",
     "PrivacyAccountant",

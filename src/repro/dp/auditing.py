@@ -91,6 +91,40 @@ def audit_mechanism(
     rng_a, rng_b = spawn_rngs(generator, 2)
     samples_a = np.array([mechanism(input_a, rng_a) for _ in range(num_trials)])
     samples_b = np.array([mechanism(input_b, rng_b) for _ in range(num_trials)])
+    worst = epsilon_lower_bound_from_samples(samples_a, samples_b, num_bins=num_bins)
+    return AuditResult(
+        epsilon_lower_bound=worst,
+        claimed_epsilon=claimed_epsilon,
+        num_trials=num_trials,
+        num_bins=num_bins,
+    )
+
+
+def epsilon_lower_bound_from_samples(
+    samples_a: Sequence[float], samples_b: Sequence[float], num_bins: int = 40
+) -> float:
+    """Histogram lower bound on the privacy loss between two output samples.
+
+    The estimator shared by the scalar-mechanism auditor above and the
+    end-to-end protocol auditor (:mod:`repro.verify.audit`): bin both sample
+    sets on a common grid and return the worst absolute log-ratio of bin
+    frequencies.  Only bins with enough mass on both sides give
+    statistically meaningful ratios, and each bin's ratio is discounted by
+    twice its standard error so finite-sample noise cannot masquerade as
+    extra privacy loss.
+
+    Examples
+    --------
+    >>> epsilon_lower_bound_from_samples([0.0] * 100, [0.0] * 100)
+    0.0
+    """
+    if num_bins <= 1:
+        raise ConfigurationError(f"num_bins must be at least 2, got {num_bins}")
+    samples_a = np.asarray(samples_a, dtype=float)
+    samples_b = np.asarray(samples_b, dtype=float)
+    if samples_a.size == 0 or samples_b.size == 0:
+        raise ConfigurationError("both sample sets must be non-empty")
+    num_trials = min(samples_a.size, samples_b.size)
 
     low = float(min(samples_a.min(), samples_b.min()))
     high = float(max(samples_a.max(), samples_b.max()))
@@ -100,9 +134,6 @@ def audit_mechanism(
     hist_a, _ = np.histogram(samples_a, bins=edges)
     hist_b, _ = np.histogram(samples_b, bins=edges)
 
-    # Only bins with enough mass on both sides give statistically meaningful
-    # ratios, and each bin's ratio is discounted by twice its standard error
-    # so finite-sample noise cannot masquerade as extra privacy loss.
     minimum_mass = max(num_trials // (num_bins * 10), 5)
     worst = 0.0
     for count_a, count_b in zip(hist_a, hist_b):
@@ -110,12 +141,7 @@ def audit_mechanism(
             ratio = abs(np.log(count_a / count_b))
             standard_error = np.sqrt(1.0 / count_a + 1.0 / count_b)
             worst = max(worst, float(max(ratio - 2.0 * standard_error, 0.0)))
-    return AuditResult(
-        epsilon_lower_bound=worst,
-        claimed_epsilon=claimed_epsilon,
-        num_trials=num_trials,
-        num_bins=num_bins,
-    )
+    return worst
 
 
 def audit_randomized_response(

@@ -42,6 +42,25 @@ class DealerError(ProtocolError):
     """The offline correlated-randomness dealer was misused or exhausted."""
 
 
+class CheaterDetectedError(ProtocolError):
+    """An authenticated opening failed its MAC check — a server cheated.
+
+    Raised by the :class:`~repro.crypto.mac.OpeningAuthenticator` when the
+    batched SPDZ-style MAC check over an opening round does not verify:
+    some server sent a value inconsistent with its tag share (a flipped
+    share, a lie in an opening, a truncated round).  Carries the *label* of
+    the opening round (e.g. ``"beaver_opening"``) and its zero-based
+    *round_index* so a cheating round can be named precisely.  Note the MAC
+    detects *that* cheating happened, not *which* server cheated — see
+    ``docs/verification.md``.
+    """
+
+    def __init__(self, message: str, label: str = "", round_index: int = -1) -> None:
+        super().__init__(message)
+        self.label = label
+        self.round_index = round_index
+
+
 class PrivacyError(ReproError):
     """A differential-privacy precondition is violated.
 

@@ -87,6 +87,14 @@ PAPER_SCALE_OVERRIDES: Dict[str, Dict[str, Any]] = {
         "epsilon": 2.0,
         "counting_backend": "blocked",
     },
+    # (extension) empirical privacy audit: a deeper trial budget than the CI
+    # gate's tuned default, on the worst-case complete graph the audit builds
+    # itself (num_nodes is the complete-graph size, not a dataset cut).
+    "audit": {
+        "num_nodes": 12,
+        "epsilon": 2.0,
+        "num_trials": 2000,
+    },
     # (extension) generalised statistics: the paper's default graph size and
     # ε sweep, across every built-in statistic.
     "stats": {

@@ -35,6 +35,7 @@ def single_release(
     workers: Optional[int] = None,
     sparse: Optional[str] = None,
     tile_window: Optional[int] = None,
+    authenticate: bool = False,
     telemetry: Optional[object] = None,
     resilience: Optional[object] = None,
 ) -> ExperimentReport:
@@ -54,6 +55,7 @@ def single_release(
         seed=seed,
         triple_store=store,
         track_communication=True,
+        authenticate=authenticate,
         telemetry=telemetry,
         resilience=resilience,
         **({} if counting_backend is None else {"counting_backend": counting_backend}),

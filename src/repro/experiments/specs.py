@@ -13,6 +13,7 @@ from typing import Callable, Dict, List
 from repro.exceptions import ExperimentError
 from repro.experiments import figures, single_run, statistics, streaming, tables
 from repro.experiments.runner import ExperimentReport
+from repro.verify import audit as verify_audit
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             description="one fully-instrumented protocol release (any backend x statistic)",
             runner=single_run.single_release,
             modules=("repro.core.cargo", "repro.telemetry"),
+        ),
+        ExperimentSpec(
+            name="audit",
+            paper_artifact="(extension)",
+            description="empirical privacy audit of the full release (honest pass + planted-bug fail)",
+            runner=verify_audit.audit_experiment,
+            modules=("repro.verify.audit", "repro.dp.auditing", "repro.core.cargo"),
         ),
         ExperimentSpec(
             name="stats",

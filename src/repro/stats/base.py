@@ -136,6 +136,7 @@ class SubgraphStatistic(abc.ABC):
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
         runtime: Optional[TwoServerRuntime] = None,
+        authenticator=None,
     ) -> CountResult:
         """Run the users' upload plus the two-server secure evaluation.
 
@@ -156,6 +157,12 @@ class SubgraphStatistic(abc.ABC):
         runtime:
             Optional communication runtime; when given, user uploads are
             routed through it so they appear in the ledger.
+        authenticator:
+            Optional :class:`~repro.crypto.mac.OpeningAuthenticator`; when
+            given, every opening round of the secure evaluation runs under
+            its batched MAC check (statistics with zero opening rounds
+            simply ignore it — the final release reconstruction is covered
+            by the orchestrator).
 
         Returns
         -------
@@ -188,6 +195,7 @@ class SubgraphStatistic(abc.ABC):
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
         runtime: Optional[TwoServerRuntime] = None,
+        authenticator=None,
     ) -> CountResult:
         """Secure kernel on a (projected) degree vector instead of bit rows.
 

@@ -188,6 +188,7 @@ class FourCycleStatistic(SubgraphStatistic):
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
         runtime: Optional[TwoServerRuntime] = None,
+        authenticator=None,
     ) -> CountResult:
         """Secure evaluation of ``S = 4 · #C4`` on the users' uploaded shares.
 
@@ -231,7 +232,10 @@ class FourCycleStatistic(SubgraphStatistic):
                 batch_size=batch,
                 candidates=self.num_candidates(n),
             ) as span:
-                result = self._count_pair_stream(share1, share2, ring, dealer, batch, views)
+                result = self._count_pair_stream(
+                    share1, share2, ring, dealer, batch, views,
+                    authenticator=authenticator,
+                )
                 span.annotate(opening_rounds=result.opening_rounds)
             return result
         tile = int(getattr(config, "block_size", n)) if backend == "blocked" else n
@@ -244,12 +248,15 @@ class FourCycleStatistic(SubgraphStatistic):
             candidates=self.num_candidates(n),
         ) as span:
             result = self._count_matrix(
-                share1, share2, ring, dealer, tile, views, matmul=matmul
+                share1, share2, ring, dealer, tile, views, matmul=matmul,
+                authenticator=authenticator,
             )
             span.annotate(opening_rounds=result.opening_rounds)
         return result
 
-    def _mutual_upper_shares(self, share1, share2, ring, dealer, tile, views):
+    def _mutual_upper_shares(
+        self, share1, share2, ring, dealer, tile, views, authenticator=None
+    ):
         """Shares of the strict-upper mutual-edge matrix ``B_uv = â_uv · â_vu``.
 
         One element-wise Beaver product per tile (a single monolithic tile
@@ -280,15 +287,20 @@ class FourCycleStatistic(SubgraphStatistic):
                 )
                 triple = dealer.vector_triple((r1 - r0, c1 - c0))
                 m1[r0:r1, c0:c1], m2[r0:r1, c0:c1] = secure_multiply_pair(
-                    left, right, triple, ring=ring, views=views
+                    left, right, triple, ring=ring, views=views,
+                    authenticator=authenticator,
                 )
                 rounds += 1
         return m1, m2, rounds
 
-    def _count_matrix(self, share1, share2, ring, dealer, tile, views, matmul=None) -> CountResult:
+    def _count_matrix(
+        self, share1, share2, ring, dealer, tile, views, matmul=None, authenticator=None
+    ) -> CountResult:
         """Matrix-formulation path: ``W = A @ A`` then ``W ⊙ (W - 1)`` upper-summed."""
         n = share1.shape[0]
-        m1, m2, rounds = self._mutual_upper_shares(share1, share2, ring, dealer, tile, views)
+        m1, m2, rounds = self._mutual_upper_shares(
+            share1, share2, ring, dealer, tile, views, authenticator=authenticator
+        )
         a1 = ring.add(m1, m1.T)
         a2 = ring.add(m2, m2.T)
 
@@ -297,7 +309,8 @@ class FourCycleStatistic(SubgraphStatistic):
         if tile >= n:
             triple = dealer.matrix_triple((n, n), (n, n))
             w1, w2 = secure_matrix_multiply(
-                (a1, a2), (a1, a2), triple, ring=ring, views=views, matmul=matmul
+                (a1, a2), (a1, a2), triple, ring=ring, views=views, matmul=matmul,
+                authenticator=authenticator,
             )
             rounds += 1
         else:
@@ -323,7 +336,8 @@ class FourCycleStatistic(SubgraphStatistic):
                         )
                         triple = dealer.matrix_triple((j1 - j0, i1 - i0), (i1 - i0, k1 - k0))
                         partial1, partial2 = secure_matrix_multiply(
-                            left, right, triple, ring=ring, views=views, matmul=matmul
+                            left, right, triple, ring=ring, views=views, matmul=matmul,
+                            authenticator=authenticator,
                         )
                         acc1 = ring.add(acc1, partial1)
                         acc2 = ring.add(acc2, partial2)
@@ -352,7 +366,8 @@ class FourCycleStatistic(SubgraphStatistic):
                 wm2 = ring.mul(ring.sub(w2[r0:r1, c0:c1], 1), mask)
                 triple = dealer.vector_triple((r1 - r0, c1 - c0))
                 prod1, prod2 = secure_multiply_pair(
-                    (wu1, wu2), (wm1, wm2), triple, ring=ring, views=views
+                    (wu1, wu2), (wm1, wm2), triple, ring=ring, views=views,
+                    authenticator=authenticator,
                 )
                 total1 = ring.add(total1, ring.sum(prod1))
                 total2 = ring.add(total2, ring.sum(prod2))
@@ -364,7 +379,9 @@ class FourCycleStatistic(SubgraphStatistic):
             opening_rounds=rounds,
         )
 
-    def _count_pair_stream(self, share1, share2, ring, dealer, batch, views) -> CountResult:
+    def _count_pair_stream(
+        self, share1, share2, ring, dealer, batch, views, authenticator=None
+    ) -> CountResult:
         """Wedge-pair path: per-pair co-degrees via block openings.
 
         For each block of candidate pairs the servers gather the paired
@@ -376,7 +393,9 @@ class FourCycleStatistic(SubgraphStatistic):
         block.
         """
         n = share1.shape[0]
-        m1, m2, rounds = self._mutual_upper_shares(share1, share2, ring, dealer, n, views)
+        m1, m2, rounds = self._mutual_upper_shares(
+            share1, share2, ring, dealer, n, views, authenticator=authenticator
+        )
         a1 = ring.add(m1, m1.T)
         a2 = ring.add(m2, m2.T)
 
@@ -391,12 +410,16 @@ class FourCycleStatistic(SubgraphStatistic):
             left = (a1[:, jj], a2[:, jj])
             right = (a1[:, kk], a2[:, kk])
             triple = dealer.vector_triple((n, size))
-            prod1, prod2 = secure_multiply_pair(left, right, triple, ring=ring, views=views)
+            prod1, prod2 = secure_multiply_pair(
+                left, right, triple, ring=ring, views=views,
+                authenticator=authenticator,
+            )
             w1 = _column_share_sum(ring, prod1)
             w2 = _column_share_sum(ring, prod2)
             pair_triple = dealer.vector_triple((size,))
             s1, s2 = secure_multiply_pair(
-                (w1, w2), (w1, ring.sub(w2, 1)), pair_triple, ring=ring, views=views
+                (w1, w2), (w1, ring.sub(w2, 1)), pair_triple, ring=ring, views=views,
+                authenticator=authenticator,
             )
             total1 = ring.add(total1, ring.sum(s1))
             total2 = ring.add(total2, ring.sum(s2))

@@ -127,6 +127,7 @@ class KStarStatistic(SubgraphStatistic):
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
         runtime: Optional[TwoServerRuntime] = None,
+        authenticator=None,
     ) -> CountResult:
         """Additive aggregation of locally computed contributions.
 
@@ -143,6 +144,7 @@ class KStarStatistic(SubgraphStatistic):
             dealer_rng=dealer_rng,
             views=views,
             runtime=runtime,
+            authenticator=authenticator,
         )
 
     def secure_count_from_degrees(
@@ -153,6 +155,7 @@ class KStarStatistic(SubgraphStatistic):
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
         runtime: Optional[TwoServerRuntime] = None,
+        authenticator=None,
     ) -> CountResult:
         """The sparse (degree-vector) secure kernel — ``O(n)`` memory.
 
@@ -162,7 +165,10 @@ class KStarStatistic(SubgraphStatistic):
         :func:`~repro.crypto.sharing.share_per_user`); the servers only ever
         see uniformly masked values and their local sums.  The dealer
         substream is accepted for interface uniformity but unused — there is
-        no multiplication to provision for.
+        no multiplication to provision for.  Likewise the *authenticator*:
+        the kernel performs **zero opening rounds**, so its only wire-borne
+        value is the final release reconstruction, which the orchestrator
+        MAC-checks itself.
         """
         ring: Ring = config.ring
         degree_list = [int(d) for d in degrees]

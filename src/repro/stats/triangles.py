@@ -72,6 +72,7 @@ class TriangleStatistic(SubgraphStatistic):
         dealer_rng: RandomState = None,
         views: Optional[ViewRecorder] = None,
         runtime: Optional[TwoServerRuntime] = None,
+        authenticator=None,
     ) -> CountResult:
         """Algorithm 4 through whichever counting backend *config* names.
 
@@ -82,7 +83,8 @@ class TriangleStatistic(SubgraphStatistic):
         between servers are internal to the counter backends).
         """
         counter = create_backend(
-            config.counting_backend, config=config, dealer_rng=dealer_rng, views=views
+            config.counting_backend, config=config, dealer_rng=dealer_rng, views=views,
+            authenticator=authenticator,
         )
         tracer = resolve_telemetry(config).tracer
         if runtime is not None:

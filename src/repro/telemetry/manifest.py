@@ -45,6 +45,10 @@ MANIFEST_KIND = "repro-run-manifest"
 #: Keys every release record must carry (further keys are free-form).
 _RELEASE_REQUIRED = ("kind", "statistic", "backend", "noisy_count")
 
+#: A detected cheat aborts the release, so its record carries the failed
+#: round instead of a count — same schema version, different required keys.
+_CHEATER_REQUIRED = ("kind", "statistic", "backend", "round_index", "label")
+
 
 def build_manifest(telemetry: Telemetry, **context) -> Dict:
     """Assemble the manifest for everything *telemetry* accumulated.
@@ -116,6 +120,15 @@ def validate_manifest(manifest) -> List[str]:
         path = f"releases[{index}]"
         if not isinstance(release, dict):
             problems.append(f"{path}: not an object")
+            continue
+        if release.get("kind") == "cheater_detected":
+            for key in _CHEATER_REQUIRED:
+                if key not in release:
+                    problems.append(f"{path}.{key}: missing")
+            if "round_index" in release and not isinstance(
+                release["round_index"], int
+            ):
+                problems.append(f"{path}.round_index: not an int")
             continue
         for key in _RELEASE_REQUIRED:
             if key not in release:

@@ -222,3 +222,57 @@ class TestResilienceFlags:
             for row in rows
         ]
         assert pick(payload["rows"]) == pick(reference["rows"])
+
+
+class TestVerificationFlags:
+    def test_authenticated_run_is_bit_identical_and_exits_zero(self, capsys):
+        authed = _run_json(
+            capsys, "run", "--num-nodes", "24", "--seed", "5", "--authenticate"
+        )
+        plain = _run_json(capsys, "run", "--num-nodes", "24", "--seed", "5")
+        (authed_row,) = authed["rows"]
+        (plain_row,) = plain["rows"]
+        assert authed_row["noisy_count"] == plain_row["noisy_count"]
+        # The MAC block only appears on the authenticated run's release.
+        (authed_release,) = authed["telemetry"]["releases"]
+        (plain_release,) = plain["telemetry"]["releases"]
+        assert authed_release["mac"]["rounds_checked"] >= 1
+        assert "mac" not in plain_release
+
+    def test_cheating_run_exits_one_with_typed_message(self, capsys, monkeypatch):
+        # A corrupted opening aborts with CheaterDetectedError, which is a
+        # ReproError — the CLI maps it to exit code 1 and a one-line error.
+        import repro.experiments.single_run as single_run
+        from repro.crypto.mac import OpeningAuthenticator
+        from repro.core.config import CargoConfig
+
+        original = CargoConfig
+
+        def lie(opening):
+            opening.messages[0].values[0] ^= 1
+
+        def corrupted_config(*args, **kwargs):
+            kwargs.pop("authenticate", None)
+            kwargs["authenticator"] = OpeningAuthenticator(seed=0, tamper=lie)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(single_run, "CargoConfig", corrupted_config)
+        assert main(["run", "--num-nodes", "24", "--authenticate"]) == 1
+        err = capsys.readouterr().err
+        assert "MAC check failed" in err
+        assert "cheated" in err
+
+    def test_audit_shorthand_resolves_experiment(self, capsys):
+        assert main(["--audit", "--num-nodes", "6", "--trials", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "half-noise bug" in out
+
+    def test_audit_shorthand_conflicts_with_other_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table4", "--audit"])
+        assert "--audit conflicts" in capsys.readouterr().err
+
+    def test_stream_and_audit_flags_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--stream", "--audit"])
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -52,6 +52,75 @@ class TestViewRecorder:
         assert view.values() == [1, 2, 3]
 
 
+class TestMergeFromHardening:
+    """Malformed shards raise typed errors instead of corrupting the merge."""
+
+    def _shard(self) -> ViewRecorder:
+        shard = ViewRecorder()
+        shard.observe(1, "round", 10)
+        shard.observe(2, "round", 20)
+        return shard
+
+    def test_valid_shard_merges_in_order(self):
+        parent = ViewRecorder()
+        parent.observe(1, "first", 1)
+        parent.observe(2, "first", 2)
+        parent.merge_from(self._shard())
+        assert parent.view(1).values() == [1, 10]
+        assert parent.view(2).values() == [2, 20]
+
+    def test_non_recorder_shard_rejected(self):
+        parent = ViewRecorder()
+        with pytest.raises(ProtocolError, match="expects a ViewRecorder"):
+            parent.merge_from({"1": [], "2": []})
+
+    def test_shard_missing_a_server_rejected(self):
+        parent = ViewRecorder()
+        shard = self._shard()
+        del shard._views[2]
+        with pytest.raises(ProtocolError, match="does not cover both servers"):
+            parent.merge_from(shard)
+
+    def test_shard_with_extra_server_rejected(self):
+        parent = ViewRecorder()
+        shard = self._shard()
+        shard._views[3] = ProtocolView(server_index=3)
+        with pytest.raises(ProtocolError, match="does not cover both servers"):
+            parent.merge_from(shard)
+
+    def test_shard_with_entryless_view_rejected(self):
+        parent = ViewRecorder()
+        shard = self._shard()
+        shard._views[1] = object()  # no .entries at all
+        with pytest.raises(ProtocolError, match="no entries list"):
+            parent.merge_from(shard)
+
+    def test_shard_with_non_entry_payload_rejected(self):
+        parent = ViewRecorder()
+        shard = self._shard()
+        shard._views[1].entries.append(("not", "an", "entry"))
+        with pytest.raises(ProtocolError, match="expected ViewEntry"):
+            parent.merge_from(shard)
+
+    def test_shard_with_misfiled_entry_rejected(self):
+        parent = ViewRecorder()
+        shard = self._shard()
+        shard._views[1].entries.append(ViewEntry(2, "round", 30))
+        with pytest.raises(ProtocolError, match="belongs to"):
+            parent.merge_from(shard)
+
+    def test_rejected_shard_leaves_parent_untouched(self):
+        parent = ViewRecorder()
+        parent.observe(1, "first", 1)
+        parent.observe(2, "first", 2)
+        shard = self._shard()
+        shard._views[2].entries.append(ViewEntry(1, "round", 99))
+        with pytest.raises(ProtocolError):
+            parent.merge_from(shard)
+        assert parent.view(1).values() == [1]
+        assert parent.view(2).values() == [2]
+
+
 def _openings_for_secret(bits, mask_seed: int) -> tuple:
     """Run one 3-way multiplication and return the (e, f, g) opening."""
     dealer = MultiplicationGroupDealer(seed=mask_seed)

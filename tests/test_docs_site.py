@@ -120,6 +120,11 @@ class TestGeneratedReference:
             ("telemetry.md", "validate_manifest"),
             ("telemetry.md", "verify_ledger_reconciliation"),
             ("telemetry.md", "write_trace"),
+            ("verify.md", "OpeningAuthenticator"),
+            ("verify.md", "run_with_corruption"),
+            ("verify.md", "audit_protocol"),
+            ("verify.md", "run_fuzz"),
+            ("verify.md", "epsilon_lower_bound_from_samples"),
         ],
     )
     def test_public_symbols_rendered(self, generated_api, page, symbol):

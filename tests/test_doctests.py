@@ -22,6 +22,10 @@ DOCTEST_MODULES = (
     "repro.crypto.ring",
     "repro.crypto.sharing",
     "repro.crypto.secure_ops",
+    "repro.crypto.mac",
+    "repro.dp.auditing",
+    "repro.verify.adversary",
+    "repro.verify.fuzz",
     "repro.analysis.subgraphs",
     "repro.analysis.clustering",
     "repro.stream.events",

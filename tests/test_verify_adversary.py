@@ -1,0 +1,198 @@
+"""Active-adversary protocol tests: cheater detection end to end.
+
+The MAC layer's unit tests live in ``test_crypto_mac.py``; here the full
+protocol runs under an adversary that corrupts one opening message in
+flight, across every backend × statistic × tamper kind × cheating server,
+and the run must abort with a typed :class:`CheaterDetectedError` naming
+the corrupted round.  The flip side is pinned too: honest authenticated
+runs release counts bit-identical to unauthenticated runs, and a detected
+cheat leaves a schema-valid telemetry manifest carrying the cheater event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cargo import Cargo
+from repro.core.config import CargoConfig
+from repro.crypto.mac import OpeningAuthenticator
+from repro.exceptions import CheaterDetectedError, ConfigurationError
+from repro.graph.generators import erdos_renyi_graph
+from repro.telemetry import Telemetry, build_manifest, validate_manifest
+from repro.verify import (
+    CORRUPTION_KINDS,
+    Corruption,
+    CorruptionOutcome,
+    count_opening_rounds,
+    run_with_corruption,
+)
+
+BACKENDS = ("faithful", "batched", "matrix", "blocked")
+STATISTICS = ("triangles", "kstars", "wedges", "4cycles")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(12, edge_probability=0.5, seed=5)
+
+
+class TestCorruptionValidation:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Corruption(round_index=0, kind="bribe")
+
+    def test_invalid_server_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Corruption(round_index=0, server=3)
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Corruption(round_index=-1)
+
+    def test_zero_mod_ring_lie_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Corruption(round_index=0, kind="lie_value", magnitude=2**64)
+
+    def test_outcome_safe_property(self):
+        assert CorruptionOutcome(detected=True, fired=True, error=None, result=None).safe
+        assert CorruptionOutcome(detected=False, fired=False, error=None, result=None).safe
+        assert not CorruptionOutcome(
+            detected=False, fired=True, error=None, result=None
+        ).safe
+
+
+class TestCheaterMatrix:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("statistic", STATISTICS)
+    def test_every_backend_statistic_has_checked_rounds(self, graph, backend, statistic):
+        """Every config funnels at least the release through a MAC check."""
+        rounds = count_opening_rounds(graph, statistic=statistic, backend=backend)
+        assert rounds >= 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("statistic", STATISTICS)
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_first_round_corruption_detected(self, graph, backend, statistic, kind):
+        outcome = run_with_corruption(
+            graph,
+            Corruption(round_index=0, server=1, kind=kind),
+            statistic=statistic,
+            backend=backend,
+        )
+        assert outcome.fired
+        assert outcome.detected
+        assert isinstance(outcome.error, CheaterDetectedError)
+        assert outcome.error.round_index == 0
+
+    @pytest.mark.parametrize("server", (1, 2))
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_every_round_and_server_detected_on_matrix(self, graph, server, kind):
+        """Exhaustive round sweep on the matrix backend (few rounds, fast)."""
+        rounds = count_opening_rounds(graph, statistic="triangles", backend="matrix")
+        for round_index in range(rounds):
+            outcome = run_with_corruption(
+                graph,
+                Corruption(round_index=round_index, server=server, kind=kind),
+                statistic="triangles",
+                backend="matrix",
+            )
+            assert outcome.fired
+            assert outcome.detected, (
+                f"round {round_index} server {server} {kind} went undetected"
+            )
+
+    def test_release_round_corruption_detected(self, graph):
+        """Corrupting the final release opening (the last round) is caught."""
+        rounds = count_opening_rounds(graph, statistic="triangles", backend="matrix")
+        outcome = run_with_corruption(
+            graph,
+            Corruption(round_index=rounds - 1, server=2, kind="lie_value", magnitude=10),
+            statistic="triangles",
+            backend="matrix",
+        )
+        assert outcome.detected
+        assert outcome.error.label == "release_opening"
+
+    def test_node_dp_run_detects_corruption(self, graph):
+        outcome = run_with_corruption(
+            graph,
+            Corruption(round_index=0, server=1, kind="flip_value"),
+            statistic="triangles",
+            backend="matrix",
+            node_dp=True,
+        )
+        assert outcome.fired
+        assert outcome.detected
+
+    def test_corruption_past_last_round_never_fires(self, graph):
+        rounds = count_opening_rounds(graph, statistic="triangles", backend="matrix")
+        outcome = run_with_corruption(
+            graph,
+            Corruption(round_index=rounds + 50, server=1, kind="flip_value"),
+            statistic="triangles",
+            backend="matrix",
+        )
+        assert not outcome.fired
+        assert not outcome.detected
+        assert outcome.safe
+        assert outcome.result is not None
+
+
+class TestHonestAuthentication:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_authenticated_release_bit_identical(self, graph, backend):
+        plain = Cargo(
+            CargoConfig(epsilon=2.0, seed=4, counting_backend=backend)
+        ).run(graph)
+        authed = Cargo(
+            CargoConfig(epsilon=2.0, seed=4, counting_backend=backend, authenticate=True)
+        ).run(graph)
+        assert authed.noisy_triangle_count == plain.noisy_triangle_count
+
+    def test_honest_run_reports_mac_telemetry(self, graph):
+        telemetry = Telemetry()
+        config = CargoConfig(
+            epsilon=2.0, seed=4, authenticate=True, telemetry=telemetry
+        )
+        Cargo(config).run(graph)
+        manifest = build_manifest(telemetry)
+        assert validate_manifest(manifest) == []
+        (release,) = manifest["releases"]
+        assert release["mac"]["rounds_checked"] >= 1
+        assert release["mac"]["values_checked"] >= release["mac"]["rounds_checked"]
+
+
+class TestCheaterTelemetry:
+    def test_detected_cheat_records_manifest_event(self, graph):
+        def lie(opening):
+            if opening.index == 0:
+                opening.messages[0].values[0] ^= 1
+
+        telemetry = Telemetry()
+        config = CargoConfig(
+            epsilon=2.0,
+            seed=4,
+            authenticator=OpeningAuthenticator(seed=4, tamper=lie),
+            telemetry=telemetry,
+        )
+        with pytest.raises(CheaterDetectedError):
+            Cargo(config).run(graph)
+        manifest = build_manifest(telemetry)
+        assert validate_manifest(manifest) == []
+        (event,) = [
+            release
+            for release in manifest["releases"]
+            if release.get("kind") == "cheater_detected"
+        ]
+        assert event["round_index"] == 0
+        assert event["backend"] == config.backend_name
+        assert event["statistic"] == "triangles"
+
+    def test_malformed_cheater_record_flagged_by_validator(self, graph):
+        telemetry = Telemetry()
+        config = CargoConfig(epsilon=2.0, seed=4, telemetry=telemetry)
+        Cargo(config).run(graph)
+        telemetry.record_release({"kind": "cheater_detected", "statistic": "triangles"})
+        manifest = build_manifest(telemetry)
+        issues = validate_manifest(manifest)
+        assert issues, "validator accepted a cheater record missing its fields"
