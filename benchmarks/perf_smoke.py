@@ -19,6 +19,11 @@ conditions fail the gate, each with the ``TOLERANCE`` factor (3x):
 The factor is deliberately loose; the gate exists to catch algorithmic
 regressions, not scheduler noise.
 
+Every report and baseline records the host's CPU count and load average.
+On a single-CPU host the multi-worker engine rows time contention rather
+than the engine, so a blown bound there is reported as a warning instead
+of failing the gate.
+
 Every row also records its tracemalloc ``peak_bytes`` (measured by the
 bench modules in a separate pass, never inside a timed repetition), gated
 against ``memory_rows`` with the tighter ``MEMORY_TOLERANCE`` (2x) and no
@@ -37,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -82,6 +88,26 @@ RESILIENCE_OVERHEAD_ABS_SECONDS = 0.002
 #: most this factor over the default ``authenticator=None``.
 AUTH_OVERHEAD_LIMIT = 1.02
 AUTH_OVERHEAD_ABS_SECONDS = 0.002
+
+
+def host_block() -> dict:
+    """CPU count and load average, recorded in every report and baseline.
+
+    Parallel rows (``workers > 1``) only mean something on a host that can
+    actually run the workers concurrently; recording the context lets a
+    reader — and the gate itself — interpret them correctly.
+    """
+    try:
+        load_average = os.getloadavg()[0]
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX hosts
+        load_average = -1.0
+    return {"host_cpus": os.cpu_count() or 1, "load_average": load_average}
+
+
+def _is_parallel_row(key: str) -> bool:
+    """Whether *key* times a multi-worker run (meaningless on one CPU)."""
+    _, _, workers = key.rpartition("/workers=")
+    return workers.isdigit() and int(workers) > 1
 
 
 def check_telemetry_overhead(failures: list) -> dict:
@@ -321,9 +347,14 @@ def main(argv: list[str]) -> int:
         check_resilience_overhead(overhead_failures),
         check_authentication_overhead(overhead_failures),
     ]
+    host = host_block()
     atomic_write_json(
         OUTPUT_PATH,
-        {"benchmark": "perf_smoke", "rows": list(rows.values()) + overhead_rows},
+        {
+            "benchmark": "perf_smoke",
+            "host": host,
+            "rows": list(rows.values()) + overhead_rows,
+        },
     )
     print(f"wrote {OUTPUT_PATH}")
 
@@ -336,6 +367,8 @@ def main(argv: list[str]) -> int:
             ),
             "machine": platform.platform(),
             "python": platform.python_version(),
+            "host_cpus": host["host_cpus"],
+            "load_average": host["load_average"],
             "tolerance": TOLERANCE,
             "memory_tolerance": MEMORY_TOLERANCE,
             "rows": {key: row["seconds"] for key, row in rows.items()},
@@ -382,12 +415,18 @@ def main(argv: list[str]) -> int:
         regressions.append("median")
     for key, ratio in ratios.items():
         normalised = ratio / median_ratio if median_ratio > 0 else float("inf")
-        status = "FAIL" if normalised > tolerance else "ok"
+        over = normalised > tolerance
+        # Multi-worker rows on a single-CPU host time contention, not the
+        # engine: the workers cannot run concurrently, so a blown bound is a
+        # property of the runner, not the code.  Warn instead of failing.
+        soft = over and _is_parallel_row(key) and host["host_cpus"] == 1
+        status = "warn" if soft else ("FAIL" if over else "ok")
         print(
             f"  {status:4s} {key}: {rows[key]['seconds']*1e3:8.2f} ms vs baseline "
             f"{baseline['rows'][key]*1e3:8.2f} ms ({ratio:.2f}x raw, {normalised:.2f}x calibrated)"
+            + (" — parallel row on a 1-CPU host, not gated" if soft else "")
         )
-        if normalised > tolerance:
+        if over and not soft:
             regressions.append(key)
     # Peak-memory gate: absolute ratios, no host calibration (allocation
     # sizes are machine-independent; a blown ceiling means an algorithmic

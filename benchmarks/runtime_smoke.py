@@ -1,0 +1,188 @@
+"""CI runtime-smoke gate: the process-separated runtime on a toy graph.
+
+Three checks, each of which must hold for the distributed runtime to be
+trustworthy as a drop-in engine:
+
+* **Bit-identity** — for every counting backend, a release computed by the
+  four-process runtime (driver + two servers + dealer over socket links)
+  equals the in-process engine's release exactly: noisy count, noisy max
+  degree, and the full per-phase communication ledger.
+* **Ledger/wire reconciliation** — the driver's post-run invariant (every
+  logical byte the :class:`~repro.crypto.protocol.CommunicationLedger`
+  records is accounted for by payload bytes physically written to a socket)
+  held, and the reported transport section is internally consistent
+  (``wire = payload + overhead``, all process timings present).
+* **Crash + resume** — an injected mid-round server crash surfaces as a
+  typed :class:`~repro.exceptions.RuntimeProcessError`, leaves a usable
+  checkpoint behind, and a fresh runtime resumes to a release bit-identical
+  to the uninterrupted reference.
+
+Results land in ``benchmarks/results/runtime_smoke.json`` (the CI
+artifact); any failed check exits 1.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/runtime_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import Cargo, CargoConfig
+from repro.exceptions import RuntimeProcessError
+from repro.graph.datasets import load_dataset
+from repro.resilience import FaultKind, FaultPlan, FaultSpec, ResilienceConfig
+from repro.runtime import run_distributed
+from repro.telemetry import Telemetry
+from repro.utils.atomic import atomic_write_json
+
+OUTPUT_PATH = Path(__file__).resolve().parent / "results" / "runtime_smoke.json"
+BACKENDS = ("faithful", "batched", "matrix", "blocked")
+NUM_NODES = 24
+
+
+def _config(backend: str, distributed: bool, **overrides) -> CargoConfig:
+    kwargs = dict(
+        epsilon=2.0,
+        seed=13,
+        counting_backend=backend,
+        batch_size=64,
+        block_size=8,
+        authenticate=True,
+        track_communication=True,
+        distributed=distributed,
+    )
+    kwargs.update(overrides)
+    return CargoConfig(**kwargs)
+
+
+def check_bit_identity(graph, rows: list, failures: list) -> None:
+    for backend in BACKENDS:
+        reference = Cargo(_config(backend, False)).run(graph)
+        result = run_distributed(graph, _config(backend, True))
+        identical = (
+            result.noisy_triangle_count == reference.noisy_triangle_count
+            and result.noisy_max_degree == reference.noisy_max_degree
+            and result.communication_phases == reference.communication_phases
+        )
+        status = "ok" if identical else "FAIL"
+        print(
+            f"  {status:4s} bit-identity/{backend}: distributed "
+            f"{result.noisy_triangle_count} vs in-process "
+            f"{reference.noisy_triangle_count}"
+        )
+        rows.append(
+            {
+                "check": "bit_identity",
+                "backend": backend,
+                "passed": identical,
+                "noisy_count": result.noisy_triangle_count,
+            }
+        )
+        if not identical:
+            failures.append(f"bit_identity/{backend}")
+
+
+def check_reconciliation(graph, rows: list, failures: list) -> None:
+    telemetry = Telemetry()
+    # The driver raises RuntimeProcessError if any ledgered phase's logical
+    # bytes fail to reconcile against the wire, so completing at all is the
+    # core assertion; the transport section is then checked for coherence.
+    result = run_distributed(graph, _config("matrix", True, telemetry=telemetry))
+    transport = result.telemetry["transport"]
+    coherent = (
+        transport["frames"] > 0
+        and transport["overhead_bytes"] > 0
+        and transport["wire_bytes"]
+        == transport["payload_bytes"] + transport["overhead_bytes"]
+        and transport["unledgered_payload_bytes"] >= 0
+        and all(
+            transport["processes"].get(name, -1.0) >= 0.0
+            for name in ("driver", "server1", "server2", "dealer")
+        )
+    )
+    status = "ok" if coherent else "FAIL"
+    print(
+        f"  {status:4s} reconciliation: {transport['frames']} frames, "
+        f"{transport['payload_bytes']} payload B, "
+        f"{transport['overhead_bytes']} framing B"
+    )
+    rows.append(
+        {"check": "reconciliation", "passed": coherent, "transport": transport}
+    )
+    if not coherent:
+        failures.append("reconciliation")
+
+
+def check_crash_resume(graph, rows: list, failures: list) -> None:
+    with tempfile.TemporaryDirectory(prefix="runtime_smoke_") as workdir:
+        checkpoint = os.path.join(workdir, "distributed.ckpt")
+        resilience = ResilienceConfig(checkpoint_path=checkpoint, resume=True)
+        config = _config("matrix", True, resilience=resilience)
+        reference = Cargo(_config("matrix", False)).run(graph)
+
+        plan = FaultPlan(
+            [FaultSpec("runtime.round", FaultKind.CRASH, at=2)]
+        ).to_json()
+        crashed_as_typed = False
+        try:
+            run_distributed(graph, config, fault_plan=plan, fault_target="server1")
+        except RuntimeProcessError:
+            crashed_as_typed = True
+        checkpoint_saved = os.path.exists(checkpoint)
+
+        resumed_identical = False
+        if crashed_as_typed and checkpoint_saved:
+            resumed = run_distributed(graph, config)
+            resumed_identical = (
+                resumed.noisy_triangle_count == reference.noisy_triangle_count
+                and resumed.noisy_max_degree == reference.noisy_max_degree
+            )
+        passed = crashed_as_typed and checkpoint_saved and resumed_identical
+        status = "ok" if passed else "FAIL"
+        print(
+            f"  {status:4s} crash+resume: typed={crashed_as_typed} "
+            f"checkpoint={checkpoint_saved} identical={resumed_identical}"
+        )
+        rows.append(
+            {
+                "check": "crash_resume",
+                "passed": passed,
+                "typed_error": crashed_as_typed,
+                "checkpoint_saved": checkpoint_saved,
+                "resumed_identical": resumed_identical,
+            }
+        )
+        if not passed:
+            failures.append("crash_resume")
+
+
+def main() -> int:
+    graph = load_dataset("facebook", num_nodes=NUM_NODES)
+    rows: list = []
+    failures: list = []
+    check_bit_identity(graph, rows, failures)
+    check_reconciliation(graph, rows, failures)
+    check_crash_resume(graph, rows, failures)
+    atomic_write_json(
+        OUTPUT_PATH,
+        {
+            "benchmark": "runtime_smoke",
+            "host_cpus": os.cpu_count(),
+            "rows": rows,
+        },
+    )
+    print(f"wrote {OUTPUT_PATH}")
+    if failures:
+        print(f"runtime-smoke FAILED: {', '.join(failures)}")
+        return 1
+    print("runtime-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,6 +144,15 @@ API_PAGES = {
             "repro.dp.auditing",
         ),
     ),
+    "runtime": (
+        "repro.runtime — the process-separated runtime",
+        (
+            "repro.runtime.wire",
+            "repro.runtime.dealer",
+            "repro.runtime.server",
+            "repro.runtime.driver",
+        ),
+    ),
     "telemetry": (
         "repro.telemetry — spans, metrics, manifests",
         (

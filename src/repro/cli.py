@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
         "biasing the count — honest releases are bit-identical)",
     )
     parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help="run CARGO releases on the process-separated runtime "
+        "(CargoConfig distributed; dealer and both servers fork as OS "
+        "processes and every protocol message crosses a socket — releases "
+        "and ledgers are bit-identical to the in-process engine)",
+    )
+    parser.add_argument(
         "--release-every",
         type=int,
         default=None,
@@ -244,6 +252,12 @@ def _collect_overrides(
         overrides["tile_window"] = args.tile_window
     if args.authenticate and "authenticate" in accepted:
         overrides["authenticate"] = True
+    if args.distributed:
+        if "distributed" not in accepted:
+            raise ReproError(
+                f"experiment {args.experiment!r} does not support --distributed"
+            )
+        overrides["distributed"] = True
     if args.release_every is not None and "release_every" in accepted:
         overrides["release_every"] = args.release_every
     if args.anchor_every is not None and "anchor_every" in accepted:

@@ -98,6 +98,12 @@ class Cargo:
     def run(self, graph: Graph) -> CargoResult:
         """Execute the full protocol on *graph* and return the result."""
         config = self._config
+        if getattr(config, "distributed", False):
+            # The process-separated runtime replicates this orchestration
+            # across four OS processes; results are bit-identical.
+            from repro.runtime.driver import run_distributed
+
+            return run_distributed(graph, config, views=self.views)
         budget = config.resolved_budget()
         statistic = create_statistic(config.statistic, config)
         telemetry = resolve_telemetry(config)
@@ -298,13 +304,16 @@ def feed_run_telemetry(
     projected_count,
     noisy_max_degree,
     authenticator=None,
+    transport=None,
 ):
     """Post-run metric feeding + the release record for the manifest.
 
     Shared by the Edge-DP and Node-DP orchestrators.  Runs strictly *after*
     the protocol finished, so instrumentation can never perturb the
     transcript; returns the ``CargoResult.telemetry`` block (``None`` when
-    telemetry is disabled).
+    telemetry is disabled).  *transport* is the distributed runtime's
+    physical byte summary (frames, payload vs framing overhead, per-process
+    wall time); in-process runs have no transport and pass ``None``.
     """
     if not telemetry.enabled:
         return None
@@ -350,14 +359,19 @@ def feed_run_telemetry(
     }
     if mac_block is not None:
         release["mac"] = mac_block
+    if transport is not None:
+        release["transport"] = transport
     telemetry.record_release(release)
-    return build_result_telemetry(
+    result_block = build_result_telemetry(
         timings,
         communication_phases,
         opening_rounds=count_result.opening_rounds,
         candidates=count_result.num_triples_processed,
         triple_store_stats=store_stats,
     )
+    if transport is not None and result_block is not None:
+        result_block["transport"] = transport
+    return result_block
 
 
 def record_cheater_event(config, telemetry, *, backend, error) -> None:

@@ -155,6 +155,17 @@ class CargoConfig:
         When ``True`` the protocol routes user/server messages through the
         :class:`~repro.crypto.protocol.TwoServerRuntime` so byte counts are
         available in the result.
+    distributed:
+        When ``True`` the run executes on the process-separated runtime
+        (:mod:`repro.runtime`): the dealer and the two servers fork as
+        separate OS processes and every share payload, provisioning frame,
+        and opening round crosses a socket as wire frames.  Releases,
+        ledgers, views, and MAC counters are bit-identical to the
+        in-process engine; the run additionally reconciles the ledger
+        against the bytes physically written and reports a ``transport``
+        telemetry section.  Requires the ``triangles`` statistic and
+        rejects worker pools, triple stores, and tile windows — see
+        ``docs/distributed-runtime.md``.
 
     Examples
     --------
@@ -188,6 +199,7 @@ class CargoConfig:
     track_communication: bool = False
     authenticate: bool = False
     authenticator: Optional[object] = field(default=None, compare=False, repr=False)
+    distributed: bool = False
 
     def __post_init__(self) -> None:
         if self.authenticator is not None and not self.authenticate:

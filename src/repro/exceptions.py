@@ -61,6 +61,27 @@ class CheaterDetectedError(ProtocolError):
         self.round_index = round_index
 
 
+class WireFormatError(ProtocolError):
+    """A transport frame violated the binary wire format.
+
+    Raised while decoding frames exchanged by the process-separated runtime:
+    wrong magic, an unsupported wire version, an unknown message kind, a
+    length field that disagrees with the bytes on the socket, a truncated
+    frame (EOF mid-message), or an out-of-order sequence number.  The frame
+    is rejected before any payload bytes are interpreted as shares.
+    """
+
+
+class RuntimeProcessError(ReproError):
+    """A peer process of the distributed runtime died or misbehaved.
+
+    Raised by the driver when a server or dealer process exits unexpectedly
+    (EOF on its control link), reports an error frame, or when the post-run
+    ledger/wire reconciliation finds logical byte counts that do not match
+    the bytes actually written to the transport.
+    """
+
+
 class PrivacyError(ReproError):
     """A differential-privacy precondition is violated.
 

@@ -254,6 +254,12 @@ class ProtocolSweep:
         Bounded tile window for the blocked backend's offline material
         (``CargoConfig(tile_window=...)``); ``None`` keeps the
         all-groups-at-once behaviour.
+    distributed:
+        When ``True`` every CARGO cell runs on the process-separated
+        runtime (``CargoConfig(distributed=...)``): dealer and servers as
+        forked OS processes with all protocol messages on sockets.  Rows
+        are identical to an in-process sweep (releases are bit-identical);
+        ``None`` keeps the in-process engine.
     offline_seed:
         Pins the offline dealer randomness of every CARGO cell to one
         stream, which makes the dealt material identical across cells —
@@ -281,6 +287,7 @@ class ProtocolSweep:
     workers: Optional[int] = None
     sparse: Optional[str] = None
     tile_window: Optional[int] = None
+    distributed: Optional[bool] = None
     offline_seed: Optional[int] = None
     triple_store: Optional[Any] = None
     telemetry: Optional[Any] = field(default=None, repr=False, compare=False)
@@ -376,6 +383,8 @@ class ProtocolSweep:
             overrides["sparse"] = self.sparse
         if self.tile_window is not None:
             overrides["tile_window"] = self.tile_window
+        if self.distributed is not None:
+            overrides["distributed"] = self.distributed
         if self.offline_seed is not None:
             overrides["offline_seed"] = self.offline_seed
         if self.triple_store is not None:

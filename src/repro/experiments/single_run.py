@@ -36,6 +36,7 @@ def single_release(
     sparse: Optional[str] = None,
     tile_window: Optional[int] = None,
     authenticate: bool = False,
+    distributed: bool = False,
     telemetry: Optional[object] = None,
     resilience: Optional[object] = None,
 ) -> ExperimentReport:
@@ -46,16 +47,20 @@ def single_release(
     block (phase table, opening rounds, triple-store stats) and the
     ``communication_phases`` map for JSON consumers — the CLI's ``--json``
     output and the manifest-reconciliation smoke checks read them from
-    here.
+    here.  With *distributed* the release runs on the process-separated
+    runtime (no triple store: the dealer process deals fresh material) and
+    the row gains a ``transport`` block with wire-frame counts, payload
+    bytes, framing overhead, and per-process wall times.
     """
     graph = load_dataset(dataset, num_nodes=num_nodes)
-    store = TripleStore()
+    store = None if distributed else TripleStore()
     config = CargoConfig(
         epsilon=epsilon,
         seed=seed,
         triple_store=store,
         track_communication=True,
         authenticate=authenticate,
+        distributed=distributed,
         telemetry=telemetry,
         resilience=resilience,
         **({} if counting_backend is None else {"counting_backend": counting_backend}),
@@ -99,7 +104,12 @@ def single_release(
         comm_bytes=comm_bytes,
         comm_messages=comm_messages,
         communication_phases=result.communication_phases,
-        triple_store=store.stats(),
+        triple_store=store.stats() if store is not None else {},
         telemetry=result.telemetry,
+        **(
+            {"transport": result.telemetry["transport"]}
+            if result.telemetry and "transport" in result.telemetry
+            else {}
+        ),
     )
     return report

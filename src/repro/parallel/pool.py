@@ -13,9 +13,13 @@ Threads, not processes: the hot loops are numpy kernels (`uint64` matmuls,
 fused gathers, vectorised ring arithmetic) that release the GIL, so tiles
 genuinely overlap on multicore hosts while shares and correlated randomness
 stay shared by reference instead of being pickled across process boundaries.
-Process-level parallelism is offered one level up, for whole experiment
-sweep cells (:class:`~repro.experiments.runner.ProtocolSweep`
-``use_processes``), where the per-task state is small.
+Process-level parallelism lives at two other layers: whole experiment sweep
+cells fan out over a process pool
+(:class:`~repro.experiments.runner.ProtocolSweep` ``use_processes``), and
+the protocol parties themselves can run as separate OS processes connected
+by sockets (:mod:`repro.runtime`, ``CargoConfig(distributed=True)`` — see
+``docs/distributed-runtime.md``).  Within one party's online phase, this
+thread pool remains the parallelism mechanism.
 """
 
 from __future__ import annotations

@@ -71,6 +71,7 @@ FAULT_SITES: Tuple[str, ...] = (
     "dealer.provision",
     "export.write",
     "pool.task",
+    "runtime.round",
     "stream.anchor",
     "triple_store.read",
 )

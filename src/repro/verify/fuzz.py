@@ -12,12 +12,16 @@ that every PR so far has pinned with hand-written tests:
 4. **worker invariance** — the tile-parallel engine's transcripts and
    counts match the serial path for any worker count;
 5. **manifest validity** — a traced run's manifest validates against the
-   schema and its ledger reconciles against the metric counters.
+   schema and its ledger reconciles against the metric counters;
+6. **wire round-trip** — every distributed-runtime frame kind
+   serialize→deserializes bit-identically, and truncating or corrupting a
+   frame raises the typed :class:`~repro.exceptions.WireFormatError`
+   instead of mis-decoding.
 
 Hand-written tests pin these at a few points of the configuration space;
 this harness samples the space: a seeded, dependency-free generator draws
 random graphs × statistics × backends × {workers, sparse, tile_window,
-block/batch size} cases and checks all five invariants on each.  Every
+block/batch size} cases and checks all six invariants on each.  Every
 failure report embeds the case's JSON, so ``FuzzCase.from_json(...)`` +
 :func:`run_case` replays it exactly — same seed, same cases, same verdicts.
 
@@ -51,6 +55,7 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "build_graph",
+    "check_wire_invariant",
     "draw_case",
     "run_case",
     "run_fuzz",
@@ -182,6 +187,74 @@ def transcripts_equal(recorder_a: ViewRecorder, recorder_b: ViewRecorder) -> boo
     return True
 
 
+def check_wire_invariant(seed: int, num_frames: int = 4) -> List[str]:
+    """Invariant 6: random wire frames round-trip; mutations fail typed.
+
+    Draws *num_frames* frames with random kinds, meta fields, and payload
+    arrays from *seed*, then for each: (a) encode→decode must reproduce the
+    kind, meta fields, and every array bit-for-bit; (b) a random strict
+    prefix and a random single-byte corruption of the header must raise
+    :class:`~repro.exceptions.WireFormatError` — never decode to anything.
+    """
+    from repro.exceptions import WireFormatError
+    from repro.runtime.wire import KIND_NAMES, decode_frame, encode_frame_bytes
+
+    problems: List[str] = []
+    rng = derive_rng(seed ^ 0x57495245)  # "WIRE": independent of the run RNG
+    kinds = sorted(KIND_NAMES)
+    dtypes = (np.uint64, np.int64, np.float64)
+    for index in range(num_frames):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        meta = {"phase": f"fuzz{index}", "round": int(rng.integers(0, 1 << 16))}
+        arrays = [
+            rng.integers(0, 1 << 30, size=tuple(rng.integers(0, 5, size=2))).astype(
+                dtypes[int(rng.integers(len(dtypes)))]
+            )
+            for _ in range(int(rng.integers(0, 3)))
+        ]
+        frame = encode_frame_bytes(kind, meta, arrays)
+
+        try:
+            kind2, meta2, arrays2 = decode_frame(frame)
+        except WireFormatError as error:
+            problems.append(f"wire: well-formed frame rejected: {error}")
+            continue
+        if kind2 != kind or meta2.get("phase") != meta["phase"] or (
+            meta2.get("round") != meta["round"]
+        ):
+            problems.append(f"wire: kind/meta did not round-trip for {KIND_NAMES[kind]}")
+        if len(arrays2) != len(arrays) or any(
+            decoded.dtype != original.dtype
+            or decoded.shape != original.shape
+            or not np.array_equal(decoded, original)
+            for original, decoded in zip(arrays, arrays2)
+        ):
+            problems.append(f"wire: payload did not round-trip for {KIND_NAMES[kind]}")
+
+        truncated = frame[: int(rng.integers(0, len(frame)))]
+        try:
+            decode_frame(truncated)
+            problems.append(
+                f"wire: truncated {KIND_NAMES[kind]} frame decoded "
+                f"({len(truncated)} of {len(frame)} bytes)"
+            )
+        except WireFormatError:
+            pass
+
+        corrupted = bytearray(frame)
+        offset = int(rng.integers(0, 8))  # magic / version / kind fields
+        corrupted[offset] ^= 0xFF
+        try:
+            decode_frame(bytes(corrupted))
+            problems.append(
+                f"wire: header-corrupted {KIND_NAMES[kind]} frame decoded "
+                f"(byte {offset} flipped)"
+            )
+        except WireFormatError:
+            pass
+    return problems
+
+
 def _release(graph: Graph, config: CargoConfig) -> Tuple[float, Optional[ViewRecorder]]:
     cargo = Cargo(config)
     result = cargo.run(graph)
@@ -303,6 +376,10 @@ def run_case(case: FuzzCase) -> List[str]:
         problems.extend(
             f"ledger: {issue}" for issue in verify_ledger_reconciliation(manifest)
         )
+
+        # 6. Wire round-trip: the distributed runtime's framing layer must
+        # reproduce random frames exactly and reject mutations typed.
+        problems.extend(check_wire_invariant(case.seed))
     except ReproError as error:
         problems.append(f"typed failure: {type(error).__name__}: {error}")
     except Exception as error:  # pragma: no cover - only on harness bugs

@@ -39,6 +39,7 @@ DOCTEST_MODULES = (
     "repro.stats.derived",
     "repro.parallel.pool",
     "repro.parallel.store",
+    "repro.runtime.wire",
     "repro.resilience.faults",
     "repro.resilience.retry",
     "repro.resilience.integrity",
